@@ -1,0 +1,58 @@
+"""Ablation: where does each workload cross from memory- to compute-bound?
+
+The paper evaluates only the DDR4 (16 GB/s) and HBM2 (256 GB/s) endpoints.
+This bench sweeps bandwidth continuously to locate the crossover point per
+workload on the BPVeC accelerator -- the bandwidth beyond which extra
+memory speed stops helping.
+"""
+
+from repro.hw import BPVEC, DDR4, scaled_memory
+from repro.nn import evaluation_workloads, homogeneous_8bit
+from repro.sim import format_table, simulate_network
+
+BANDWIDTHS = (8, 16, 32, 64, 128, 256)
+
+
+def crossover_sweep():
+    results = {}
+    for net in evaluation_workloads():
+        homogeneous_8bit(net)
+        series = []
+        for bw in BANDWIDTHS:
+            res = simulate_network(net, BPVEC, scaled_memory(DDR4, bw))
+            series.append((bw, res.total_seconds, res.memory_bound_fraction))
+        results[net.name] = series
+    return results
+
+
+def test_bandwidth_crossover(benchmark, show):
+    results = benchmark(crossover_sweep)
+    rows = []
+    crossovers = {}
+    for name, series in results.items():
+        crossover = next(
+            (bw for bw, _, frac in series if frac < 0.5), None
+        )
+        crossovers[name] = crossover
+        rows.append(
+            (name, *(f"{seconds * 1e3:.1f}" for _, seconds, _ in series), crossover)
+        )
+    show(
+        "Ablation: BPVeC runtime (ms) vs off-chip bandwidth (GB/s)",
+        format_table(
+            ["Workload", *(f"{b}" for b in BANDWIDTHS), "crossover GB/s"], rows
+        ),
+    )
+
+    # CNNs are compute-bound at or near DDR4 bandwidth already.
+    for name in ("Inception-v1", "ResNet-18"):
+        assert crossovers[name] is not None and crossovers[name] <= 16
+    # Recurrent workloads need several x DDR4 before compute binds --
+    # exactly why only HBM2 unlocks their Fig. 6/8 speedups.
+    for name in ("RNN", "LSTM"):
+        assert crossovers[name] is not None and 16 < crossovers[name] <= 128
+
+    # More bandwidth never hurts.
+    for series in results.values():
+        times = [seconds for _, seconds, _ in series]
+        assert all(a >= b - 1e-12 for a, b in zip(times, times[1:]))

@@ -1,0 +1,48 @@
+"""Ablation: scratchpad partitioning between weights/activations/outputs.
+
+The simulator splits the 112 KB scratchpad 40/40/20 by default.  This
+bench sweeps the split to show the default is near-optimal across the
+workload mix and to expose the sensitivity (RNNs want weight capacity,
+batched CNNs want activation capacity).
+"""
+
+from repro.hw import BPVEC, DDR4
+from repro.nn import evaluation_workloads, homogeneous_8bit
+from repro.sim import BufferSplit, format_table, geomean, simulate_network
+
+SPLITS = {
+    "W60/A20/O20": BufferSplit(0.6, 0.2, 0.2),
+    "W40/A40/O20": BufferSplit(0.4, 0.4, 0.2),  # default
+    "W20/A60/O20": BufferSplit(0.2, 0.6, 0.2),
+    "W33/A33/O33": BufferSplit(1 / 3, 1 / 3, 1 / 3),
+}
+
+
+def sweep():
+    results = {}
+    for label, split in SPLITS.items():
+        times = []
+        for net in evaluation_workloads():
+            homogeneous_8bit(net)
+            res = simulate_network(net, BPVEC, DDR4, split=split)
+            times.append(res.total_seconds)
+        results[label] = times
+    return results
+
+
+def test_buffer_split_sensitivity(benchmark, show):
+    results = benchmark(sweep)
+    names = [net.name for net in evaluation_workloads()]
+    rows = [
+        (label, *(t * 1e3 for t in times), geomean(times) * 1e3)
+        for label, times in results.items()
+    ]
+    show(
+        "Ablation: scratchpad split (BPVeC + DDR4, runtime ms)",
+        format_table(["Split", *names, "geomean"], rows),
+    )
+
+    default_geo = geomean(results["W40/A40/O20"])
+    for label, times in results.items():
+        # The default split is within 10% of every alternative's geomean.
+        assert default_geo <= geomean(times) * 1.10, label

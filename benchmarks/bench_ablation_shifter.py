@@ -1,0 +1,42 @@
+"""Ablation: hardwired composition shifts vs full barrel shifters.
+
+DESIGN.md design decision: because NBVE (j, k) always shifts its output by
+``slice_width * (j + k)``, the CVU's shifters are static wiring plus a
+mode mux.  A naive reconfigurable implementation would use barrel
+shifters.  This bench quantifies what that choice is worth.
+"""
+
+from repro.hw.components import Components
+from repro.sim import format_table
+
+
+def shifter_costs():
+    comp = Components()
+    rows = []
+    for width, max_shift in ((8, 12), (12, 12), (16, 14)):
+        hard = comp.shifter(width, max_shift, hardwired=True)
+        barrel = comp.shifter(width, max_shift, hardwired=False)
+        rows.append(
+            (
+                f"{width}b << {max_shift}",
+                hard.power,
+                barrel.power,
+                barrel.power / hard.power,
+                barrel.area / hard.area,
+            )
+        )
+    return rows
+
+
+def test_hardwired_vs_barrel(benchmark, show):
+    rows = benchmark(shifter_costs)
+    show(
+        "Ablation: hardwired composition shift vs barrel shifter",
+        format_table(
+            ["Shifter", "Hardwired", "Barrel", "Power ratio", "Area ratio"], rows
+        ),
+    )
+    for row in rows:
+        # Barrel shifters cost several times more in both power and area.
+        assert row[3] > 2.0
+        assert row[4] > 2.0

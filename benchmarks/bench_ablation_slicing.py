@@ -1,0 +1,58 @@
+"""Ablation: slicing granularity (1-bit vs 2-bit vs 4-bit).
+
+The paper synthesizes 1-bit and 2-bit slicing and argues qualitatively
+(Section III-B, observation 3) that 4-bit slicing is cheaper per MAC but
+"leads to underutilization of compute resources when DNNs with less than
+4-bits are being processed".  This bench quantifies that trade-off: the
+power per *useful* MAC combines the cost model with the cluster
+parallelism each slicing extracts at each operand bitwidth, and bit-level
+utilization shows where coarse multipliers idle.
+"""
+
+from repro.core import num_slices, plan_composition
+from repro.hw import AnalyticalCostModel
+from repro.sim import format_table
+
+
+def efficiency_table():
+    """Power per useful MAC for each (slicing, operand bitwidth) pair."""
+    model = AnalyticalCostModel()
+    rows = []
+    for slice_width in (1, 2, 4):
+        base_power = model.total(slice_width, 16, "power")
+        for bw in (8, 4, 3, 2):
+            plan = plan_composition(bw, bw, slice_width=slice_width)
+            covered = num_slices(bw, slice_width) * slice_width
+            bit_utilization = (bw / covered) ** 2 * plan.utilization
+            effective = base_power / plan.n_groups
+            rows.append(
+                (slice_width, bw, plan.n_groups, bit_utilization, effective)
+            )
+    return rows
+
+
+def test_slicing_vs_operand_bitwidth(benchmark, show):
+    rows = benchmark(efficiency_table)
+    show(
+        "Ablation: slicing granularity vs operand bitwidth "
+        "(power per useful MAC, analytical model)",
+        format_table(
+            ["Slicing", "Operand bits", "Clusters", "Bit utilization", "Power/MAC"],
+            rows,
+        ),
+    )
+    table = {(r[0], r[1]): r for r in rows}
+
+    # 4-bit slicing is cheapest at 8-bit and 4-bit operands...
+    assert table[(4, 8)][4] < table[(2, 8)][4]
+    assert table[(4, 4)][4] < table[(2, 4)][4]
+    # ...but wastes multiplier bits below 4-bit operands, where 2-bit
+    # slicing extracts 4x the cluster parallelism and wins on power/MAC.
+    assert table[(4, 2)][3] < 0.5  # coarse multipliers mostly idle
+    assert table[(2, 2)][3] == 1.0
+    assert table[(2, 2)][4] < table[(4, 2)][4]
+    # 2-bit slicing degrades gracefully at odd bitwidths (padding only).
+    assert table[(2, 3)][3] > 0.5
+    # 1-bit slicing never wins at any operand width.
+    for bw in (8, 4, 2):
+        assert table[(1, bw)][4] > min(table[(2, bw)][4], table[(4, bw)][4])

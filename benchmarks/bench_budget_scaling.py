@@ -1,0 +1,52 @@
+"""Scaling study: the BPVeC advantage across core power budgets.
+
+Beyond the paper: Table II's unit counts derive from the 250 mW budget
+and the Fig. 4 per-MAC costs, so the whole comparison can be re-derived
+at other budgets.  The advantage should be a property of the design
+style, roughly flat across budgets (larger budgets shift CNNs toward the
+bandwidth wall on DDR4, trimming the gain slightly).
+"""
+
+from repro.experiments.scaling import budget_sweep
+from repro.hw import DDR4
+from repro.sim import format_table
+
+BUDGETS_MW = (125, 250, 500)
+
+
+def test_budget_scaling(benchmark, show):
+    points = benchmark(lambda: budget_sweep(BUDGETS_MW, DDR4))
+    rows = [
+        (
+            f"{p.budget_mw:.0f} mW",
+            p.baseline_macs,
+            p.bitfusion_macs,
+            p.bpvec_macs,
+            p.speedup_vs_baseline,
+            p.energy_vs_baseline,
+        )
+        for p in points
+    ]
+    show(
+        "Scaling: Fig. 5 geomeans vs core power budget (DDR4)",
+        format_table(
+            ["Budget", "Baseline MACs", "BitFusion MACs", "BPVeC MACs",
+             "Speedup", "Energy"],
+            rows,
+        ),
+    )
+
+    by_budget = {p.budget_mw: p for p in points}
+    # The 250 mW point reproduces Table II exactly.
+    assert by_budget[250].baseline_macs == 512
+    assert by_budget[250].bpvec_macs == 1024
+    # BPVeC keeps ~2x the baseline's units at every budget...
+    for p in points:
+        assert p.bpvec_macs >= 1.85 * p.baseline_macs
+    # ...and a healthy speedup across the sweep.  The gain shrinks as the
+    # budget grows: bigger arrays push more CNN layers into the DDR4
+    # bandwidth wall, which doubling compute cannot move.
+    for p in points:
+        assert 1.25 <= p.speedup_vs_baseline <= 1.95
+    speedups = [p.speedup_vs_baseline for p in points]
+    assert speedups == sorted(speedups, reverse=True)

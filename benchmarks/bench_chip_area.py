@@ -1,0 +1,43 @@
+"""Chip-level accounting: compute area, SRAM area, and power per platform.
+
+Not a paper table per se, but the floorplan arithmetic behind Table II:
+BPVeC integrates 2x the baseline's MACs (and 2.3x BitFusion's) inside the
+same 250 mW budget and a comparable silicon footprint.
+"""
+
+import pytest
+
+from repro.hw import all_chip_reports
+from repro.sim import format_table
+
+
+def test_chip_reports(benchmark, show):
+    reports = benchmark(all_chip_reports)
+    rows = [
+        (
+            r.name,
+            r.num_macs,
+            r.compute_area_mm2,
+            r.sram_area_mm2,
+            r.total_area_mm2,
+            r.compute_power_mw,
+        )
+        for r in reports
+    ]
+    show(
+        "Chip-level accounting (45 nm)",
+        format_table(
+            ["Platform", "MACs", "Compute mm^2", "SRAM mm^2", "Total mm^2", "mW"],
+            rows,
+        ),
+    )
+    by_name = {r.name: r for r in reports}
+    base = by_name["TPU-like baseline"]
+    bpvec = by_name["BPVeC"]
+    bitfusion = by_name["BitFusion"]
+
+    assert bpvec.num_macs == 2 * base.num_macs
+    assert bpvec.total_area_mm2 < 1.25 * base.total_area_mm2
+    assert bitfusion.compute_area_mm2 > base.compute_area_mm2
+    for r in reports:
+        assert r.compute_power_mw == pytest.approx(250.0, rel=0.06)

@@ -1,0 +1,80 @@
+"""Figure 4: design-space exploration of slicing granularity and L.
+
+Regenerates the power/area-per-MAC bars (normalized to a conventional
+8-bit MAC) with their multiplication/addition/shifting/registering
+breakdown, under the paper-calibrated cost model, and checks the
+Section III-B observations on the analytical model too.
+"""
+
+import pytest
+
+from repro.experiments import fig4_design_space
+from repro.hw import AnalyticalCostModel, PaperCostModel
+from repro.sim import format_table
+
+# Paper Fig. 4 bar totals (power, area) at (slice_width, L).
+PAPER_BARS = {
+    (1, 1): (3.6, 3.5),
+    (1, 16): (1.2, 1.0),
+    (2, 1): (1.18, 1.40),
+    (2, 16): (0.49, 0.62),
+}
+
+
+def _render(points):
+    rows = [
+        (
+            p.metric,
+            f"{p.slice_width}-bit",
+            p.lanes,
+            p.multiplication,
+            p.addition,
+            p.shifting,
+            p.registering,
+            p.total,
+        )
+        for p in points
+    ]
+    return format_table(
+        ["Metric", "Slicing", "L", "Mult", "Add", "Shift", "Reg", "Total"], rows
+    )
+
+
+def test_fig4_calibrated(benchmark, show):
+    points = benchmark(lambda: fig4_design_space(PaperCostModel()))
+    show("Figure 4: CVU design-space exploration (paper-calibrated)", _render(points))
+
+    totals = {(p.metric, p.slice_width, p.lanes): p.total for p in points}
+    for (sw, lanes), (power, area) in PAPER_BARS.items():
+        assert totals[("power", sw, lanes)] == pytest.approx(power, rel=0.05)
+        assert totals[("area", sw, lanes)] == pytest.approx(area, rel=0.05)
+
+    # Observation 1: the adder tree dominates power everywhere and is never
+    # below second place in area (at 2-bit/L=16 the multiplier array edges
+    # it slightly in the paper's own area table).
+    for p in points:
+        components = sorted(
+            (p.addition, p.multiplication, p.shifting, p.registering), reverse=True
+        )
+        if p.metric == "power":
+            assert p.addition == components[0]
+        else:
+            assert p.addition >= components[1]
+
+
+def test_fig4_analytical_shape(benchmark, show):
+    """The first-principles model reproduces the qualitative findings."""
+    points = benchmark(lambda: fig4_design_space(AnalyticalCostModel()))
+    show("Figure 4 (analytical, no paper data)", _render(points))
+
+    totals = {(p.metric, p.slice_width, p.lanes): p.total for p in points}
+    for metric in ("power", "area"):
+        # Monotone decreasing in L; 2-bit dominates 1-bit.
+        for sw in (1, 2):
+            series = [totals[(metric, sw, lanes)] for lanes in (1, 2, 4, 8, 16)]
+            assert all(a > b for a, b in zip(series, series[1:]))
+        for lanes in (1, 2, 4, 8, 16):
+            assert totals[(metric, 2, lanes)] < totals[(metric, 1, lanes)]
+    # Best point beats a conventional MAC; BitFusion's point does not.
+    assert totals[("power", 2, 16)] < 1.0
+    assert totals[("power", 2, 1)] > 1.0

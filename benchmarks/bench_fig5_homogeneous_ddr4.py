@@ -1,0 +1,31 @@
+"""Figure 5: BPVeC vs TPU-like baseline; DDR4; homogeneous 8-bit.
+
+Paper reference values (speedup / energy reduction): AlexNet 1.5/1.5,
+Inception-v1 1.8/1.7, ResNet-18 1.7/1.7, ResNet-50 1.6/1.6, RNN 1.0/1.1,
+LSTM 1.0/1.1, GEOMEAN 1.39/1.43.
+"""
+
+import pytest
+
+from conftest import geo_row, workload_row
+from repro.experiments import fig5_homogeneous_ddr4, render_speedup_rows
+
+
+def test_fig5(benchmark, show):
+    rows = benchmark(fig5_homogeneous_ddr4)
+    show("Figure 5: homogeneous 8-bit, DDR4 (vs TPU-like baseline)",
+         render_speedup_rows(rows))
+
+    geo = geo_row(rows)
+    # Paper: ~40% speedup and energy reduction.
+    assert geo.speedup == pytest.approx(1.39, abs=0.15)
+    assert geo.energy_reduction == pytest.approx(1.43, abs=0.20)
+
+    # CNNs gain 1.5-1.9x; recurrent workloads are bandwidth-walled at ~1.0x.
+    for name in ("AlexNet", "Inception-v1", "ResNet-18", "ResNet-50"):
+        assert 1.4 <= workload_row(rows, name).speedup <= 2.0
+    for name in ("RNN", "LSTM"):
+        assert workload_row(rows, name).speedup == pytest.approx(1.0, abs=0.08)
+
+    benchmark.extra_info["geomean_speedup"] = round(geo.speedup, 3)
+    benchmark.extra_info["geomean_energy_reduction"] = round(geo.energy_reduction, 3)

@@ -1,0 +1,35 @@
+"""Figure 6: HBM2 study; homogeneous 8-bit; normalized to baseline+DDR4.
+
+Paper reference: baseline+HBM2 geomean 1.06x speedup / 1.34x energy;
+BPVeC+HBM2 geomean 2.11x / 2.28x, with RNN/LSTM seeing the largest
+speedups (2.3-2.4x).
+"""
+
+import pytest
+
+from conftest import geo_row, workload_row
+from repro.experiments import fig6_homogeneous_hbm2, render_speedup_rows
+
+
+def test_fig6(benchmark, show):
+    rows = benchmark(fig6_homogeneous_hbm2)
+    show("Figure 6: homogeneous 8-bit, HBM2 (normalized to baseline+DDR4)",
+         render_speedup_rows(rows))
+
+    base_geo = geo_row(rows, platform="TPU-like baseline")
+    bpv_geo = geo_row(rows, platform="BPVeC")
+
+    # Paper: the baseline barely benefits from the 16x bandwidth...
+    assert base_geo.speedup == pytest.approx(1.06, abs=0.08)
+    # ...while BPVeC converts it into ~2.1x speedup.
+    assert bpv_geo.speedup == pytest.approx(2.11, abs=0.20)
+    assert bpv_geo.energy_reduction > 1.6
+
+    # Bandwidth-hungry recurrent models gain the most.
+    rnn = workload_row(rows, "RNN", platform="BPVeC")
+    lstm = workload_row(rows, "LSTM", platform="BPVeC")
+    assert rnn.speedup == pytest.approx(2.3, abs=0.25)
+    assert lstm.speedup == pytest.approx(2.4, abs=0.35)
+
+    benchmark.extra_info["bpvec_geomean_speedup"] = round(bpv_geo.speedup, 3)
+    benchmark.extra_info["baseline_geomean_speedup"] = round(base_geo.speedup, 3)

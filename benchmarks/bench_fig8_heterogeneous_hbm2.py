@@ -1,0 +1,39 @@
+"""Figure 8: HBM2 study; heterogeneous bitwidths; normalized to
+BitFusion+DDR4.
+
+Paper reference: BitFusion+HBM2 geomean 1.45x / 2.26x; BPVeC+HBM2 geomean
+3.48x / 2.66x with RNN/LSTM peaking at ~4.5x.
+"""
+
+import pytest
+
+from conftest import geo_row, workload_row
+from repro.experiments import fig8_heterogeneous_hbm2, render_speedup_rows
+
+
+def test_fig8(benchmark, show):
+    rows = benchmark(fig8_heterogeneous_hbm2)
+    show("Figure 8: heterogeneous bitwidths, HBM2 (normalized to BitFusion+DDR4)",
+         render_speedup_rows(rows))
+
+    bf_geo = geo_row(rows, platform="BitFusion")
+    bpv_geo = geo_row(rows, platform="BPVeC")
+
+    # BPVeC with HBM2 lands at ~3x over BitFusion+DDR4 (paper 3.48x).
+    assert 2.4 <= bpv_geo.speedup <= 3.6
+    # BitFusion itself gains much less from HBM2.
+    assert bf_geo.speedup < bpv_geo.speedup / 1.8
+
+    # Recurrent models benefit most: compute scaling + bandwidth compound.
+    rnn = workload_row(rows, "RNN", platform="BPVeC")
+    lstm = workload_row(rows, "LSTM", platform="BPVeC")
+    assert rnn.speedup == pytest.approx(4.5, abs=0.7)
+    assert lstm.speedup == pytest.approx(4.5, abs=0.7)
+    cnn_max = max(
+        workload_row(rows, w, platform="BPVeC").speedup
+        for w in ("Inception-v1", "ResNet-18", "ResNet-50")
+    )
+    assert rnn.speedup > cnn_max
+
+    benchmark.extra_info["bpvec_geomean_speedup"] = round(bpv_geo.speedup, 3)
+    benchmark.extra_info["bitfusion_geomean_speedup"] = round(bf_geo.speedup, 3)

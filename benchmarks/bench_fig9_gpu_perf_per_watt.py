@@ -1,0 +1,45 @@
+"""Figure 9: Performance-per-Watt vs the RTX 2080 Ti GPU.
+
+Paper reference (geomeans): homogeneous 33.7x (DDR4) / 31.1x (HBM2);
+heterogeneous 28.0x / 29.8x -- i.e. "benefits range between 28.0x and
+33.7x".  RNN/LSTM dominate (130-225x), CNNs land at 7-30x.
+"""
+
+from conftest import workload_row
+from repro.experiments import GEOMEAN, fig9_gpu_comparison
+from repro.sim import format_table
+
+
+def _render(rows):
+    return format_table(
+        ["Workload", "Regime", "vs GPU (DDR4)", "vs GPU (HBM2)"],
+        [(r.workload, r.regime, r.ddr4_ratio, r.hbm2_ratio) for r in rows],
+        precision=1,
+    )
+
+
+def test_fig9(benchmark, show):
+    rows = benchmark(fig9_gpu_comparison)
+    show("Figure 9: Perf-per-Watt vs RTX 2080 Ti", _render(rows))
+
+    homo = [r for r in rows if r.regime == "homogeneous"]
+    het = [r for r in rows if r.regime == "heterogeneous"]
+
+    homo_geo = workload_row(homo, GEOMEAN)
+    het_geo = workload_row(het, GEOMEAN)
+
+    # Order-of-magnitude agreement with the paper's 28-34x band.
+    assert 15 <= homo_geo.ddr4_ratio <= 45
+    assert 20 <= homo_geo.hbm2_ratio <= 60
+    assert 15 <= het_geo.ddr4_ratio <= 45
+
+    # Per-model structure: RNNs dominate; every workload favours BPVeC.
+    for regime_rows in (homo, het):
+        rnn = workload_row(regime_rows, "RNN")
+        for cnn in ("AlexNet", "Inception-v1", "ResNet-18", "ResNet-50"):
+            cnn_row = workload_row(regime_rows, cnn)
+            assert rnn.ddr4_ratio > 3 * cnn_row.ddr4_ratio
+            assert cnn_row.ddr4_ratio > 1.0
+
+    benchmark.extra_info["homogeneous_geomean_ddr4"] = round(homo_geo.ddr4_ratio, 1)
+    benchmark.extra_info["heterogeneous_geomean_ddr4"] = round(het_geo.ddr4_ratio, 1)

@@ -1,0 +1,27 @@
+"""Table I: the evaluated DNN models (size, operations, bitwidths)."""
+
+import pytest
+
+from repro.experiments import render_table1, table1
+
+PAPER_TABLE1 = {
+    # model: (size MB, GOps)
+    "AlexNet": (56.1, 2678),
+    "Inception-v1": (8.6, 1860),
+    "ResNet-18": (11.1, 4269),
+    "ResNet-50": (24.4, 8030),
+    "RNN": (16.0, 17),
+    "LSTM": (12.3, 13),
+}
+
+
+def test_table1(benchmark, show):
+    rows = benchmark(table1)
+    show("Table I: evaluated DNN models", render_table1())
+
+    by_model = {r.model: r for r in rows}
+    assert set(by_model) == set(PAPER_TABLE1)
+    for model, (size_mb, gops) in PAPER_TABLE1.items():
+        assert by_model[model].giga_ops == pytest.approx(gops, rel=0.06)
+        assert by_model[model].model_size_mb == pytest.approx(size_mb, rel=0.25)
+    benchmark.extra_info["models"] = len(rows)

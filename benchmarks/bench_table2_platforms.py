@@ -1,0 +1,37 @@
+"""Table II: the evaluated hardware platforms."""
+
+import pytest
+
+from repro.experiments import render_table2, table2
+from repro.hw import PaperCostModel, units_under_power_budget
+
+
+def test_table2(benchmark, show):
+    asics, gpu = benchmark(table2)
+    show("Table II: evaluated hardware platforms", render_table2())
+
+    by_name = {s.name: s for s in asics}
+    assert by_name["TPU-like baseline"].num_macs == 512
+    assert by_name["BitFusion"].num_macs == 448
+    assert by_name["BPVeC"].num_macs == 1024
+    for spec in asics:
+        assert spec.onchip_bytes == 112 * 1024
+        assert spec.frequency_hz == 500e6
+        assert spec.technology_nm == 45
+    assert gpu.tensor_cores == 544
+    assert gpu.frequency_hz == pytest.approx(1545e6)
+
+
+def test_table2_mac_counts_derivable_from_power_budget(benchmark):
+    """The Table II unit counts follow from the 250 mW budget + Fig. 4 costs."""
+    model = PaperCostModel()
+
+    def derive():
+        return (
+            units_under_power_budget(model.mac_power_mw(2, 16)),  # BPVeC
+            units_under_power_budget(model.mac_power_mw(2, 1), granularity=1),
+        )
+
+    bpvec_units, bitfusion_units = benchmark(derive)
+    assert bpvec_units == 1024
+    assert abs(bitfusion_units - 448) / 448 < 0.15

@@ -1,0 +1,59 @@
+"""Figure 1 as an experiment: the accelerator-taxonomy comparison.
+
+The paper's Fig. 1 is a conceptual landscape (scalar vs vectorized units,
+fixed vs flexible bitwidth, temporal vs spatial composability) arguing
+BPVeC fills the vacant vectorized/flexible/spatial corner.  With the
+temporal baselines implemented (Stripes, Loom), the landscape becomes
+runnable: all five design styles under the same 250 mW budget, on the
+heterogeneous workloads with HBM2 (so compute, not bandwidth, is ranked).
+"""
+
+from repro.baselines import LOOM, STRIPES
+from repro.hw import BITFUSION, BPVEC, HBM2, TPU_LIKE
+from repro.nn import evaluation_workloads, paper_heterogeneous
+from repro.sim import format_table, geomean, simulate_network
+
+SPECS = [
+    ("scalar / fixed / -", TPU_LIKE),
+    ("scalar / flexible / temporal (act)", STRIPES),
+    ("scalar / flexible / temporal (both)", LOOM),
+    ("scalar / flexible / spatial", BITFUSION),
+    ("vector / flexible / spatial", BPVEC),
+]
+
+
+def taxonomy_study():
+    speedups = {label: [] for label, _ in SPECS}
+    for net in evaluation_workloads():
+        paper_heterogeneous(net)
+        base = simulate_network(net, TPU_LIKE, HBM2)
+        for label, spec in SPECS:
+            result = simulate_network(net, spec, HBM2)
+            speedups[label].append(base.total_seconds / result.total_seconds)
+    return {label: geomean(vals) for label, vals in speedups.items()}
+
+
+def test_taxonomy(benchmark, show):
+    geomeans = benchmark(taxonomy_study)
+    rows = [
+        (label, spec.name, spec.num_macs, geomeans[label])
+        for label, spec in SPECS
+    ]
+    show(
+        "Taxonomy study (heterogeneous bitwidths, HBM2, "
+        "geomean speedup vs TPU-like)",
+        format_table(["Design style", "Platform", "MAC-equivalents", "Speedup"], rows),
+    )
+
+    # The paper's Fig. 1 argument, quantified: each step through the
+    # taxonomy helps, and the vectorized/flexible/spatial corner wins.
+    order = [geomeans[label] for label, _ in SPECS]
+    assert order == sorted(order)
+    assert geomeans["vector / flexible / spatial"] > 2.0 * geomeans[
+        "scalar / flexible / spatial"
+    ]
+    # Temporal-both beats temporal-activation (more flexibility to exploit).
+    assert (
+        geomeans["scalar / flexible / temporal (both)"]
+        > geomeans["scalar / flexible / temporal (act)"]
+    )

@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_*`` module regenerates one table or figure of the paper:
+it times the experiment driver with pytest-benchmark, prints the same
+rows/series the paper reports (run with ``-s`` to see them), and asserts
+the qualitative shape (who wins, by roughly what factor).
+"""
+
+import pytest
+
+from repro.experiments import GEOMEAN
+
+
+def geo_row(rows, platform=None, memory=None):
+    """Extract the GEOMEAN row from a list of SpeedupRows."""
+    for r in rows:
+        if r.workload != GEOMEAN:
+            continue
+        if platform and r.platform != platform:
+            continue
+        if memory and r.memory != memory:
+            continue
+        return r
+    raise AssertionError("no geomean row found")
+
+
+def workload_row(rows, workload, platform=None):
+    for r in rows:
+        if r.workload == workload and (platform is None or r.platform == platform):
+            return r
+    raise AssertionError(f"no row for {workload}")
+
+
+@pytest.fixture
+def show():
+    """Print a titled block; visible with ``pytest -s``."""
+
+    def _show(title: str, body: str) -> None:
+        print(f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{body}")
+
+    return _show

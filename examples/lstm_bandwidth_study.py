@@ -1,0 +1,59 @@
+"""Recurrent workloads and the memory-bandwidth crossover.
+
+The paper's most striking result is the interaction between composability
+and bandwidth: on DDR4, RNN/LSTM gain *nothing* from BPVeC's doubled
+compute (Fig. 5), yet with HBM2 they gain the most of all workloads
+(Figs. 6/8).  This example sweeps off-chip bandwidth continuously to locate
+the crossover where the LSTM flips from memory- to compute-bound on each
+platform.
+
+Run:  python examples/lstm_bandwidth_study.py
+"""
+
+from repro.hw import BITFUSION, BPVEC, DDR4, TPU_LIKE, scaled_memory
+from repro.nn import homogeneous_8bit, lstm_workload, paper_heterogeneous
+from repro.sim import format_table, simulate_network
+
+BANDWIDTHS_GB_S = (4, 8, 16, 32, 64, 128, 256, 512)
+
+
+def sweep(policy, label: str) -> None:
+    print(f"\n--- LSTM runtime (ms) vs off-chip bandwidth, {label} ---")
+    rows = []
+    crossovers: dict[str, float | None] = {}
+    for bw in BANDWIDTHS_GB_S:
+        memory = scaled_memory(DDR4, bw)
+        row = [f"{bw} GB/s"]
+        for spec in (TPU_LIKE, BITFUSION, BPVEC):
+            net = policy(lstm_workload())
+            result = simulate_network(net, spec, memory)
+            row.append(result.total_seconds * 1e3)
+            if result.memory_bound_fraction < 0.5 and spec.name not in crossovers:
+                crossovers[spec.name] = bw
+        rows.append(tuple(row))
+    print(format_table(["Bandwidth", "TPU-like", "BitFusion", "BPVeC"], rows))
+    for name in ("TPU-like baseline", "BitFusion", "BPVeC"):
+        bw = crossovers.get(name)
+        note = f"becomes compute-bound at ~{bw} GB/s" if bw else "memory-bound throughout"
+        print(f"  {name:<18} {note}")
+
+
+def headline() -> None:
+    print("\n--- The paper's Fig. 5/6 contrast, on the LSTM ---")
+    net = homogeneous_8bit(lstm_workload())
+    base_ddr4 = simulate_network(net, TPU_LIKE, DDR4)
+    bpv_ddr4 = simulate_network(net, BPVEC, DDR4)
+    bpv_hbm2 = simulate_network(net, BPVEC, scaled_memory(DDR4, 256))
+    print(f"baseline + DDR4 : {base_ddr4.total_seconds*1e3:7.2f} ms")
+    print(f"BPVeC    + DDR4 : {bpv_ddr4.total_seconds*1e3:7.2f} ms "
+          f"({base_ddr4.total_seconds/bpv_ddr4.total_seconds:.2f}x -- compute is idle, "
+          f"bandwidth is the wall)")
+    print(f"BPVeC    + HBM2 : {bpv_hbm2.total_seconds*1e3:7.2f} ms "
+          f"({base_ddr4.total_seconds/bpv_hbm2.total_seconds:.2f}x -- the doubled "
+          f"compute finally pays off)")
+
+
+if __name__ == "__main__":
+    sweep(homogeneous_8bit, "homogeneous 8-bit")
+    sweep(paper_heterogeneous, "heterogeneous 4-bit")
+    headline()

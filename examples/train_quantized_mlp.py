@@ -1,0 +1,66 @@
+"""Train a real model, quantize it, run it on the composed arithmetic.
+
+The hardware's correctness rests on one invariant: the bit-parallel
+composed dot product equals ordinary integer arithmetic, bit for bit.
+This example makes that concrete end-to-end:
+
+1. train a small numpy MLP on the two-spirals task (float32);
+2. quantize weights/activations to 8, 6, 4, 3, and 2 bits;
+3. evaluate through the ``integer`` backend and the ``composed`` backend
+   (the exact computation a CVU array performs) and confirm they agree
+   bit-exactly while accuracy degrades only as quantization coarsens.
+
+Run:  python examples/train_quantized_mlp.py
+"""
+
+import numpy as np
+
+from repro.quant import MLP, make_two_spirals
+from repro.sim import format_table
+
+
+def main() -> None:
+    x_train, y_train = make_two_spirals(n=600, seed=7)
+    x_test, y_test = make_two_spirals(n=300, seed=8)
+
+    mlp = MLP([2, 48, 48, 2], seed=9)
+    loss = mlp.train(x_train, y_train, epochs=600, lr=0.3)
+    float_acc = mlp.accuracy(x_test, y_test, backend="float")
+    print(f"trained: loss={loss:.4f}, float32 test accuracy={float_acc:.3f}\n")
+
+    rows = []
+    for bits in (8, 6, 4, 3, 2):
+        int_out = mlp.forward(
+            x_test, backend="integer", bits_weights=bits, bits_activations=bits
+        )
+        comp_out = mlp.forward(
+            x_test, backend="composed", bits_weights=bits, bits_activations=bits
+        )
+        bit_exact = bool(np.array_equal(int_out, comp_out))
+        acc = mlp.accuracy(
+            x_test, y_test, backend="composed", bits_weights=bits, bits_activations=bits
+        )
+        rows.append(
+            (
+                f"INT{bits}",
+                acc,
+                acc - float_acc,
+                "yes" if bit_exact else "NO",
+            )
+        )
+    print(
+        format_table(
+            ["Precision", "Accuracy", "vs float", "composed == integer"],
+            rows,
+            precision=3,
+        )
+    )
+    print(
+        "\nThe composed (CVU) backend is bit-exact at every precision; only\n"
+        "the quantization itself costs accuracy -- which is the algorithmic\n"
+        "property the paper's heterogeneous-bitwidth mode exploits."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Comparison platforms: TPU-like, BitFusion, and the RTX 2080 Ti GPU."""
+
+from .bitfusion import BITFUSION, FusionUnit
+from .bitserial import LOOM, STRIPES, TAXONOMY
+from .gpu import GPUResult, GPUSpec, RTX_2080_TI, simulate_gpu
+from .tpu_like import TPU_LIKE, core_power_mw, supports_bitwidth_speedup
+
+__all__ = [
+    "BITFUSION",
+    "FusionUnit",
+    "LOOM",
+    "STRIPES",
+    "TAXONOMY",
+    "GPUResult",
+    "GPUSpec",
+    "RTX_2080_TI",
+    "simulate_gpu",
+    "TPU_LIKE",
+    "core_power_mw",
+    "supports_bitwidth_speedup",
+]

@@ -1,0 +1,63 @@
+"""BitFusion baseline (Sharma et al., ISCA'18): scalar bit-composability.
+
+BitFusion's Fusion Unit (FU) spatially combines 16 *BitBricks* (2-bit x
+2-bit multipliers) to form one 8b x 8b multiplier, four 4b x 4b
+multipliers, sixteen 2b x 2b multipliers, and the rectangular mixes in
+between.  It is exactly the ``L = 1`` point of the paper's design space
+(one scalar per unit, no vector amortization of the aggregation logic) --
+which is why its per-MAC power/area sit at the 2-bit/L=1 bars of Fig. 4.
+
+The platform spec (448 FUs under the 250 mW budget) lives in
+:mod:`repro.hw.platforms`; this module adds the FU-level algebra used by
+tests, ablations, and documentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.composition import plan_composition
+from ..hw.calibration import calibrated_total
+from ..hw.platforms import BITFUSION
+
+__all__ = ["BITFUSION", "FusionUnit"]
+
+
+@dataclass(frozen=True)
+class FusionUnit:
+    """One BitFusion fusion unit: a 4x4 spatial array of 2-bit BitBricks."""
+
+    bitbrick_width: int = 2
+    max_bitwidth: int = 8
+
+    @property
+    def num_bitbricks(self) -> int:
+        per_operand = self.max_bitwidth // self.bitbrick_width
+        return per_operand * per_operand
+
+    def multiplies_per_cycle(self, bw_x: int, bw_w: int) -> int:
+        """Parallel multiplies the FU delivers for an operand bitwidth pair.
+
+        Same composition algebra as a CVU with ``lanes=1``: bricks group
+        into ``slices_x * slices_w`` clusters per scalar product.
+        """
+        plan = plan_composition(
+            bw_x, bw_w, slice_width=self.bitbrick_width, max_bitwidth=self.max_bitwidth
+        )
+        return plan.n_groups
+
+    def bitbricks_per_product(self, bw_x: int, bw_w: int) -> int:
+        plan = plan_composition(
+            bw_x, bw_w, slice_width=self.bitbrick_width, max_bitwidth=self.max_bitwidth
+        )
+        return plan.nbves_per_group
+
+    @property
+    def power_ratio_vs_conventional(self) -> float:
+        """Per-MAC power vs a conventional 8-bit MAC (Fig. 4, 2-bit, L=1)."""
+        return calibrated_total(self.bitbrick_width, 1, "power")
+
+    @property
+    def area_ratio_vs_conventional(self) -> float:
+        """The paper's '40% area overhead' point."""
+        return calibrated_total(self.bitbrick_width, 1, "area")

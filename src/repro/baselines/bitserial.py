@@ -1,0 +1,63 @@
+"""Temporal (bit-serial) baselines: Stripes and Loom.
+
+The paper's Fig. 1 places accelerator designs on three axes -- functional
+unit type (scalar/vectorized), bit flexibility (fixed/flexible), and
+composability (temporal/spatial) -- and cites Stripes [10], Loom [18] and
+UNPU [11] as the *temporal* bit-flexible family: instead of regrouping
+spatial 2-bit units, they process operand bits serially, finishing a
+product in fewer cycles when operands are narrow.
+
+These platforms let the taxonomy comparison the paper sketches be run as
+an experiment (``benchmarks/bench_taxonomy.py``):
+
+* **Stripes**: activation-serial.  An 8b x 8b MAC takes 8 cycles; b-bit
+  activations take b cycles -> throughput multiplier ``8 / bw_act``,
+  insensitive to weight bitwidth.
+* **Loom**: fully serial.  Throughput multiplier ``64 / (bw_act * bw_w)``
+  -- the same mode scaling as the spatial designs, paid in cycles rather
+  than units.
+
+Unit counts follow the same 250 mW discipline as Table II using published
+serial-lane overheads (~15% / ~25% per MAC-equivalent); see
+``_SERIAL_POWER_RATIOS`` in :mod:`repro.hw.platforms`.
+"""
+
+from __future__ import annotations
+
+from ..hw.costmodel import CONVENTIONAL_MAC_POWER_MW, units_under_power_budget
+from ..hw.platforms import AcceleratorSpec
+
+__all__ = ["STRIPES", "LOOM", "TAXONOMY"]
+
+
+def _serial_units(power_ratio: float) -> int:
+    return units_under_power_budget(
+        CONVENTIONAL_MAC_POWER_MW * power_ratio, granularity=64
+    )
+
+
+STRIPES = AcceleratorSpec(
+    name="Stripes (temporal)",
+    style="stripes",
+    num_macs=_serial_units(1.15),  # 384 MAC-equivalents under 250 mW
+    array_rows=16,
+    array_cols=_serial_units(1.15) // 16,
+)
+
+LOOM = AcceleratorSpec(
+    name="Loom (temporal)",
+    style="loom",
+    num_macs=_serial_units(1.25),
+    array_rows=16,
+    array_cols=_serial_units(1.25) // 16,
+)
+
+#: The paper's Fig. 1 landscape, as runnable platforms: (label, spec,
+#: (functional unit, flexibility, composability)).
+TAXONOMY = (
+    ("TPU-like", "conventional", ("scalar", "fixed", "-")),
+    ("Stripes", "stripes", ("scalar", "flexible", "temporal")),
+    ("Loom", "loom", ("scalar", "flexible", "temporal")),
+    ("BitFusion", "bitfusion", ("scalar", "flexible", "spatial")),
+    ("BPVeC", "bpvec", ("vectorized", "flexible", "spatial")),
+)

@@ -1,0 +1,135 @@
+"""RTX 2080 Ti analytical model for the Fig. 9 Performance-per-Watt study.
+
+The paper measures an RTX 2080 Ti (Turing, 544 tensor cores, 1545 MHz,
+GDDR6) running TensorRT 5.1 with INT8 (homogeneous) and INT4
+(heterogeneous) kernels.  With no GPU available offline, we substitute an
+analytical model:
+
+* peak tensor throughput from the public datasheet (INT8 ~215 TOPS,
+  INT4 ~430 TOPS at boost clock);
+* per-layer *achieved efficiency* factors calibrated to public TensorRT
+  measurements -- convolutions reach a modest fraction of tensor peak,
+  fully-connected GEMMs less, and recurrent cells (sequential
+  matrix-vector work) orders of magnitude less, which is what drives the
+  paper's 145-225x Perf/Watt gaps on RNN/LSTM;
+* a two-term power model (idle + activity-scaled dynamic power).
+
+The calibration constants are honest knobs, not measurements; see
+EXPERIMENTS.md ("GPU substitution") for paper-vs-model deltas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..nn.graph import Network
+from ..nn.layers import Conv2D, Dense, Layer, RNNCell
+
+__all__ = ["GPUSpec", "RTX_2080_TI", "GPUResult", "simulate_gpu"]
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Datasheet-level description of a tensor-core GPU (Table II, right)."""
+
+    name: str
+    tensor_cores: int
+    frequency_hz: float
+    int8_peak_tops: float
+    int4_peak_tops: float
+    tdp_w: float
+    idle_w: float
+    memory: str = "GDDR6"
+    memory_gb: float = 11.0
+
+    def peak_ops(self, precision: int) -> float:
+        if precision == 8:
+            return self.int8_peak_tops * 1e12
+        if precision == 4:
+            return self.int4_peak_tops * 1e12
+        raise ValueError(f"unsupported GPU tensor precision INT{precision}")
+
+
+RTX_2080_TI = GPUSpec(
+    name="RTX 2080 TI",
+    tensor_cores=544,
+    frequency_hz=1545e6,
+    int8_peak_tops=215.2,
+    int4_peak_tops=430.3,
+    tdp_w=250.0,
+    idle_w=55.0,
+)
+
+# Achieved fraction of tensor peak per layer class, calibrated to public
+# TensorRT 5.x measurements on Turing (small-batch inference).
+_EFFICIENCY = {
+    "conv": 0.055,
+    "dense": 0.015,
+    "recurrent": 0.0009,
+}
+# Fraction of (TDP - idle) dynamic power drawn while running each class.
+_ACTIVITY = {
+    "conv": 0.80,
+    "dense": 0.55,
+    "recurrent": 0.35,
+}
+
+
+def _layer_class(layer: Layer) -> str:
+    if isinstance(layer, RNNCell):  # covers LSTMCell subclass
+        return "recurrent"
+    if isinstance(layer, Conv2D):
+        return "conv"
+    if isinstance(layer, Dense):
+        return "dense"
+    raise TypeError(f"GPU model has no efficiency class for {type(layer).__name__}")
+
+
+@dataclass(frozen=True)
+class GPUResult:
+    """Modelled GPU execution of one workload."""
+
+    network_name: str
+    gpu_name: str
+    precision: int
+    total_seconds: float
+    average_power_w: float
+    total_ops: float
+
+    @property
+    def ops_per_second(self) -> float:
+        return self.total_ops / self.total_seconds
+
+    @property
+    def perf_per_watt(self) -> float:
+        return self.ops_per_second / self.average_power_w
+
+
+def simulate_gpu(
+    network: Network, gpu: GPUSpec = RTX_2080_TI, precision: int = 8
+) -> GPUResult:
+    """Model TensorRT-style execution of ``network`` at INT8 or INT4."""
+    peak = gpu.peak_ops(precision)
+    total_seconds = 0.0
+    dynamic_energy = 0.0
+    total_ops = 0.0
+    for layer in network.layers:
+        if not layer.has_weights:
+            continue
+        ops = 2.0 * layer.macs(network.batch)
+        cls = _layer_class(layer)
+        seconds = ops / (peak * _EFFICIENCY[cls])
+        total_seconds += seconds
+        total_ops += ops
+        dynamic_energy += seconds * (gpu.tdp_w - gpu.idle_w) * _ACTIVITY[cls]
+    if total_seconds == 0:
+        raise ValueError(f"{network.name} has no weighted layers for the GPU model")
+    average_power = gpu.idle_w + dynamic_energy / total_seconds
+    return GPUResult(
+        network_name=network.name,
+        gpu_name=gpu.name,
+        precision=precision,
+        total_seconds=total_seconds,
+        average_power_w=average_power,
+        total_ops=total_ops,
+    )

@@ -1,0 +1,25 @@
+"""TPU-like conventional systolic baseline (paper Table II, column 1).
+
+A fixed-bitwidth 8-bit systolic array: 512 conventional MACs, 112 KB
+scratchpad, 500 MHz, 45 nm, 250 mW core budget.  Reduced operand bitwidths
+bring neither speedup nor energy savings -- the datapath always switches
+all eight bits.  The spec itself lives in :mod:`repro.hw.platforms`; this
+module adds baseline-specific derivations used by tests and benches.
+"""
+
+from __future__ import annotations
+
+from ..hw.costmodel import CONVENTIONAL_MAC_POWER_MW
+from ..hw.platforms import TPU_LIKE, AcceleratorSpec
+
+__all__ = ["TPU_LIKE", "core_power_mw", "supports_bitwidth_speedup"]
+
+
+def core_power_mw(spec: AcceleratorSpec = TPU_LIKE) -> float:
+    """Aggregate MAC power -- should saturate the 250 mW budget."""
+    return spec.num_macs * CONVENTIONAL_MAC_POWER_MW
+
+
+def supports_bitwidth_speedup(spec: AcceleratorSpec = TPU_LIKE) -> bool:
+    """Conventional units cannot exploit reduced bitwidths."""
+    return spec.throughput_multiplier(2, 2) > 1

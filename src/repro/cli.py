@@ -1,0 +1,180 @@
+"""Command-line interface: regenerate paper results and run custom sims.
+
+Examples
+--------
+::
+
+    python -m repro table1
+    python -m repro fig5
+    python -m repro simulate --model ResNet-18 --platform bpvec --memory hbm2
+    python -m repro roofline --model LSTM --platform bpvec --memory ddr4
+    python -m repro chips
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import (
+    fig4_design_space,
+    fig5_homogeneous_ddr4,
+    fig6_homogeneous_hbm2,
+    fig7_heterogeneous_ddr4,
+    fig8_heterogeneous_hbm2,
+    fig9_gpu_comparison,
+    render_speedup_rows,
+    render_table1,
+    render_table2,
+)
+from .hw import BITFUSION, BPVEC, DDR4, HBM2, TPU_LIKE, all_chip_reports
+from .nn import WORKLOAD_BUILDERS, homogeneous_8bit, paper_heterogeneous
+from .sim import format_table, simulate_network
+from .sim.roofline import ridge_point, roofline_analysis
+
+__all__ = ["main", "build_parser"]
+
+_PLATFORMS = {
+    "tpu": TPU_LIKE,
+    "bitfusion": BITFUSION,
+    "bpvec": BPVEC,
+}
+_MEMORIES = {"ddr4": DDR4, "hbm2": HBM2}
+
+
+def _workload(name: str, heterogeneous: bool, batch: int | None):
+    matches = {k.lower(): k for k in WORKLOAD_BUILDERS}
+    key = matches.get(name.lower())
+    if key is None:
+        raise SystemExit(
+            f"unknown model {name!r}; choose from {sorted(WORKLOAD_BUILDERS)}"
+        )
+    builder = WORKLOAD_BUILDERS[key]
+    net = builder() if batch is None else builder(batch=batch)
+    return paper_heterogeneous(net) if heterogeneous else homogeneous_8bit(net)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Bit-Parallel Vector Composability (DAC'20) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in ("table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "chips"):
+        sub.add_parser(name, help=f"regenerate {name}")
+
+    report = sub.add_parser("report", help="full reproduction report (markdown)")
+    report.add_argument("--output", default=None, help="write to file instead of stdout")
+
+    sim = sub.add_parser("simulate", help="simulate one workload on one platform")
+    sim.add_argument("--model", required=True)
+    sim.add_argument("--platform", choices=sorted(_PLATFORMS), default="bpvec")
+    sim.add_argument("--memory", choices=sorted(_MEMORIES), default="ddr4")
+    sim.add_argument("--heterogeneous", action="store_true")
+    sim.add_argument("--batch", type=int, default=None)
+
+    roof = sub.add_parser("roofline", help="per-layer roofline analysis")
+    roof.add_argument("--model", required=True)
+    roof.add_argument("--platform", choices=sorted(_PLATFORMS), default="bpvec")
+    roof.add_argument("--memory", choices=sorted(_MEMORIES), default="ddr4")
+    roof.add_argument("--heterogeneous", action="store_true")
+    roof.add_argument("--batch", type=int, default=None)
+    return parser
+
+
+def _run_figure(command: str) -> str:
+    if command == "fig4":
+        rows = [
+            (p.metric, f"{p.slice_width}-bit", p.lanes, p.total)
+            for p in fig4_design_space()
+        ]
+        return format_table(["Metric", "Slicing", "L", "Total (vs conv. MAC)"], rows)
+    driver = {
+        "fig5": fig5_homogeneous_ddr4,
+        "fig6": fig6_homogeneous_hbm2,
+        "fig7": fig7_heterogeneous_ddr4,
+        "fig8": fig8_heterogeneous_hbm2,
+    }[command]
+    return render_speedup_rows(driver())
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    command = args.command
+
+    if command == "report":
+        from .experiments.report import generate_report
+
+        text = generate_report()
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write(text)
+            print(f"wrote {args.output}")
+        else:
+            print(text)
+    elif command == "table1":
+        print(render_table1())
+    elif command == "table2":
+        print(render_table2())
+    elif command in ("fig4", "fig5", "fig6", "fig7", "fig8"):
+        print(_run_figure(command))
+    elif command == "fig9":
+        rows = [
+            (r.workload, r.regime, r.ddr4_ratio, r.hbm2_ratio)
+            for r in fig9_gpu_comparison()
+        ]
+        print(
+            format_table(
+                ["Workload", "Regime", "vs GPU (DDR4)", "vs GPU (HBM2)"],
+                rows,
+                precision=1,
+            )
+        )
+    elif command == "chips":
+        for report in all_chip_reports():
+            print(report)
+    elif command == "simulate":
+        net = _workload(args.model, args.heterogeneous, args.batch)
+        result = simulate_network(
+            net, _PLATFORMS[args.platform], _MEMORIES[args.memory]
+        )
+        print(result.summary())
+        rows = [
+            (
+                l.layer_name,
+                f"{l.bw_act}x{l.bw_w}",
+                l.cycles,
+                "memory" if l.is_memory_bound else "compute",
+            )
+            for l in result.layers
+        ]
+        print(format_table(["Layer", "Bits", "Cycles", "Bound"], rows))
+    elif command == "roofline":
+        net = _workload(args.model, args.heterogeneous, args.batch)
+        spec = _PLATFORMS[args.platform]
+        memory = _MEMORIES[args.memory]
+        ridge = ridge_point(spec, memory)
+        print(f"ridge point: {ridge:.1f} MACs/byte on {spec.name} + {memory.name}")
+        rows = [
+            (
+                p.layer_name,
+                p.operational_intensity,
+                p.attained_macs_per_cycle,
+                p.roof_fraction,
+                "memory" if p.memory_bound else "compute",
+            )
+            for p in roofline_analysis(net, spec, memory)
+        ]
+        print(
+            format_table(
+                ["Layer", "MACs/byte", "MACs/cycle", "of roof", "Bound"], rows
+            )
+        )
+    else:  # pragma: no cover - argparse enforces choices
+        raise SystemExit(f"unknown command {command}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""Compiler stack: ISA, layer lowering, and program execution."""
+
+from .executor import ExecutionResult, Executor, functional_check
+from .isa import Barrier, GemmTile, Instruction, LoadTile, Program, SetMode, StoreTile
+from .lowering import lower_layer, lower_network
+
+__all__ = [
+    "ExecutionResult",
+    "Executor",
+    "functional_check",
+    "Barrier",
+    "GemmTile",
+    "Instruction",
+    "LoadTile",
+    "Program",
+    "SetMode",
+    "StoreTile",
+    "lower_layer",
+    "lower_network",
+]

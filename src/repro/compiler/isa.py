@@ -1,0 +1,146 @@
+"""Instruction set for the BPVeC-style accelerator.
+
+The paper's accelerator, like BitFusion's, is driven by a small
+tile-granular ISA: configure the composition mode, move tiles between DRAM
+and the scratchpads, fire tile GEMMs, and synchronise at layer boundaries.
+This module defines those instructions and the :class:`Program` container;
+:mod:`repro.compiler.lowering` produces programs from networks and
+:mod:`repro.compiler.executor` runs them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+__all__ = [
+    "SetMode",
+    "LoadTile",
+    "StoreTile",
+    "GemmTile",
+    "Barrier",
+    "Instruction",
+    "Program",
+]
+
+
+@dataclass(frozen=True)
+class SetMode:
+    """Reconfigure the CVUs' composition for an operand bitwidth pair."""
+
+    bw_act: int
+    bw_w: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.bw_act <= 8 or not 1 <= self.bw_w <= 8:
+            raise ValueError(f"unsupported mode {self.bw_act}x{self.bw_w}")
+
+
+@dataclass(frozen=True)
+class LoadTile:
+    """DRAM -> scratchpad transfer."""
+
+    buffer: str  # "weights" or "activations"
+    num_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.buffer not in ("weights", "activations"):
+            raise ValueError(f"unknown buffer {self.buffer!r}")
+        if self.num_bytes < 0:
+            raise ValueError("byte count must be non-negative")
+
+
+@dataclass(frozen=True)
+class StoreTile:
+    """Scratchpad -> DRAM write-back of outputs."""
+
+    num_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.num_bytes < 0:
+            raise ValueError("byte count must be non-negative")
+
+
+@dataclass(frozen=True)
+class GemmTile:
+    """Stream one GEMM through the array under the current mode."""
+
+    m: int
+    k: int
+    n: int
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.k, self.n, self.count) < 1:
+            raise ValueError(f"degenerate GEMM tile {self}")
+
+    @property
+    def macs(self) -> int:
+        return self.m * self.k * self.n * self.count
+
+
+@dataclass(frozen=True)
+class Barrier:
+    """Layer boundary: all outstanding transfers and GEMMs complete."""
+
+    label: str = ""
+
+
+Instruction = Union[SetMode, LoadTile, StoreTile, GemmTile, Barrier]
+
+
+@dataclass
+class Program:
+    """An ordered instruction stream with aggregate accessors."""
+
+    instructions: list = field(default_factory=list)
+
+    def append(self, instruction: Instruction) -> None:
+        self.instructions.append(instruction)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    # ------------------------------------------------------------------
+    @property
+    def total_load_bytes(self) -> int:
+        return sum(i.num_bytes for i in self.instructions if isinstance(i, LoadTile))
+
+    @property
+    def total_store_bytes(self) -> int:
+        return sum(i.num_bytes for i in self.instructions if isinstance(i, StoreTile))
+
+    @property
+    def total_traffic_bytes(self) -> int:
+        return self.total_load_bytes + self.total_store_bytes
+
+    @property
+    def total_macs(self) -> int:
+        return sum(i.macs for i in self.instructions if isinstance(i, GemmTile))
+
+    def validate(self) -> None:
+        """Static checks: every GEMM runs under an explicit mode; the
+        program ends at a barrier (nothing left in flight)."""
+        mode_set = False
+        for instruction in self.instructions:
+            if isinstance(instruction, SetMode):
+                mode_set = True
+            elif isinstance(instruction, GemmTile) and not mode_set:
+                raise ValueError("GemmTile issued before any SetMode")
+        if self.instructions and not isinstance(self.instructions[-1], Barrier):
+            raise ValueError("program must end with a Barrier")
+
+    def summary(self) -> str:
+        kinds: dict[str, int] = {}
+        for instruction in self.instructions:
+            kinds[type(instruction).__name__] = (
+                kinds.get(type(instruction).__name__, 0) + 1
+            )
+        parts = ", ".join(f"{v} {k}" for k, v in sorted(kinds.items()))
+        return (
+            f"Program({parts}; {self.total_macs / 1e6:.1f} MMACs, "
+            f"{self.total_traffic_bytes / 1e6:.2f} MB traffic)"
+        )

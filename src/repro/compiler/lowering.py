@@ -1,0 +1,71 @@
+"""Lowering: DNN layers -> accelerator instruction streams.
+
+Mirrors the decisions the analytical simulator makes (same tiling planner,
+same bitwidth modes) so that executing the lowered program reproduces the
+simulator's cycle and traffic totals exactly -- tested in
+``tests/compiler/test_compiler.py``.
+"""
+
+from __future__ import annotations
+
+from ..hw.platforms import AcceleratorSpec
+from ..nn.graph import Network
+from ..nn.layers import Conv2D
+from ..sim.tiling import BufferSplit, plan_traffic
+from .isa import Barrier, GemmTile, LoadTile, Program, SetMode, StoreTile
+
+__all__ = ["lower_layer", "lower_network"]
+
+
+def lower_layer(
+    layer,
+    network: Network,
+    spec: AcceleratorSpec,
+    split: BufferSplit = BufferSplit(),
+) -> Program | None:
+    """Lower one weighted layer; ``None`` for compute-free layers."""
+    gemms = layer.gemms(network.batch)
+    if not gemms:
+        return None
+    bw = network.bitwidth(layer.name)
+    program = Program()
+    program.append(SetMode(bw.activations, bw.weights))
+    for gemm in gemms:
+        unique_inputs = None
+        if isinstance(layer, Conv2D):
+            unique_inputs = layer.input_elements(network.batch) // gemm.count
+        plan = plan_traffic(
+            gemm,
+            bw.activations,
+            bw.weights,
+            spec,
+            split=split,
+            input_unique_elements=unique_inputs,
+        )
+        program.append(LoadTile("weights", plan.weight_traffic))
+        program.append(LoadTile("activations", plan.input_traffic))
+        program.append(GemmTile(gemm.m, gemm.k, gemm.n, gemm.count))
+        program.append(StoreTile(plan.output_traffic))
+    program.append(Barrier(label=layer.name))
+    program.validate()
+    return program
+
+
+def lower_network(
+    network: Network,
+    spec: AcceleratorSpec,
+    split: BufferSplit = BufferSplit(),
+) -> Program:
+    """Lower every weighted layer of ``network`` into one program."""
+    program = Program()
+    lowered_any = False
+    for layer in network.layers:
+        layer_program = lower_layer(layer, network, spec, split=split)
+        if layer_program is None:
+            continue
+        lowered_any = True
+        program.instructions.extend(layer_program.instructions)
+    if not lowered_any:
+        raise ValueError(f"{network.name} has no lowerable layers")
+    program.validate()
+    return program

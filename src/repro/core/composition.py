@@ -1,0 +1,137 @@
+"""Composition planning for a Composable Vector Unit.
+
+A CVU contains ``(max_bitwidth / slice_width)^2`` Narrow-Bitwidth Vector
+Engines (NBVEs).  Depending on the runtime operand bitwidths, NBVEs are
+grouped into clusters (paper Fig. 3-b/c):
+
+* homogeneous 8-bit x 8-bit: all 16 NBVEs cooperate on one dot product,
+* 8-bit x 2-bit: 4 clusters of 4 NBVEs each -> 4 independent dot-product
+  lanes -> 4x throughput,
+* 2-bit x 2-bit: 16 independent NBVEs -> 16x throughput.
+
+The :class:`CompositionPlan` captures which NBVE computes which
+(slice_j, slice_k) pair, the shift applied to its output, and the resulting
+throughput multiplier relative to the full-bitwidth mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .bitslice import num_slices
+
+__all__ = ["NBVEAssignment", "CompositionPlan", "plan_composition"]
+
+
+@dataclass(frozen=True)
+class NBVEAssignment:
+    """One NBVE's role inside a cluster.
+
+    Attributes
+    ----------
+    nbve_id:
+        Flat index of the NBVE inside the CVU.
+    group:
+        Cluster index (independent dot-product lane).
+    slice_x, slice_w:
+        Which bit-slice of the input / weight operand this NBVE consumes.
+    shift:
+        Left shift applied to this NBVE's scalar output before cluster-level
+        aggregation (``slice_width * (slice_x + slice_w)``).
+    """
+
+    nbve_id: int
+    group: int
+    slice_x: int
+    slice_w: int
+    shift: int
+
+
+@dataclass(frozen=True)
+class CompositionPlan:
+    """Runtime configuration of a CVU for a given operand bitwidth pair."""
+
+    slice_width: int
+    max_bitwidth: int
+    bw_x: int
+    bw_w: int
+    n_nbve_total: int
+    slices_x: int
+    slices_w: int
+    nbves_per_group: int
+    n_groups: int
+    assignments: tuple[NBVEAssignment, ...] = field(repr=False)
+
+    @property
+    def n_nbve_used(self) -> int:
+        return self.n_groups * self.nbves_per_group
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of NBVEs doing useful work in this mode."""
+        return self.n_nbve_used / self.n_nbve_total
+
+    @property
+    def throughput_multiplier(self) -> int:
+        """Independent dot-product lanes vs. the full-bitwidth mode (=1)."""
+        return self.n_groups
+
+    @property
+    def max_shift(self) -> int:
+        return max(a.shift for a in self.assignments)
+
+
+def plan_composition(
+    bw_x: int, bw_w: int, slice_width: int = 2, max_bitwidth: int = 8
+) -> CompositionPlan:
+    """Build the NBVE grouping for operand bitwidths ``(bw_x, bw_w)``.
+
+    Raises
+    ------
+    ValueError
+        If an operand bitwidth exceeds the CVU's supported maximum, or if
+        the geometry is degenerate.
+    """
+    if not 1 <= bw_x <= max_bitwidth:
+        raise ValueError(f"bw_x={bw_x} outside supported range [1, {max_bitwidth}]")
+    if not 1 <= bw_w <= max_bitwidth:
+        raise ValueError(f"bw_w={bw_w} outside supported range [1, {max_bitwidth}]")
+    if max_bitwidth % slice_width != 0:
+        raise ValueError(
+            f"slice_width={slice_width} must divide max_bitwidth={max_bitwidth}"
+        )
+
+    slices_per_operand = max_bitwidth // slice_width
+    n_nbve_total = slices_per_operand * slices_per_operand
+    slices_x = num_slices(bw_x, slice_width)
+    slices_w = num_slices(bw_w, slice_width)
+    nbves_per_group = slices_x * slices_w
+    n_groups = n_nbve_total // nbves_per_group
+
+    assignments = []
+    nbve_id = 0
+    for group in range(n_groups):
+        for j in range(slices_x):
+            for k in range(slices_w):
+                assignments.append(
+                    NBVEAssignment(
+                        nbve_id=nbve_id,
+                        group=group,
+                        slice_x=j,
+                        slice_w=k,
+                        shift=slice_width * (j + k),
+                    )
+                )
+                nbve_id += 1
+    return CompositionPlan(
+        slice_width=slice_width,
+        max_bitwidth=max_bitwidth,
+        bw_x=bw_x,
+        bw_w=bw_w,
+        n_nbve_total=n_nbve_total,
+        slices_x=slices_x,
+        slices_w=slices_w,
+        nbves_per_group=nbves_per_group,
+        n_groups=n_groups,
+        assignments=tuple(assignments),
+    )

@@ -1,0 +1,187 @@
+"""Composable Vector Unit (CVU) functional model.
+
+A CVU (paper Fig. 3) encapsulates ``(max_bitwidth/slice_width)^2`` NBVEs.
+Per cycle it computes, depending on the active :class:`CompositionPlan`:
+
+* one full-bitwidth dot product of length ``lanes`` (homogeneous mode), or
+* ``n_groups`` independent reduced-bitwidth dot products of length
+  ``lanes`` each (heterogeneous / bit-flexible modes).
+
+Longer vectors are processed by temporal chunking with an accumulator,
+exactly as the systolic array streams tiles through the unit.  The model is
+bit-exact: results always equal plain integer dot products.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .bitslice import slice_vector
+from .composition import CompositionPlan, plan_composition
+from .nbve import NBVE
+
+__all__ = ["CVUConfig", "CVUResult", "CVU"]
+
+
+@dataclass(frozen=True)
+class CVUConfig:
+    """Static hardware parameters of a CVU.
+
+    The paper's final design point: 2-bit slicing, 8-bit maximum operands,
+    16 lanes per NBVE, hence 16 NBVEs and 256 2-bit multipliers per CVU.
+    """
+
+    slice_width: int = 2
+    max_bitwidth: int = 8
+    lanes: int = 16
+
+    def __post_init__(self) -> None:
+        if self.max_bitwidth % self.slice_width != 0:
+            raise ValueError(
+                f"slice_width={self.slice_width} must divide "
+                f"max_bitwidth={self.max_bitwidth}"
+            )
+        if self.lanes < 1:
+            raise ValueError(f"lanes must be >= 1, got {self.lanes}")
+
+    @property
+    def n_nbve(self) -> int:
+        per_operand = self.max_bitwidth // self.slice_width
+        return per_operand * per_operand
+
+    @property
+    def multipliers(self) -> int:
+        """Total narrow multipliers in the CVU."""
+        return self.n_nbve * self.lanes
+
+    @property
+    def peak_macs_per_cycle(self) -> int:
+        """Full-bitwidth (8-bit x 8-bit) MAC throughput per cycle."""
+        return self.lanes
+
+
+@dataclass(frozen=True)
+class CVUResult:
+    """Outcome of streaming one (multi-lane) dot product through a CVU."""
+
+    values: tuple[int, ...]
+    cycles: int
+    nbve_invocations: int
+
+    @property
+    def value(self) -> int:
+        if len(self.values) != 1:
+            raise ValueError(f"result holds {len(self.values)} lanes, not 1")
+        return self.values[0]
+
+
+class CVU:
+    """Functional, cycle-counting model of one Composable Vector Unit."""
+
+    def __init__(self, config: CVUConfig | None = None) -> None:
+        self.config = config or CVUConfig()
+        self.nbves = [
+            NBVE(lanes=self.config.lanes, slice_width=self.config.slice_width)
+            for _ in range(self.config.n_nbve)
+        ]
+        self.cycles = 0
+
+    def plan(self, bw_x: int, bw_w: int) -> CompositionPlan:
+        """Composition plan for a runtime operand bitwidth pair."""
+        return plan_composition(
+            bw_x, bw_w, self.config.slice_width, self.config.max_bitwidth
+        )
+
+    def dot_product(
+        self,
+        x: np.ndarray,
+        w: np.ndarray,
+        bw_x: int,
+        bw_w: int,
+        signed_x: bool = True,
+        signed_w: bool = True,
+    ) -> CVUResult:
+        """Exact dot product of two vectors of arbitrary length (one lane)."""
+        result = self.grouped_dot_products(
+            [np.asarray(x)], [np.asarray(w)], bw_x, bw_w, signed_x, signed_w
+        )
+        return result
+
+    def grouped_dot_products(
+        self,
+        xs: Sequence[np.ndarray],
+        ws: Sequence[np.ndarray],
+        bw_x: int,
+        bw_w: int,
+        signed_x: bool = True,
+        signed_w: bool = True,
+    ) -> CVUResult:
+        """Compute up to ``n_groups`` independent dot products concurrently.
+
+        ``xs[i] . ws[i]`` is computed on cluster ``i``.  The number of lane
+        pairs must not exceed the plan's group count -- that is the
+        hardware's parallelism limit for the given bitwidths.
+        """
+        plan = self.plan(bw_x, bw_w)
+        if len(xs) != len(ws):
+            raise ValueError(f"lane count mismatch: {len(xs)} vs {len(ws)}")
+        if not xs:
+            raise ValueError("need at least one lane")
+        if len(xs) > plan.n_groups:
+            raise ValueError(
+                f"{len(xs)} concurrent dot products requested but the "
+                f"{bw_x}b x {bw_w}b composition supports {plan.n_groups}"
+            )
+
+        lane_totals = [0] * len(xs)
+        max_cycles = 0
+        invocations = 0
+        by_group: dict[int, list] = {}
+        for a in plan.assignments:
+            by_group.setdefault(a.group, []).append(a)
+
+        for lane, (x, w) in enumerate(zip(xs, ws)):
+            x = np.asarray(x, dtype=np.int64)
+            w = np.asarray(w, dtype=np.int64)
+            if x.shape != w.shape or x.ndim != 1:
+                raise ValueError("each lane needs equal-length 1-D vectors")
+            x_slices = slice_vector(x, bw_x, self.config.slice_width, signed_x)
+            w_slices = slice_vector(w, bw_w, self.config.slice_width, signed_w)
+            n = x.shape[0]
+            chunks = max(1, -(-n // self.config.lanes))
+            max_cycles = max(max_cycles, chunks)
+            total = 0
+            for c in range(chunks):
+                lo, hi = c * self.config.lanes, min(n, (c + 1) * self.config.lanes)
+                for a in by_group[lane]:
+                    # The MSB slice of a signed operand is the only signed one.
+                    sa = signed_x and a.slice_x == plan.slices_x - 1
+                    sb = signed_w and a.slice_w == plan.slices_w - 1
+                    partial = self.nbves[a.nbve_id].compute(
+                        x_slices[a.slice_x, lo:hi],
+                        w_slices[a.slice_w, lo:hi],
+                        signed_a=sa,
+                        signed_b=sb,
+                    )
+                    invocations += 1
+                    total += partial << a.shift
+            lane_totals[lane] = total
+
+        self.cycles += max_cycles
+        return CVUResult(
+            values=tuple(lane_totals),
+            cycles=max_cycles,
+            nbve_invocations=invocations,
+        )
+
+    def effective_macs_per_cycle(self, bw_x: int, bw_w: int) -> int:
+        """MAC throughput for a bitwidth pair (lanes x group parallelism)."""
+        return self.config.lanes * self.plan(bw_x, bw_w).n_groups
+
+    def reset_counters(self) -> None:
+        self.cycles = 0
+        for nbve in self.nbves:
+            nbve.reset_counters()

@@ -1,0 +1,210 @@
+"""Gate-level (bit-true) golden model of the NBVE datapath.
+
+The paper implements its accelerator in Verilog RTL.  This module is the
+Python equivalent of that RTL's combinational datapath: full adders,
+ripple-carry adders, array multipliers, adder trees and shifters operating
+on explicit bit vectors.  It exists to validate the word-level functional
+models (:mod:`repro.core.nbve` / :mod:`repro.core.cvu`) the way an RTL
+testbench validates synthesized hardware -- every block is property-tested
+against plain integer arithmetic.
+
+Bit vectors are little-endian lists of 0/1 ints (``bits[0]`` is the LSB).
+Signed values use two's complement; signed multiplication sign-extends to
+the product width and multiplies modulo ``2^(2w)``, exactly as hardware
+does.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = [
+    "int_to_bits",
+    "bits_to_int",
+    "full_adder",
+    "ripple_add",
+    "array_multiply",
+    "adder_tree",
+    "left_shift",
+    "GateNBVE",
+    "gate_level_dot_product",
+]
+
+Bits = list
+
+
+def int_to_bits(value: int, width: int, signed: bool = False) -> Bits:
+    """Encode ``value`` as a little-endian two's-complement bit vector."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    lo = -(1 << (width - 1)) if signed else 0
+    hi = (1 << (width - 1)) - 1 if signed else (1 << width) - 1
+    if not lo <= value <= hi:
+        raise ValueError(f"{value} does not fit {'signed' if signed else 'unsigned'} {width}-bit")
+    image = value & ((1 << width) - 1)
+    return [(image >> i) & 1 for i in range(width)]
+
+
+def bits_to_int(bits: Sequence[int], signed: bool = False) -> int:
+    """Decode a little-endian bit vector (two's complement if signed)."""
+    if not bits:
+        raise ValueError("empty bit vector")
+    if any(b not in (0, 1) for b in bits):
+        raise ValueError("bit vector must contain only 0/1")
+    value = sum(b << i for i, b in enumerate(bits))
+    if signed and bits[-1]:
+        value -= 1 << len(bits)
+    return value
+
+
+def full_adder(a: int, b: int, cin: int) -> tuple[int, int]:
+    """One-bit full adder: returns (sum, carry-out)."""
+    s = a ^ b ^ cin
+    cout = (a & b) | (a & cin) | (b & cin)
+    return s, cout
+
+
+def ripple_add(a: Sequence[int], b: Sequence[int], signed: bool = True) -> Bits:
+    """Ripple-carry addition with one bit of width growth (no overflow).
+
+    Inputs are sign/zero extended to a common width plus one guard bit, so
+    the result is always exact.
+    """
+    width = max(len(a), len(b)) + 1
+    a = _extend(a, width, signed)
+    b = _extend(b, width, signed)
+    out = []
+    carry = 0
+    for bit_a, bit_b in zip(a, b):
+        s, carry = full_adder(bit_a, bit_b, carry)
+        out.append(s)
+    return out
+
+
+def _extend(bits: Sequence[int], width: int, signed: bool) -> Bits:
+    if len(bits) >= width:
+        return list(bits[:width])
+    fill = bits[-1] if (signed and bits) else 0
+    return list(bits) + [fill] * (width - len(bits))
+
+
+def array_multiply(
+    a: Sequence[int], b: Sequence[int], signed_a: bool = False, signed_b: bool = False
+) -> Bits:
+    """Array multiplier: AND-plane partial products + ripple reduction.
+
+    Signed operands are sign-extended to the full product width and
+    multiplied modulo ``2^(wa+wb)`` -- the standard two's-complement array
+    multiplier behaviour.  The result has ``len(a) + len(b)`` bits and is
+    signed iff either operand is.
+    """
+    width = len(a) + len(b)
+    a_ext = _extend(a, width, signed_a)
+    b_ext = _extend(b, width, signed_b)
+    # Partial products: row i is (a AND b[i]) << i, truncated to width.
+    acc = [0] * width
+    for i in range(width):
+        if b_ext[i] == 0:
+            continue
+        row = [0] * i + [a_ext[j] for j in range(width - i)]
+        acc = ripple_add(acc, row, signed=False)[:width]
+    return acc
+
+
+def adder_tree(values: Sequence[Sequence[int]], signed: bool = True) -> Bits:
+    """Binary adder tree over bit vectors (exact, widths grow per level)."""
+    if not values:
+        raise ValueError("adder tree needs at least one input")
+    level = [list(v) for v in values]
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(ripple_add(level[i], level[i + 1], signed=signed))
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]
+
+
+def left_shift(bits: Sequence[int], amount: int) -> Bits:
+    """Exact left shift: widens the vector by ``amount`` bits."""
+    if amount < 0:
+        raise ValueError("shift amount must be >= 0")
+    return [0] * amount + list(bits)
+
+
+class GateNBVE:
+    """Bit-true NBVE: ``lanes`` array multipliers into a private adder tree."""
+
+    def __init__(self, lanes: int = 16, slice_width: int = 2) -> None:
+        if lanes < 1 or slice_width < 1:
+            raise ValueError("lanes and slice_width must be >= 1")
+        self.lanes = lanes
+        self.slice_width = slice_width
+
+    def compute(
+        self,
+        a_values: Sequence[int],
+        b_values: Sequence[int],
+        signed_a: bool = False,
+        signed_b: bool = False,
+    ) -> int:
+        if len(a_values) != len(b_values):
+            raise ValueError("operand length mismatch")
+        if len(a_values) > self.lanes:
+            raise ValueError(f"{len(a_values)} elements exceed {self.lanes} lanes")
+        signed_out = signed_a or signed_b
+        products = []
+        for a, b in zip(a_values, b_values):
+            bits_a = int_to_bits(a, self.slice_width, signed_a)
+            bits_b = int_to_bits(b, self.slice_width, signed_b)
+            products.append(array_multiply(bits_a, bits_b, signed_a, signed_b))
+        if not products:
+            return 0
+        return bits_to_int(adder_tree(products, signed=signed_out), signed=signed_out)
+
+
+def gate_level_dot_product(
+    x: Sequence[int],
+    w: Sequence[int],
+    bw_x: int,
+    bw_w: int,
+    slice_width: int = 2,
+    signed_x: bool = True,
+    signed_w: bool = True,
+    lanes: int = 16,
+) -> int:
+    """Full CVU datapath in gates: slice, NBVE-multiply, shift, aggregate.
+
+    Slow (it simulates individual full adders) but bit-true; used as the
+    golden reference for the word-level CVU model.
+    """
+    import numpy as np
+
+    from .bitslice import slice_vector
+
+    x = list(x)
+    w = list(w)
+    if len(x) != len(w):
+        raise ValueError("vector length mismatch")
+    x_slices = slice_vector(np.asarray(x), bw_x, slice_width, signed_x)
+    w_slices = slice_vector(np.asarray(w), bw_w, slice_width, signed_w)
+    nbve = GateNBVE(lanes=lanes, slice_width=slice_width)
+    shifted: list[Bits] = []
+    for j in range(x_slices.shape[0]):
+        for k in range(w_slices.shape[0]):
+            sa = signed_x and j == x_slices.shape[0] - 1
+            sb = signed_w and k == w_slices.shape[0] - 1
+            total = 0
+            for lo in range(0, len(x), lanes):
+                hi = min(len(x), lo + lanes)
+                total += nbve.compute(
+                    [int(v) for v in x_slices[j, lo:hi]],
+                    [int(v) for v in w_slices[k, lo:hi]],
+                    signed_a=sa,
+                    signed_b=sb,
+                )
+            width = 2 * slice_width + max(1, len(x)).bit_length() + 2
+            bits = int_to_bits(total, width + 4, signed=True)
+            shifted.append(left_shift(bits, slice_width * (j + k)))
+    return bits_to_int(adder_tree(shifted, signed=True), signed=True)

@@ -1,0 +1,90 @@
+"""Narrow-Bitwidth Vector Engine (NBVE) functional model.
+
+An NBVE is a spatial array of ``lanes`` narrow multipliers
+(``slice_width x slice_width`` bits) feeding a private adder tree
+(paper Fig. 3-a).  Per invocation it consumes two bit-sliced sub-vectors of
+up to ``lanes`` elements and emits one scalar: their dot product.
+
+Sign handling mirrors the hardware: each multiplier supports an
+(signed, signed) mode pair selected per invocation, because the
+most-significant slice of a two's-complement operand is signed while the
+remaining slices are unsigned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .bitslice import check_range
+
+__all__ = ["NBVE"]
+
+
+@dataclass
+class NBVE:
+    """Functional model of one narrow-bitwidth vector engine.
+
+    Attributes
+    ----------
+    lanes:
+        Number of narrow multipliers (the paper's L; 16 in the final design).
+    slice_width:
+        Operand width of each multiplier in bits (the paper's 2-bit slicing).
+    """
+
+    lanes: int = 16
+    slice_width: int = 2
+    invocations: int = field(default=0, repr=False)
+    macs_performed: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.lanes < 1:
+            raise ValueError(f"lanes must be >= 1, got {self.lanes}")
+        if self.slice_width < 1:
+            raise ValueError(f"slice_width must be >= 1, got {self.slice_width}")
+
+    def compute(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        signed_a: bool = False,
+        signed_b: bool = False,
+    ) -> int:
+        """Dot product of two slice sub-vectors (one NBVE invocation).
+
+        Vectors shorter than ``lanes`` model an underutilised invocation
+        (idle multipliers contribute zero).  Vectors longer than ``lanes``
+        are rejected: the caller (the CVU) is responsible for temporal
+        chunking.
+        """
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        if a.ndim != 1 or b.ndim != 1:
+            raise ValueError("NBVE operands must be 1-D slice sub-vectors")
+        if a.shape != b.shape:
+            raise ValueError(f"operand length mismatch: {a.shape} vs {b.shape}")
+        if a.shape[0] > self.lanes:
+            raise ValueError(
+                f"sub-vector length {a.shape[0]} exceeds NBVE lanes {self.lanes}"
+            )
+        check_range(a, self.slice_width, signed_a)
+        check_range(b, self.slice_width, signed_b)
+        self.invocations += 1
+        self.macs_performed += int(a.shape[0])
+        return int(np.dot(a, b))
+
+    @property
+    def adder_tree_inputs(self) -> int:
+        """Width (element count) of the private adder tree."""
+        return self.lanes
+
+    @property
+    def product_bits(self) -> int:
+        """Bitwidth of each multiplier output feeding the adder tree."""
+        return 2 * self.slice_width
+
+    def reset_counters(self) -> None:
+        self.invocations = 0
+        self.macs_performed = 0

@@ -1,0 +1,114 @@
+"""Bit-slice sparsity analysis (the Laconic-style extension).
+
+The paper's related work (Laconic, ISCA'19) combines spatial bit-level
+composability with *bit-sparsity*: many bit slices of quantized DNN
+tensors are zero, and hardware that skips zero slices can cut ineffectual
+work.  The paper leaves this as an orthogonal direction; this module
+quantifies the opportunity on the composed representation:
+
+* :func:`slice_sparsity` -- fraction of zero slices per significance
+  position;
+* :func:`effectual_fraction` -- share of slice-pair multiplications with
+  both slices non-zero (the work a slice-skipping CVU would perform);
+* :func:`ideal_skip_speedup` -- the upper-bound speedup from skipping.
+
+These feed the ``bench_ablation_bit_sparsity`` bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .bitslice import num_slices, slice_vector
+
+__all__ = [
+    "SliceSparsity",
+    "slice_sparsity",
+    "effectual_fraction",
+    "ideal_skip_speedup",
+]
+
+
+@dataclass(frozen=True)
+class SliceSparsity:
+    """Zero-slice statistics of one tensor."""
+
+    bitwidth: int
+    slice_width: int
+    per_slice_zero_fraction: tuple[float, ...]
+    overall_zero_fraction: float
+
+    @property
+    def n_slices(self) -> int:
+        return len(self.per_slice_zero_fraction)
+
+
+def slice_sparsity(
+    x: np.ndarray, bitwidth: int, slice_width: int = 2, signed: bool = True
+) -> SliceSparsity:
+    """Measure the fraction of zero slices at each significance position."""
+    x = np.asarray(x)
+    if x.size == 0:
+        raise ValueError("cannot analyse an empty tensor")
+    slices = slice_vector(x.reshape(-1), bitwidth, slice_width, signed)
+    per_slice = tuple(float(np.mean(s == 0)) for s in slices)
+    overall = float(np.mean(slices == 0))
+    return SliceSparsity(
+        bitwidth=bitwidth,
+        slice_width=slice_width,
+        per_slice_zero_fraction=per_slice,
+        overall_zero_fraction=overall,
+    )
+
+
+def effectual_fraction(
+    x: np.ndarray,
+    w: np.ndarray,
+    bw_x: int,
+    bw_w: int,
+    slice_width: int = 2,
+    signed_x: bool = True,
+    signed_w: bool = True,
+) -> float:
+    """Fraction of slice-pair products where both slices are non-zero.
+
+    This is the work a zero-skipping composable unit would actually do;
+    the complement is ineffectual computation the dense CVU performs
+    anyway.
+    """
+    x = np.asarray(x).reshape(-1)
+    w = np.asarray(w).reshape(-1)
+    if x.shape != w.shape:
+        raise ValueError("operand shapes must match")
+    xs = slice_vector(x, bw_x, slice_width, signed_x) != 0
+    ws = slice_vector(w, bw_w, slice_width, signed_w) != 0
+    total = xs.shape[0] * ws.shape[0] * x.shape[0]
+    effectual = 0
+    for j in range(xs.shape[0]):
+        for k in range(ws.shape[0]):
+            effectual += int(np.sum(xs[j] & ws[k]))
+    return effectual / total
+
+
+def ideal_skip_speedup(
+    x: np.ndarray,
+    w: np.ndarray,
+    bw_x: int,
+    bw_w: int,
+    slice_width: int = 2,
+    signed_x: bool = True,
+    signed_w: bool = True,
+) -> float:
+    """Upper-bound speedup of a slice-skipping CVU over the dense CVU.
+
+    Assumes perfect load balance and zero skip overhead (the Laconic
+    ideal); real designs recover a fraction of this.
+    """
+    fraction = effectual_fraction(
+        x, w, bw_x, bw_w, slice_width, signed_x, signed_w
+    )
+    if fraction <= 0:
+        return float(num_slices(bw_x, slice_width) * num_slices(bw_w, slice_width))
+    return 1.0 / fraction

@@ -1,0 +1,43 @@
+"""Drivers that regenerate every table and figure of the evaluation."""
+
+from .figures import (
+    GEOMEAN,
+    DSEPoint,
+    PerfPerWattRow,
+    SpeedupRow,
+    fig4_both_models,
+    fig4_design_space,
+    fig5_homogeneous_ddr4,
+    fig6_homogeneous_hbm2,
+    fig7_heterogeneous_ddr4,
+    fig8_heterogeneous_hbm2,
+    fig9_gpu_comparison,
+    render_speedup_rows,
+)
+from .report import generate_report
+from .scaling import BudgetPoint, budget_sweep, resize_for_budget
+from .tables import Table1Row, render_table1, render_table2, table1, table2
+
+__all__ = [
+    "GEOMEAN",
+    "DSEPoint",
+    "PerfPerWattRow",
+    "SpeedupRow",
+    "fig4_both_models",
+    "fig4_design_space",
+    "fig5_homogeneous_ddr4",
+    "fig6_homogeneous_hbm2",
+    "fig7_heterogeneous_ddr4",
+    "fig8_heterogeneous_hbm2",
+    "fig9_gpu_comparison",
+    "render_speedup_rows",
+    "generate_report",
+    "BudgetPoint",
+    "budget_sweep",
+    "resize_for_budget",
+    "Table1Row",
+    "render_table1",
+    "render_table2",
+    "table1",
+    "table2",
+]

@@ -1,0 +1,252 @@
+"""Experiment drivers regenerating the paper's Figures 4-9.
+
+Each ``fig*`` function returns structured result rows (and can render the
+same table the paper plots), so the benchmark harness, the tests, and the
+examples all share one implementation.  Paper-vs-measured numbers for every
+experiment live in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..baselines.gpu import GPUSpec, RTX_2080_TI, simulate_gpu
+from ..hw.calibration import SWEEP_LENGTHS
+from ..hw.costmodel import AnalyticalCostModel, CostModel, PaperCostModel
+from ..hw.dram import DDR4, HBM2, MemorySpec
+from ..hw.platforms import BITFUSION, BPVEC, TPU_LIKE, AcceleratorSpec
+from ..nn.bitwidths import homogeneous_8bit, paper_heterogeneous
+from ..nn.graph import Network
+from ..nn.models import evaluation_workloads
+from ..sim.report import compare, format_table, geomean
+from ..sim.simulator import simulate_network
+
+__all__ = [
+    "DSEPoint",
+    "fig4_design_space",
+    "SpeedupRow",
+    "fig5_homogeneous_ddr4",
+    "fig6_homogeneous_hbm2",
+    "fig7_heterogeneous_ddr4",
+    "fig8_heterogeneous_hbm2",
+    "PerfPerWattRow",
+    "fig9_gpu_comparison",
+    "render_speedup_rows",
+]
+
+GEOMEAN = "GEOMEAN"
+
+
+# ----------------------------------------------------------------------
+# Figure 4: design-space exploration
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DSEPoint:
+    """One bar of Fig. 4: cost per 8-bit MAC, normalized to conventional."""
+
+    slice_width: int
+    lanes: int
+    metric: str
+    multiplication: float
+    addition: float
+    shifting: float
+    registering: float
+
+    @property
+    def total(self) -> float:
+        return self.multiplication + self.addition + self.shifting + self.registering
+
+
+def fig4_design_space(
+    model: CostModel | None = None,
+    slice_widths: Sequence[int] = (1, 2),
+    lanes_sweep: Sequence[int] = SWEEP_LENGTHS,
+) -> list[DSEPoint]:
+    """Power and area sweeps over slicing and NBVE vector length."""
+    model = model or PaperCostModel()
+    points = []
+    for metric in ("power", "area"):
+        for sw in slice_widths:
+            for lanes in lanes_sweep:
+                b = model.breakdown(sw, lanes, metric)
+                points.append(
+                    DSEPoint(
+                        slice_width=sw,
+                        lanes=lanes,
+                        metric=metric,
+                        multiplication=b.multiplication,
+                        addition=b.addition,
+                        shifting=b.shifting,
+                        registering=b.registering,
+                    )
+                )
+    return points
+
+
+def fig4_both_models() -> dict[str, list[DSEPoint]]:
+    """The sweep under the calibrated and the first-principles models."""
+    return {
+        "paper-calibrated": fig4_design_space(PaperCostModel()),
+        "analytical": fig4_design_space(AnalyticalCostModel()),
+    }
+
+
+# ----------------------------------------------------------------------
+# Figures 5-8: speedup / energy-reduction studies
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SpeedupRow:
+    """One workload's bars in a Fig. 5-8 style chart."""
+
+    workload: str
+    platform: str
+    memory: str
+    speedup: float
+    energy_reduction: float
+
+
+def _speedup_study(
+    policy: Callable[[Network], Network],
+    reference: tuple[AcceleratorSpec, MemorySpec],
+    candidates: Sequence[tuple[AcceleratorSpec, MemorySpec]],
+    cnn_batch: int | None = None,
+) -> list[SpeedupRow]:
+    """Normalize ``candidates`` to ``reference`` over the six workloads."""
+    workloads = (
+        evaluation_workloads()
+        if cnn_batch is None
+        else evaluation_workloads(cnn_batch=cnn_batch)
+    )
+    rows: list[SpeedupRow] = []
+    per_candidate: dict[int, list[SpeedupRow]] = {i: [] for i in range(len(candidates))}
+    for net in workloads:
+        policy(net)
+        ref_result = simulate_network(net, reference[0], reference[1])
+        for i, (spec, memory) in enumerate(candidates):
+            c = compare(ref_result, simulate_network(net, spec, memory))
+            row = SpeedupRow(
+                workload=net.name,
+                platform=spec.name,
+                memory=memory.name,
+                speedup=c.speedup,
+                energy_reduction=c.energy_reduction,
+            )
+            rows.append(row)
+            per_candidate[i].append(row)
+    for i, (spec, memory) in enumerate(candidates):
+        group = per_candidate[i]
+        rows.append(
+            SpeedupRow(
+                workload=GEOMEAN,
+                platform=spec.name,
+                memory=memory.name,
+                speedup=geomean(r.speedup for r in group),
+                energy_reduction=geomean(r.energy_reduction for r in group),
+            )
+        )
+    return rows
+
+
+def fig5_homogeneous_ddr4(cnn_batch: int | None = None) -> list[SpeedupRow]:
+    """BPVeC vs the TPU-like baseline; DDR4; homogeneous 8-bit."""
+    return _speedup_study(
+        homogeneous_8bit,
+        reference=(TPU_LIKE, DDR4),
+        candidates=[(BPVEC, DDR4)],
+        cnn_batch=cnn_batch,
+    )
+
+
+def fig6_homogeneous_hbm2(cnn_batch: int | None = None) -> list[SpeedupRow]:
+    """Baseline+HBM2 and BPVeC+HBM2, normalized to baseline+DDR4."""
+    return _speedup_study(
+        homogeneous_8bit,
+        reference=(TPU_LIKE, DDR4),
+        candidates=[(TPU_LIKE, HBM2), (BPVEC, HBM2)],
+        cnn_batch=cnn_batch,
+    )
+
+
+def fig7_heterogeneous_ddr4(cnn_batch: int | None = None) -> list[SpeedupRow]:
+    """BPVeC vs BitFusion; DDR4; heterogeneous quantized bitwidths."""
+    return _speedup_study(
+        paper_heterogeneous,
+        reference=(BITFUSION, DDR4),
+        candidates=[(BPVEC, DDR4)],
+        cnn_batch=cnn_batch,
+    )
+
+
+def fig8_heterogeneous_hbm2(cnn_batch: int | None = None) -> list[SpeedupRow]:
+    """BitFusion+HBM2 and BPVeC+HBM2, normalized to BitFusion+DDR4."""
+    return _speedup_study(
+        paper_heterogeneous,
+        reference=(BITFUSION, DDR4),
+        candidates=[(BITFUSION, HBM2), (BPVEC, HBM2)],
+        cnn_batch=cnn_batch,
+    )
+
+
+def render_speedup_rows(rows: Sequence[SpeedupRow]) -> str:
+    return format_table(
+        ["Workload", "Platform", "Memory", "Speedup", "Energy reduction"],
+        [
+            (r.workload, r.platform, r.memory, r.speedup, r.energy_reduction)
+            for r in rows
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 9: Performance-per-Watt vs the GPU
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PerfPerWattRow:
+    """One workload's Fig. 9 bars: BPVeC Perf/W relative to the GPU."""
+
+    workload: str
+    regime: str  # "homogeneous" or "heterogeneous"
+    ddr4_ratio: float
+    hbm2_ratio: float
+
+
+def fig9_gpu_comparison(
+    gpu: GPUSpec = RTX_2080_TI, cnn_batch: int | None = None
+) -> list[PerfPerWattRow]:
+    """Both panels of Fig. 9 (homogeneous INT8 and heterogeneous INT4)."""
+    rows: list[PerfPerWattRow] = []
+    for regime, policy, precision in (
+        ("homogeneous", homogeneous_8bit, 8),
+        ("heterogeneous", paper_heterogeneous, 4),
+    ):
+        ddr4_ratios, hbm2_ratios = [], []
+        workloads = (
+            evaluation_workloads()
+            if cnn_batch is None
+            else evaluation_workloads(cnn_batch=cnn_batch)
+        )
+        for net in workloads:
+            policy(net)
+            gpu_result = simulate_gpu(net, gpu, precision=precision)
+            ddr4 = simulate_network(net, BPVEC, DDR4).perf_per_watt
+            hbm2 = simulate_network(net, BPVEC, HBM2).perf_per_watt
+            ddr4_ratios.append(ddr4 / gpu_result.perf_per_watt)
+            hbm2_ratios.append(hbm2 / gpu_result.perf_per_watt)
+            rows.append(
+                PerfPerWattRow(
+                    workload=net.name,
+                    regime=regime,
+                    ddr4_ratio=ddr4_ratios[-1],
+                    hbm2_ratio=hbm2_ratios[-1],
+                )
+            )
+        rows.append(
+            PerfPerWattRow(
+                workload=GEOMEAN,
+                regime=regime,
+                ddr4_ratio=geomean(ddr4_ratios),
+                hbm2_ratio=geomean(hbm2_ratios),
+            )
+        )
+    return rows

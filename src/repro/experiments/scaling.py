@@ -1,0 +1,83 @@
+"""Power-budget scaling study (beyond the paper).
+
+The paper evaluates one 250 mW design point per style.  Because the
+Table II unit counts *derive* from the per-MAC costs and the budget, the
+comparison generalizes: this driver sweeps the core budget, resizes every
+platform accordingly (same derivation as Table II), and reruns the
+Fig. 5-style study -- showing the BPVeC advantage is a property of the
+design style, not of one operating point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..hw.costmodel import CONVENTIONAL_MAC_POWER_MW, PaperCostModel, units_under_power_budget
+from ..hw.dram import MemorySpec
+from ..hw.platforms import BITFUSION, BPVEC, TPU_LIKE, AcceleratorSpec, with_units
+from ..nn.bitwidths import homogeneous_8bit
+from ..nn.models import evaluation_workloads
+from ..sim.report import geomean
+from ..sim.simulator import simulate_network
+
+__all__ = ["BudgetPoint", "budget_sweep", "resize_for_budget"]
+
+_COSTS = PaperCostModel()
+
+
+def resize_for_budget(spec: AcceleratorSpec, budget_mw: float) -> AcceleratorSpec:
+    """Resize a platform to a different core power budget (Table II rule)."""
+    if budget_mw <= 0:
+        raise ValueError("budget must be positive")
+    if spec.style == "conventional":
+        per_mac = CONVENTIONAL_MAC_POWER_MW
+    else:
+        per_mac = _COSTS.mac_power_mw(spec.slice_width, spec.lanes)
+    units = units_under_power_budget(per_mac, budget_mw=budget_mw)
+    resized = with_units(spec, units)
+    return resized
+
+
+@dataclass(frozen=True)
+class BudgetPoint:
+    """Geomean outcome of one budget point."""
+
+    budget_mw: float
+    baseline_macs: int
+    bpvec_macs: int
+    bitfusion_macs: int
+    speedup_vs_baseline: float
+    energy_vs_baseline: float
+
+
+def budget_sweep(
+    budgets_mw: Sequence[float],
+    memory: MemorySpec,
+) -> list[BudgetPoint]:
+    """Fig. 5-style geomeans across core power budgets."""
+    if not budgets_mw:
+        raise ValueError("need at least one budget")
+    points = []
+    for budget in budgets_mw:
+        baseline = resize_for_budget(TPU_LIKE, budget)
+        bpvec = resize_for_budget(BPVEC, budget)
+        bitfusion = resize_for_budget(BITFUSION, budget)
+        speedups, energies = [], []
+        for net in evaluation_workloads():
+            homogeneous_8bit(net)
+            base = simulate_network(net, baseline, memory)
+            ours = simulate_network(net, bpvec, memory)
+            speedups.append(base.total_seconds / ours.total_seconds)
+            energies.append(base.total_energy_pj / ours.total_energy_pj)
+        points.append(
+            BudgetPoint(
+                budget_mw=budget,
+                baseline_macs=baseline.num_macs,
+                bpvec_macs=bpvec.num_macs,
+                bitfusion_macs=bitfusion.num_macs,
+                speedup_vs_baseline=geomean(speedups),
+                energy_vs_baseline=geomean(energies),
+            )
+        )
+    return points

@@ -1,0 +1,96 @@
+"""Drivers regenerating the paper's Tables I and II."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baselines.gpu import GPUSpec, RTX_2080_TI
+from ..hw.platforms import ALL_ASIC_PLATFORMS, AcceleratorSpec
+from ..nn.bitwidths import ALL_4BIT_MODELS, FIRST_LAST_8BIT_MODELS
+from ..nn.models import paper_workloads
+from ..sim.report import format_table
+
+__all__ = ["Table1Row", "table1", "table2", "render_table1", "render_table2"]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One evaluated DNN (Table I)."""
+
+    model: str
+    kind: str
+    model_size_mb: float
+    giga_ops: float
+    heterogeneous_bitwidths: str
+
+
+def _bitwidth_description(name: str) -> str:
+    if name in FIRST_LAST_8BIT_MODELS:
+        return "First and last layer 8-bit, the rest 4-bit"
+    if name in ALL_4BIT_MODELS:
+        return "All layers with 4-bit"
+    return "n/a"
+
+
+def table1() -> list[Table1Row]:
+    """Model size (INT8), operation count, and bitwidth policy per workload."""
+    rows = []
+    for net in paper_workloads():
+        rows.append(
+            Table1Row(
+                model=net.name,
+                kind=net.kind,
+                model_size_mb=net.model_bytes(bits=8) / 1e6,
+                giga_ops=net.total_ops() / 1e9,
+                heterogeneous_bitwidths=_bitwidth_description(net.name),
+            )
+        )
+    return rows
+
+
+def render_table1() -> str:
+    return format_table(
+        ["DNN Model", "Type", "Model Size (INT8, MB)", "Multiply-Adds (GOps)", "Heterogeneous Bitwidths"],
+        [
+            (r.model, r.kind, r.model_size_mb, r.giga_ops, r.heterogeneous_bitwidths)
+            for r in table1()
+        ],
+        precision=1,
+    )
+
+
+def table2() -> tuple[tuple[AcceleratorSpec, ...], GPUSpec]:
+    """The evaluated hardware platforms (Table II)."""
+    return ALL_ASIC_PLATFORMS, RTX_2080_TI
+
+
+def render_table2() -> str:
+    asics, gpu = table2()
+    asic_table = format_table(
+        ["Chip", "# of MACs", "Architecture", "On-chip memory", "Frequency", "Node"],
+        [
+            (
+                spec.name,
+                spec.num_macs,
+                "Systolic",
+                f"{spec.onchip_bytes // 1024} KB",
+                f"{spec.frequency_hz / 1e6:.0f} MHz",
+                f"{spec.technology_nm} nm",
+            )
+            for spec in asics
+        ],
+    )
+    gpu_table = format_table(
+        ["Chip", "Tensor Cores", "Architecture", "Memory", "Frequency", "Node"],
+        [
+            (
+                gpu.name,
+                gpu.tensor_cores,
+                "Turing",
+                f"{gpu.memory_gb:.0f} GB ({gpu.memory})",
+                f"{gpu.frequency_hz / 1e6:.0f} MHz",
+                "12 nm",
+            )
+        ],
+    )
+    return f"ASIC platforms\n{asic_table}\n\nGPU platform\n{gpu_table}"

@@ -1,0 +1,73 @@
+"""Hardware substrate: cost models, memories, and platform configurations."""
+
+from .chip import CONVENTIONAL_MAC_AREA_MM2, ChipReport, all_chip_reports, chip_report
+from .calibration import (
+    AREA_1BIT_TOTALS,
+    AREA_2BIT,
+    POWER_1BIT,
+    POWER_2BIT,
+    SWEEP_LENGTHS,
+    Breakdown,
+    calibrated_breakdown,
+    calibrated_total,
+)
+from .components import TECH_45NM, Components, TechnologyConstants
+from .costmodel import (
+    BASELINE_MAC_COUNT,
+    CLOCK_FREQUENCY_HZ,
+    CONVENTIONAL_MAC_ENERGY_PJ,
+    CONVENTIONAL_MAC_POWER_MW,
+    CORE_POWER_BUDGET_MW,
+    AnalyticalCostModel,
+    CostModel,
+    PaperCostModel,
+    units_under_power_budget,
+)
+from .dram import DDR4, HBM2, MemorySpec, scaled_memory
+from .platforms import (
+    ALL_ASIC_PLATFORMS,
+    BITFUSION,
+    BPVEC,
+    TPU_LIKE,
+    AcceleratorSpec,
+    with_units,
+)
+from .sram import ScratchpadModel
+
+__all__ = [
+    "CONVENTIONAL_MAC_AREA_MM2",
+    "ChipReport",
+    "all_chip_reports",
+    "chip_report",
+    "AREA_1BIT_TOTALS",
+    "AREA_2BIT",
+    "POWER_1BIT",
+    "POWER_2BIT",
+    "SWEEP_LENGTHS",
+    "Breakdown",
+    "calibrated_breakdown",
+    "calibrated_total",
+    "TECH_45NM",
+    "Components",
+    "TechnologyConstants",
+    "BASELINE_MAC_COUNT",
+    "CLOCK_FREQUENCY_HZ",
+    "CONVENTIONAL_MAC_ENERGY_PJ",
+    "CONVENTIONAL_MAC_POWER_MW",
+    "CORE_POWER_BUDGET_MW",
+    "AnalyticalCostModel",
+    "CostModel",
+    "PaperCostModel",
+    "units_under_power_budget",
+    "DDR4",
+    "HBM2",
+    "MemorySpec",
+    "scaled_memory",
+    "ALL_ASIC_PLATFORMS",
+    "BITFUSION",
+    "BPVEC",
+    "TPU_LIKE",
+    "AcceleratorSpec",
+    "with_units",
+    "ScratchpadModel",
+]

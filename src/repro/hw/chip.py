@@ -1,0 +1,77 @@
+"""Chip-level area and power accounting for the Table II platforms.
+
+Combines the Fig. 4 per-MAC cost ratios (anchored to a synthesized 45 nm
+conventional MAC footprint) with the CACTI-style scratchpad model to
+produce the floorplan-level summaries an accelerator paper's "platform"
+table implies: compute area, memory area, total core area, and the power
+budget split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .costmodel import CONVENTIONAL_MAC_POWER_MW, PaperCostModel
+from .platforms import ALL_ASIC_PLATFORMS, AcceleratorSpec
+
+__all__ = ["CONVENTIONAL_MAC_AREA_MM2", "ChipReport", "chip_report", "all_chip_reports"]
+
+# Synthesized 45 nm 8-bit MAC + accumulator footprint (standard-cell,
+# ~2500 um^2 -- consistent with published 45 nm MAC area numbers).
+CONVENTIONAL_MAC_AREA_MM2 = 2500e-6
+
+
+@dataclass(frozen=True)
+class ChipReport:
+    """Floorplan-level summary of one platform."""
+
+    name: str
+    num_macs: int
+    compute_area_mm2: float
+    sram_area_mm2: float
+    compute_power_mw: float
+
+    @property
+    def total_area_mm2(self) -> float:
+        return self.compute_area_mm2 + self.sram_area_mm2
+
+    @property
+    def area_per_mac_um2(self) -> float:
+        return self.compute_area_mm2 / self.num_macs * 1e6
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: {self.num_macs} MACs, "
+            f"{self.compute_area_mm2:.2f} mm^2 compute + "
+            f"{self.sram_area_mm2:.2f} mm^2 SRAM = {self.total_area_mm2:.2f} mm^2, "
+            f"{self.compute_power_mw:.0f} mW compute"
+        )
+
+
+def _mac_cost_ratios(spec: AcceleratorSpec) -> tuple[float, float]:
+    """(area, power) per MAC relative to a conventional MAC."""
+    if spec.style == "conventional":
+        return 1.0, 1.0
+    model = PaperCostModel()
+    return (
+        model.mac_area_ratio(spec.slice_width, spec.lanes),
+        model.mac_power_ratio(spec.slice_width, spec.lanes),
+    )
+
+
+def chip_report(spec: AcceleratorSpec) -> ChipReport:
+    """Area/power accounting for one Table II platform."""
+    area_ratio, power_ratio = _mac_cost_ratios(spec)
+    compute_area = spec.num_macs * CONVENTIONAL_MAC_AREA_MM2 * area_ratio
+    compute_power = spec.num_macs * CONVENTIONAL_MAC_POWER_MW * power_ratio
+    return ChipReport(
+        name=spec.name,
+        num_macs=spec.num_macs,
+        compute_area_mm2=compute_area,
+        sram_area_mm2=spec.scratchpad.area_mm2,
+        compute_power_mw=compute_power,
+    )
+
+
+def all_chip_reports() -> list[ChipReport]:
+    return [chip_report(spec) for spec in ALL_ASIC_PLATFORMS]

@@ -1,0 +1,145 @@
+"""Gate-level analytical cost models for datapath components (45 nm).
+
+These first-principles models estimate relative power and area of the four
+hardware logics the paper's Fig. 4 breaks down: multiplication, addition,
+shifting, and registering.  Costs are expressed in *full-adder equivalents*
+(FAE) and converted to power/area through per-technology constants; all
+figure-level results are reported normalized to a conventional 8-bit MAC,
+so only relative magnitudes matter.
+
+Modelling assumptions (documented per the paper's Section III-B):
+
+* ``a x b`` array multiplier: ``a*b`` AND gates for partial products plus
+  ``(a-1)*b`` full adders of reduction (1x1 degenerates to a single AND
+  gate, matching the paper's observation that 1-bit slicing multipliers are
+  "merely AND gates").
+* ``n``-input adder tree with ``w``-bit inputs: binary tree of ripple
+  adders whose width grows one bit per level.
+* Barrel shifter of width ``w`` with ``p`` shift positions:
+  ``ceil(log2(p+1))`` mux stages of width ``w``.
+* Register: cost proportional to bit count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["TechnologyConstants", "TECH_45NM", "Components"]
+
+
+@dataclass(frozen=True)
+class TechnologyConstants:
+    """Per-gate relative cost constants for one technology corner.
+
+    ``*_power`` constants are switching-energy weights; ``*_area`` are
+    layout-area weights.  Defaults approximate 45 nm standard cells where a
+    full adder's dynamic energy is the unit, AND gates are ~0.3x, a 2:1 mux
+    ~0.4x, and a flip-flop ~1.1x (registers switch less often than
+    combinational logic on average, which the activity factor captures).
+    """
+
+    fa_power: float = 1.0
+    and_power: float = 0.3
+    mux_power: float = 0.4
+    reg_power: float = 4.0
+    reg_activity: float = 1.0
+    fa_area: float = 1.0
+    and_area: float = 0.35
+    mux_area: float = 0.5
+    reg_area: float = 3.0
+
+
+TECH_45NM = TechnologyConstants()
+
+
+@dataclass(frozen=True)
+class Cost:
+    """A (power, area) pair in technology-relative units."""
+
+    power: float
+    area: float
+
+    def __add__(self, other: "Cost") -> "Cost":
+        return Cost(self.power + other.power, self.area + other.area)
+
+    def scale(self, factor: float) -> "Cost":
+        return Cost(self.power * factor, self.area * factor)
+
+
+ZERO_COST = Cost(0.0, 0.0)
+
+
+class Components:
+    """Cost calculators for the four datapath logics of Fig. 4."""
+
+    def __init__(self, tech: TechnologyConstants = TECH_45NM) -> None:
+        self.tech = tech
+
+    def multiplier(self, bits_a: int, bits_b: int) -> Cost:
+        """Unsigned array multiplier ``bits_a x bits_b``."""
+        if bits_a < 1 or bits_b < 1:
+            raise ValueError("multiplier operand widths must be >= 1")
+        ands = bits_a * bits_b
+        fas = (bits_a - 1) * bits_b
+        t = self.tech
+        return Cost(
+            ands * t.and_power + fas * t.fa_power,
+            ands * t.and_area + fas * t.fa_area,
+        )
+
+    def adder(self, width: int) -> Cost:
+        """Ripple-carry adder of ``width`` bits."""
+        if width < 1:
+            raise ValueError("adder width must be >= 1")
+        t = self.tech
+        return Cost(width * t.fa_power, width * t.fa_area)
+
+    def adder_tree(self, inputs: int, input_width: int) -> Cost:
+        """Binary adder tree reducing ``inputs`` values of ``input_width`` bits.
+
+        Widths grow by one bit per level; a single input needs no tree.
+        Non-power-of-two input counts are padded up (idle adders still
+        occupy area; clock gating is not modelled).
+        """
+        if inputs < 1:
+            raise ValueError("adder tree needs >= 1 input")
+        total = ZERO_COST
+        n = 1 << max(0, math.ceil(math.log2(inputs)))
+        width = input_width
+        while n > 1:
+            n //= 2
+            total = total + self.adder(width).scale(n)
+            width += 1
+        return total
+
+    def shifter(self, width: int, max_shift: int, hardwired: bool = True) -> Cost:
+        """Composition shifter of ``width`` bits over ``max_shift`` positions.
+
+        In a CVU the shift applied to each NBVE output is *static* -- NBVE
+        (j, k) always shifts by ``slice_width * (j + k)`` -- so the default
+        (``hardwired=True``) models fixed wiring plus one mux stage for the
+        runtime bitwidth-mode select.  ``hardwired=False`` models a full
+        barrel shifter (what a naive reconfigurable implementation would
+        pay), used by the ablation benches.
+        """
+        if width < 1:
+            raise ValueError("shifter width must be >= 1")
+        if max_shift < 0:
+            raise ValueError("max_shift must be >= 0")
+        if max_shift == 0:
+            return ZERO_COST
+        t = self.tech
+        if hardwired:
+            cells = float(width)
+        else:
+            stages = math.ceil(math.log2(max_shift + 1))
+            cells = stages * (width + max_shift / 2.0)
+        return Cost(cells * t.mux_power, cells * t.mux_area)
+
+    def register(self, bits: int) -> Cost:
+        """Pipeline/output register of ``bits`` flip-flops."""
+        if bits < 1:
+            raise ValueError("register width must be >= 1")
+        t = self.tech
+        return Cost(bits * t.reg_power * t.reg_activity, bits * t.reg_area)

@@ -1,0 +1,84 @@
+"""Off-chip memory models: DDR4 and HBM2 (paper Section IV-A).
+
+The paper characterizes its two memory systems entirely by sustained
+bandwidth and energy per bit:
+
+* DDR4: 16 GB/s, 15 pJ/bit,
+* HBM2: 256 GB/s, 1.2 pJ/bit (after O'Connor et al., MICRO'17 fine-grained
+  DRAM numbers).
+
+We add two refinements: an optional efficiency factor (achieved / peak
+bandwidth) for ablation sweeps, and an interface *background power*
+(controller + PHY static draw: ~0.25 W for a DDR4 channel, ~0.45 W for an
+HBM2 stack's interface) that accrues over runtime.  Background power is
+why Perf-per-Watt gains in Fig. 9 do not simply track HBM2's speedups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MemorySpec", "DDR4", "HBM2", "scaled_memory"]
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """An off-chip memory system."""
+
+    name: str
+    bandwidth_gb_s: float
+    energy_pj_per_bit: float
+    efficiency: float = 1.0
+    background_power_w: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gb_s <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.energy_pj_per_bit < 0:
+            raise ValueError("energy must be non-negative")
+        if self.background_power_w < 0:
+            raise ValueError("background power must be non-negative")
+        if not 0 < self.efficiency <= 1:
+            raise ValueError("efficiency must be in (0, 1]")
+
+    @property
+    def effective_bytes_per_second(self) -> float:
+        return self.bandwidth_gb_s * 1e9 * self.efficiency
+
+    def bytes_per_cycle(self, frequency_hz: float) -> float:
+        """Sustained bytes deliverable per accelerator clock cycle."""
+        if frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        return self.effective_bytes_per_second / frequency_hz
+
+    def transfer_seconds(self, num_bytes: float) -> float:
+        if num_bytes < 0:
+            raise ValueError("byte count must be non-negative")
+        return num_bytes / self.effective_bytes_per_second
+
+    def transfer_energy_pj(self, num_bytes: float) -> float:
+        if num_bytes < 0:
+            raise ValueError("byte count must be non-negative")
+        return num_bytes * 8 * self.energy_pj_per_bit
+
+
+DDR4 = MemorySpec(
+    name="DDR4", bandwidth_gb_s=16.0, energy_pj_per_bit=15.0, background_power_w=0.25
+)
+HBM2 = MemorySpec(
+    name="HBM2", bandwidth_gb_s=256.0, energy_pj_per_bit=1.2, background_power_w=0.45
+)
+
+
+def scaled_memory(base: MemorySpec, bandwidth_gb_s: float) -> MemorySpec:
+    """A hypothetical memory with ``base``'s energy at a different bandwidth.
+
+    Used by the bandwidth-crossover ablation bench.
+    """
+    return MemorySpec(
+        name=f"{base.name}@{bandwidth_gb_s:g}GB/s",
+        bandwidth_gb_s=bandwidth_gb_s,
+        energy_pj_per_bit=base.energy_pj_per_bit,
+        efficiency=base.efficiency,
+        background_power_w=base.background_power_w,
+    )

@@ -1,0 +1,191 @@
+"""ASIC platform configurations (paper Table II).
+
+Three systolic accelerators share a 250 mW core budget, 112 KB of on-chip
+scratchpad, 500 MHz, and a 45 nm node; they differ in compute style:
+
+* **TPU-like baseline**: 512 conventional fixed 8-bit MACs.
+* **BitFusion**: 448 Fusion Units -- scalar spatial bit-composability; each
+  FU holds 16 BitBricks and delivers 1 (8b x 8b) ... 16 (2b x 2b)
+  multiply-accumulates per cycle.
+* **BPVeC**: 1024 MAC-equivalents organised as 64 CVUs of 16 lanes; same
+  bit-flexibility as BitFusion but amortized across vectors, which is what
+  doubles the affordable compute under the power budget.
+
+Throughput and energy scale with runtime operand bitwidths through the
+same composition algebra as the functional model
+(:func:`repro.core.plan_composition`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..core.composition import plan_composition
+from .costmodel import CONVENTIONAL_MAC_ENERGY_PJ, PaperCostModel
+from .sram import ScratchpadModel
+
+__all__ = [
+    "AcceleratorSpec",
+    "TPU_LIKE",
+    "BITFUSION",
+    "BPVEC",
+    "ALL_ASIC_PLATFORMS",
+    "with_units",
+]
+
+_PAPER_COSTS = PaperCostModel()
+
+# Per-8b-MAC power of temporal (bit-serial) units relative to a
+# conventional MAC: the serial lane is multiplier-free but re-registers
+# every cycle and needs wide shift-accumulators; published overheads are
+# ~15% (Stripes, activation-serial) and ~25% (Loom, fully serial).
+_SERIAL_POWER_RATIOS = {"stripes": 1.15, "loom": 1.25}
+
+
+@dataclass(frozen=True)
+class AcceleratorSpec:
+    """One ASIC platform of Table II.
+
+    ``style`` selects the datapath behaviour:
+
+    * ``"conventional"``: fixed 8-bit units; reduced bitwidths bring no
+      speedup and no energy saving.
+    * ``"bitfusion"``: scalar bit-composable units (slice_width=2, L=1).
+    * ``"bpvec"``: vector bit-composable units (slice_width=2, L=16).
+    """
+
+    name: str
+    style: str
+    num_macs: int
+    array_rows: int
+    array_cols: int
+    frequency_hz: float = 500e6
+    onchip_bytes: int = 112 * 1024
+    core_power_mw: float = 250.0
+    uncore_power_mw: float = 250.0  # scratchpad leakage + control + clocking
+    technology_nm: int = 45
+    slice_width: int = 2
+    lanes: int = 1
+    max_bitwidth: int = 8
+
+    def __post_init__(self) -> None:
+        if self.style not in ("conventional", "bitfusion", "bpvec", "stripes", "loom"):
+            raise ValueError(f"unknown style {self.style!r}")
+        if self.num_macs < 1:
+            raise ValueError("num_macs must be positive")
+        if self.array_rows * self.array_cols * self.lanes != self.num_macs:
+            raise ValueError(
+                f"array geometry {self.array_rows}x{self.array_cols} with "
+                f"{self.lanes} lanes does not match num_macs={self.num_macs}"
+            )
+
+    # ------------------------------------------------------------------
+    # Throughput
+    # ------------------------------------------------------------------
+    def throughput_multiplier(self, bw_x: int, bw_w: int) -> int:
+        """Extra MAC parallelism unlocked by reduced bitwidths.
+
+        Spatial styles (bitfusion/bpvec) regroup 2-bit units; temporal
+        styles gain by finishing serial products in fewer cycles --
+        Stripes serializes activations only, Loom both operands.
+        """
+        if self.style == "conventional":
+            return 1
+        if self.style == "stripes":
+            return max(1, self.max_bitwidth // bw_x)
+        if self.style == "loom":
+            return max(1, (self.max_bitwidth * self.max_bitwidth) // (bw_x * bw_w))
+        plan = plan_composition(
+            bw_x, bw_w, slice_width=self.slice_width, max_bitwidth=self.max_bitwidth
+        )
+        return plan.throughput_multiplier
+
+    def macs_per_cycle(self, bw_x: int = 8, bw_w: int = 8) -> int:
+        """Effective multiply-accumulates per cycle for a bitwidth pair."""
+        return self.num_macs * self.throughput_multiplier(bw_x, bw_w)
+
+    def peak_ops_per_second(self, bw_x: int = 8, bw_w: int = 8) -> float:
+        """Peak ops/s counting one MAC as two operations (mult + add)."""
+        return 2.0 * self.macs_per_cycle(bw_x, bw_w) * self.frequency_hz
+
+    # ------------------------------------------------------------------
+    # Energy
+    # ------------------------------------------------------------------
+    def base_mac_energy_pj(self) -> float:
+        """Energy of one full-bitwidth MAC on this platform's datapath."""
+        if self.style == "conventional":
+            return CONVENTIONAL_MAC_ENERGY_PJ
+        if self.style in _SERIAL_POWER_RATIOS:
+            return CONVENTIONAL_MAC_ENERGY_PJ * _SERIAL_POWER_RATIOS[self.style]
+        ratio = _PAPER_COSTS.mac_power_ratio(self.slice_width, self.lanes)
+        return CONVENTIONAL_MAC_ENERGY_PJ * ratio
+
+    def mac_energy_pj(self, bw_x: int = 8, bw_w: int = 8) -> float:
+        """Energy per *effective* MAC at the given bitwidths.
+
+        Bit-composable datapaths repurpose the same switching hardware for
+        ``throughput_multiplier`` MACs, so per-MAC energy divides by it.
+        """
+        return self.base_mac_energy_pj() / self.throughput_multiplier(bw_x, bw_w)
+
+    # ------------------------------------------------------------------
+    # Memory hierarchy
+    # ------------------------------------------------------------------
+    @property
+    def scratchpad(self) -> ScratchpadModel:
+        access_bits = 8 * self.array_rows  # one operand vector per access
+        return ScratchpadModel(
+            capacity_bytes=self.onchip_bytes, access_bits=access_bits
+        )
+
+    @property
+    def reduction_lanes(self) -> int:
+        """Elements of the reduction (dot-product) dimension consumed at once."""
+        return self.array_rows * self.lanes
+
+
+# Table II configurations -------------------------------------------------
+
+TPU_LIKE = AcceleratorSpec(
+    name="TPU-like baseline",
+    style="conventional",
+    num_macs=512,
+    array_rows=16,
+    array_cols=32,
+)
+
+BITFUSION = AcceleratorSpec(
+    name="BitFusion",
+    style="bitfusion",
+    num_macs=448,
+    array_rows=16,
+    array_cols=28,
+    slice_width=2,
+    lanes=1,
+)
+
+BPVEC = AcceleratorSpec(
+    name="BPVeC",
+    style="bpvec",
+    num_macs=1024,
+    array_rows=8,
+    array_cols=8,
+    slice_width=2,
+    lanes=16,
+)
+
+ALL_ASIC_PLATFORMS = (TPU_LIKE, BITFUSION, BPVEC)
+
+
+def with_units(spec: AcceleratorSpec, num_macs: int) -> AcceleratorSpec:
+    """Resize a platform keeping its style (for power-budget ablations)."""
+    if num_macs < 1:
+        raise ValueError("num_macs must be positive")
+    lanes = spec.lanes
+    macs_per_col = spec.array_rows * lanes
+    cols = max(1, num_macs // macs_per_col)
+    return replace(
+        spec,
+        num_macs=cols * macs_per_col,
+        array_cols=cols,
+    )

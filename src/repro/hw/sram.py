@@ -1,0 +1,73 @@
+"""CACTI-style on-chip scratchpad (SRAM) energy/area model.
+
+The paper models its 112 KB scratchpads with CACTI-P at 45 nm.  CACTI is a
+closed C tool; we substitute a fitted curve of the standard form used in
+architecture studies: access energy grows with the square root of capacity
+(bitline/wordline length) and linearly with access width.  The anchor point
+(8 KB, 64-bit access ~= 10 pJ at 45 nm) matches published CACTI-P numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["ScratchpadModel"]
+
+_ANCHOR_CAPACITY_BYTES = 8 * 1024
+_ANCHOR_ACCESS_BITS = 64
+_ANCHOR_ENERGY_PJ = 10.0
+_AREA_MM2_PER_KB = 0.012  # 45 nm SRAM macro density
+
+
+@dataclass(frozen=True)
+class ScratchpadModel:
+    """One on-chip SRAM buffer.
+
+    Attributes
+    ----------
+    capacity_bytes:
+        Total capacity (the paper uses 112 KB per accelerator).
+    access_bits:
+        Bits moved per access (one vector of operands).
+    banks:
+        Independent banks; energy is per-bank (capacity is divided), which
+        is how wide systolic rows keep access energy manageable.
+    """
+
+    capacity_bytes: int = 112 * 1024
+    access_bits: int = 128
+    banks: int = 1
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes < 1:
+            raise ValueError("capacity must be positive")
+        if self.access_bits < 1:
+            raise ValueError("access width must be positive")
+        if self.banks < 1 or self.capacity_bytes % self.banks != 0:
+            raise ValueError("banks must be positive and divide capacity")
+
+    @property
+    def bank_capacity_bytes(self) -> int:
+        return self.capacity_bytes // self.banks
+
+    @property
+    def energy_per_access_pj(self) -> float:
+        """Dynamic energy of one ``access_bits``-wide access."""
+        capacity_factor = math.sqrt(self.bank_capacity_bytes / _ANCHOR_CAPACITY_BYTES)
+        width_factor = self.access_bits / _ANCHOR_ACCESS_BITS
+        return _ANCHOR_ENERGY_PJ * capacity_factor * width_factor
+
+    @property
+    def energy_per_byte_pj(self) -> float:
+        return self.energy_per_access_pj / (self.access_bits / 8)
+
+    @property
+    def area_mm2(self) -> float:
+        return _AREA_MM2_PER_KB * self.capacity_bytes / 1024
+
+    def access_energy_pj(self, num_bytes: float) -> float:
+        """Energy to stream ``num_bytes`` through this buffer (reads or writes)."""
+        if num_bytes < 0:
+            raise ValueError("byte count must be non-negative")
+        return num_bytes * self.energy_per_byte_pj

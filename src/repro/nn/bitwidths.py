@@ -1,0 +1,60 @@
+"""Bitwidth assignment policies (paper Table I, rightmost column).
+
+The paper evaluates two quantization regimes:
+
+* **homogeneous**: every layer runs 8-bit x 8-bit (the fixed-bitwidth
+  design points of Figs. 5/6);
+* **heterogeneous**: deep-quantized bitwidths from the PACT/WRPN line of
+  work that preserve full-precision accuracy -- AlexNet, Inception-v1 and
+  ResNet-18 keep their first and last layers at 8-bit and run everything
+  else at 4-bit; ResNet-50, RNN and LSTM run 4-bit everywhere
+  (Figs. 7/8).
+"""
+
+from __future__ import annotations
+
+from .graph import LayerBitwidth, Network
+
+__all__ = [
+    "homogeneous_8bit",
+    "paper_heterogeneous",
+    "uniform",
+    "FIRST_LAST_8BIT_MODELS",
+    "ALL_4BIT_MODELS",
+]
+
+FIRST_LAST_8BIT_MODELS = ("AlexNet", "Inception-v1", "ResNet-18")
+ALL_4BIT_MODELS = ("ResNet-50", "RNN", "LSTM")
+
+
+def uniform(network: Network, activations: int, weights: int) -> Network:
+    """Assign one bitwidth pair to every weighted layer."""
+    bw = LayerBitwidth(activations=activations, weights=weights)
+    return network.set_bitwidths(
+        {layer.name: bw for layer in network.weighted_layers}
+    )
+
+
+def homogeneous_8bit(network: Network) -> Network:
+    """The fixed-bitwidth regime of Figs. 5/6."""
+    return uniform(network, 8, 8)
+
+
+def paper_heterogeneous(network: Network) -> Network:
+    """The deep-quantized regime of Figs. 7/8 (Table I assignments)."""
+    weighted = network.weighted_layers
+    if not weighted:
+        raise ValueError(f"{network.name} has no weighted layers to quantize")
+    if network.name in ALL_4BIT_MODELS:
+        return uniform(network, 4, 4)
+    if network.name in FIRST_LAST_8BIT_MODELS:
+        assignment = {
+            layer.name: LayerBitwidth(4, 4) for layer in weighted
+        }
+        assignment[weighted[0].name] = LayerBitwidth(8, 8)
+        assignment[weighted[-1].name] = LayerBitwidth(8, 8)
+        return network.set_bitwidths(assignment)
+    raise KeyError(
+        f"no published heterogeneous assignment for {network.name!r}; "
+        f"use uniform() to define one"
+    )

@@ -1,0 +1,95 @@
+"""Network container and per-layer bitwidth assignment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .layers import Layer
+
+__all__ = ["LayerBitwidth", "Network"]
+
+
+@dataclass(frozen=True)
+class LayerBitwidth:
+    """Operand bitwidths of one layer (activations x weights)."""
+
+    activations: int = 8
+    weights: int = 8
+
+    def __post_init__(self) -> None:
+        for bits in (self.activations, self.weights):
+            if not 1 <= bits <= 8:
+                raise ValueError(f"bitwidth {bits} outside supported range [1, 8]")
+
+
+@dataclass
+class Network:
+    """A feed-forward DNN: ordered layers plus workload metadata.
+
+    ``batch`` is the number of concurrent inputs the workload processes
+    (for recurrent models: sequences).  Table I's operation counts
+    correspond to one full batch.
+    """
+
+    name: str
+    layers: list[Layer]
+    batch: int = 1
+    kind: str = "CNN"  # "CNN" or "RNN"
+    _bitwidths: dict[str, LayerBitwidth] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.batch < 1:
+            raise ValueError("batch must be >= 1")
+        names = [layer.name for layer in self.layers]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate layer names in {self.name}")
+
+    # ------------------------------------------------------------------
+    # Bitwidths
+    # ------------------------------------------------------------------
+    def set_bitwidths(self, assignment: dict[str, LayerBitwidth]) -> "Network":
+        unknown = set(assignment) - {layer.name for layer in self.layers}
+        if unknown:
+            raise KeyError(f"bitwidths assigned to unknown layers: {sorted(unknown)}")
+        self._bitwidths = dict(assignment)
+        return self
+
+    def bitwidth(self, layer_name: str) -> LayerBitwidth:
+        return self._bitwidths.get(layer_name, LayerBitwidth())
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        widths = {
+            (self.bitwidth(l.name).activations, self.bitwidth(l.name).weights)
+            for l in self.layers
+            if l.has_weights
+        }
+        return len(widths) > 1
+
+    # ------------------------------------------------------------------
+    # Aggregate statistics (Table I columns)
+    # ------------------------------------------------------------------
+    @property
+    def weighted_layers(self) -> list[Layer]:
+        return [layer for layer in self.layers if layer.has_weights]
+
+    def total_macs(self) -> int:
+        return sum(layer.macs(self.batch) for layer in self.layers)
+
+    def total_ops(self) -> int:
+        """Multiply-adds counted as two operations each (Table I GOps)."""
+        return 2 * self.total_macs()
+
+    def model_bytes(self, bits: int = 8) -> int:
+        return sum(layer.weight_bytes(bits) for layer in self.layers)
+
+    def describe(self) -> str:
+        rows = [f"{self.name} (batch={self.batch}, kind={self.kind})"]
+        for layer in self.layers:
+            bw = self.bitwidth(layer.name)
+            rows.append(
+                f"  {layer.name:<16} macs={layer.macs(self.batch):>14,} "
+                f"params={layer.weight_count():>12,} "
+                f"bw={bw.activations}x{bw.weights}"
+            )
+        return "\n".join(rows)

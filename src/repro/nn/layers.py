@@ -1,0 +1,248 @@
+"""Layer shape algebra for the DNN intermediate representation.
+
+Each layer type knows its multiply-accumulate count, parameter count, and
+activation footprints, and can lower itself to one or more GEMM shapes --
+the form the systolic simulator consumes (convolutions via implicit im2col,
+recurrent cells as per-timestep matrix multiplies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Gemm",
+    "Layer",
+    "Conv2D",
+    "Dense",
+    "Pool2D",
+    "RNNCell",
+    "LSTMCell",
+]
+
+
+@dataclass(frozen=True)
+class Gemm:
+    """One (M x K) @ (K x N) matrix multiply, repeated ``count`` times.
+
+    ``weight_resident_repeats`` marks repeats that *could* reuse on-chip
+    weights if they fit (recurrent steps reuse weights across time).
+    """
+
+    m: int
+    k: int
+    n: int
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.k, self.n, self.count) < 1:
+            raise ValueError(f"degenerate GEMM {self}")
+
+    @property
+    def macs(self) -> int:
+        return self.m * self.k * self.n * self.count
+
+    @property
+    def weight_elements(self) -> int:
+        return self.k * self.n
+
+    @property
+    def input_elements(self) -> int:
+        return self.m * self.k * self.count
+
+    @property
+    def output_elements(self) -> int:
+        return self.m * self.n * self.count
+
+
+class Layer:
+    """Base class: a named layer with shape-derived statistics."""
+
+    name: str
+
+    # --- to be provided by subclasses ---------------------------------
+    def macs(self, batch: int = 1) -> int:
+        raise NotImplementedError
+
+    def weight_count(self) -> int:
+        raise NotImplementedError
+
+    def input_elements(self, batch: int = 1) -> int:
+        raise NotImplementedError
+
+    def output_elements(self, batch: int = 1) -> int:
+        raise NotImplementedError
+
+    def gemms(self, batch: int = 1) -> list[Gemm]:
+        raise NotImplementedError
+
+    # --- shared -------------------------------------------------------
+    @property
+    def has_weights(self) -> bool:
+        return self.weight_count() > 0
+
+    def weight_bytes(self, bits: int = 8) -> int:
+        return -(-self.weight_count() * bits // 8)
+
+    def input_bytes(self, batch: int = 1, bits: int = 8) -> int:
+        return -(-self.input_elements(batch) * bits // 8)
+
+    def output_bytes(self, batch: int = 1, bits: int = 8) -> int:
+        return -(-self.output_elements(batch) * bits // 8)
+
+
+def _conv_out(size: int, kernel: int, stride: int, padding: int) -> int:
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out < 1:
+        raise ValueError(
+            f"convolution output collapsed: size={size} kernel={kernel} "
+            f"stride={stride} padding={padding}"
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class Conv2D(Layer):
+    """2-D convolution (optionally grouped)."""
+
+    name: str
+    in_channels: int
+    out_channels: int
+    kernel: int
+    in_size: int
+    stride: int = 1
+    padding: int = 0
+    groups: int = 1
+
+    def __post_init__(self) -> None:
+        if self.in_channels % self.groups or self.out_channels % self.groups:
+            raise ValueError("groups must divide both channel counts")
+        _conv_out(self.in_size, self.kernel, self.stride, self.padding)
+
+    @property
+    def out_size(self) -> int:
+        return _conv_out(self.in_size, self.kernel, self.stride, self.padding)
+
+    def weight_count(self) -> int:
+        per_group_in = self.in_channels // self.groups
+        return self.out_channels * per_group_in * self.kernel * self.kernel
+
+    def macs(self, batch: int = 1) -> int:
+        return batch * self.out_size * self.out_size * self.weight_count()
+
+    def input_elements(self, batch: int = 1) -> int:
+        return batch * self.in_channels * self.in_size * self.in_size
+
+    def output_elements(self, batch: int = 1) -> int:
+        return batch * self.out_channels * self.out_size * self.out_size
+
+    def gemms(self, batch: int = 1) -> list[Gemm]:
+        per_group_in = self.in_channels // self.groups
+        per_group_out = self.out_channels // self.groups
+        return [
+            Gemm(
+                m=batch * self.out_size * self.out_size,
+                k=per_group_in * self.kernel * self.kernel,
+                n=per_group_out,
+                count=self.groups,
+            )
+        ]
+
+
+@dataclass(frozen=True)
+class Dense(Layer):
+    """Fully connected layer."""
+
+    name: str
+    in_features: int
+    out_features: int
+
+    def weight_count(self) -> int:
+        return self.in_features * self.out_features
+
+    def macs(self, batch: int = 1) -> int:
+        return batch * self.weight_count()
+
+    def input_elements(self, batch: int = 1) -> int:
+        return batch * self.in_features
+
+    def output_elements(self, batch: int = 1) -> int:
+        return batch * self.out_features
+
+    def gemms(self, batch: int = 1) -> list[Gemm]:
+        return [Gemm(m=batch, k=self.in_features, n=self.out_features)]
+
+
+@dataclass(frozen=True)
+class Pool2D(Layer):
+    """Pooling: no MACs, but it moves activations and reshapes the net."""
+
+    name: str
+    channels: int
+    kernel: int
+    in_size: int
+    stride: int = 2
+    padding: int = 0
+
+    @property
+    def out_size(self) -> int:
+        return _conv_out(self.in_size, self.kernel, self.stride, self.padding)
+
+    def weight_count(self) -> int:
+        return 0
+
+    def macs(self, batch: int = 1) -> int:
+        return 0
+
+    def input_elements(self, batch: int = 1) -> int:
+        return batch * self.channels * self.in_size * self.in_size
+
+    def output_elements(self, batch: int = 1) -> int:
+        return batch * self.channels * self.out_size * self.out_size
+
+    def gemms(self, batch: int = 1) -> list[Gemm]:
+        return []
+
+
+@dataclass(frozen=True)
+class RNNCell(Layer):
+    """Elman RNN layer unrolled over ``steps`` timesteps.
+
+    Per step: ``h_t = f(W_ih x_t + W_hh h_{t-1})`` -- one GEMM of
+    ``K = input + hidden`` against ``N = hidden``.
+    """
+
+    name: str
+    input_size: int
+    hidden_size: int
+    steps: int
+    gates: int = 1  # 1 = vanilla RNN, 3 = GRU
+
+    def weight_count(self) -> int:
+        return self.gates * self.hidden_size * (self.input_size + self.hidden_size)
+
+    def macs(self, batch: int = 1) -> int:
+        return batch * self.steps * self.weight_count()
+
+    def input_elements(self, batch: int = 1) -> int:
+        return batch * self.steps * self.input_size
+
+    def output_elements(self, batch: int = 1) -> int:
+        return batch * self.steps * self.hidden_size
+
+    def gemms(self, batch: int = 1) -> list[Gemm]:
+        return [
+            Gemm(
+                m=batch,
+                k=self.input_size + self.hidden_size,
+                n=self.gates * self.hidden_size,
+                count=self.steps,
+            )
+        ]
+
+
+@dataclass(frozen=True)
+class LSTMCell(RNNCell):
+    """LSTM layer: four gates per step, same GEMM structure otherwise."""
+
+    gates: int = 4

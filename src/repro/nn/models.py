@@ -1,0 +1,216 @@
+"""The six evaluated workloads (paper Table I).
+
+Networks are defined layer-by-layer at standard ImageNet shapes
+(AlexNet / Inception-v1 / ResNet-18 / ResNet-50) plus the two recurrent
+workloads.  Batch sizes are chosen so each network's total operation count
+matches Table I's GOps column; for the recurrent models the resulting
+configuration (batch 16, 32 timesteps) also reproduces the paper's
+memory-boundedness on DDR4 (Figs. 5/6).  See EXPERIMENTS.md, "Table I".
+"""
+
+from __future__ import annotations
+
+from .graph import Network
+from .layers import Conv2D, Dense, Layer, LSTMCell, Pool2D, RNNCell
+
+__all__ = [
+    "alexnet",
+    "inception_v1",
+    "resnet18",
+    "resnet50",
+    "rnn_workload",
+    "lstm_workload",
+    "WORKLOAD_BUILDERS",
+    "paper_workloads",
+]
+
+
+def alexnet(batch: int = 1875) -> Network:
+    """AlexNet (torchvision shape, 61M parameters, ~714M MACs/image)."""
+    layers: list[Layer] = [
+        Conv2D("conv1", 3, 64, kernel=11, in_size=224, stride=4, padding=2),
+        Pool2D("pool1", 64, kernel=3, in_size=55, stride=2),
+        Conv2D("conv2", 64, 192, kernel=5, in_size=27, padding=2),
+        Pool2D("pool2", 192, kernel=3, in_size=27, stride=2),
+        Conv2D("conv3", 192, 384, kernel=3, in_size=13, padding=1),
+        Conv2D("conv4", 384, 256, kernel=3, in_size=13, padding=1),
+        Conv2D("conv5", 256, 256, kernel=3, in_size=13, padding=1),
+        Pool2D("pool5", 256, kernel=3, in_size=13, stride=2),
+        Dense("fc6", 9216, 4096),
+        Dense("fc7", 4096, 4096),
+        Dense("fc8", 4096, 1000),
+    ]
+    return Network(name="AlexNet", layers=layers, batch=batch, kind="CNN")
+
+
+def _inception_module(
+    prefix: str,
+    in_channels: int,
+    size: int,
+    b1: int,
+    b3r: int,
+    b3: int,
+    b5r: int,
+    b5: int,
+    pool_proj: int,
+) -> list[Layer]:
+    """One GoogLeNet inception module (four parallel branches)."""
+    return [
+        Conv2D(f"{prefix}.1x1", in_channels, b1, kernel=1, in_size=size),
+        Conv2D(f"{prefix}.3x3r", in_channels, b3r, kernel=1, in_size=size),
+        Conv2D(f"{prefix}.3x3", b3r, b3, kernel=3, in_size=size, padding=1),
+        Conv2D(f"{prefix}.5x5r", in_channels, b5r, kernel=1, in_size=size),
+        Conv2D(f"{prefix}.5x5", b5r, b5, kernel=5, in_size=size, padding=2),
+        Conv2D(f"{prefix}.pool", in_channels, pool_proj, kernel=1, in_size=size),
+    ]
+
+
+# GoogLeNet module table: (in_ch, size, 1x1, 3x3red, 3x3, 5x5red, 5x5, pool).
+_INCEPTION_TABLE = {
+    "3a": (192, 28, 64, 96, 128, 16, 32, 32),
+    "3b": (256, 28, 128, 128, 192, 32, 96, 64),
+    "4a": (480, 14, 192, 96, 208, 16, 48, 64),
+    "4b": (512, 14, 160, 112, 224, 24, 64, 64),
+    "4c": (512, 14, 128, 128, 256, 24, 64, 64),
+    "4d": (512, 14, 112, 144, 288, 32, 64, 64),
+    "4e": (528, 14, 256, 160, 320, 32, 128, 128),
+    "5a": (832, 7, 256, 160, 320, 32, 128, 128),
+    "5b": (832, 7, 384, 192, 384, 48, 128, 128),
+}
+
+
+def inception_v1(batch: int = 588) -> Network:
+    """GoogLeNet / Inception-v1 (~6.6M parameters, ~1.5G MACs/image)."""
+    layers: list[Layer] = [
+        Conv2D("conv1", 3, 64, kernel=7, in_size=224, stride=2, padding=3),
+        Pool2D("pool1", 64, kernel=3, in_size=112, stride=2, padding=1),
+        Conv2D("conv2r", 64, 64, kernel=1, in_size=56),
+        Conv2D("conv2", 64, 192, kernel=3, in_size=56, padding=1),
+        Pool2D("pool2", 192, kernel=3, in_size=56, stride=2, padding=1),
+    ]
+    for name, (in_ch, size, b1, b3r, b3, b5r, b5, pp) in _INCEPTION_TABLE.items():
+        layers.extend(_inception_module(name, in_ch, size, b1, b3r, b3, b5r, b5, pp))
+        if name == "3b":
+            layers.append(Pool2D("pool3", 480, kernel=3, in_size=28, stride=2, padding=1))
+        if name == "4e":
+            layers.append(Pool2D("pool4", 832, kernel=3, in_size=14, stride=2, padding=1))
+    layers.append(Pool2D("avgpool", 1024, kernel=7, in_size=7, stride=1))
+    layers.append(Dense("fc", 1024, 1000))
+    return Network(name="Inception-v1", layers=layers, batch=batch, kind="CNN")
+
+
+def _basic_block(prefix: str, in_ch: int, out_ch: int, size: int, stride: int) -> list[Layer]:
+    layers = [
+        Conv2D(f"{prefix}.conv1", in_ch, out_ch, kernel=3, in_size=size, stride=stride, padding=1),
+        Conv2D(f"{prefix}.conv2", out_ch, out_ch, kernel=3, in_size=size // stride, padding=1),
+    ]
+    if stride != 1 or in_ch != out_ch:
+        layers.append(
+            Conv2D(f"{prefix}.down", in_ch, out_ch, kernel=1, in_size=size, stride=stride)
+        )
+    return layers
+
+
+def resnet18(batch: int = 1173) -> Network:
+    """ResNet-18 (11.7M parameters, ~1.8G MACs/image)."""
+    layers: list[Layer] = [
+        Conv2D("conv1", 3, 64, kernel=7, in_size=224, stride=2, padding=3),
+        Pool2D("pool1", 64, kernel=3, in_size=112, stride=2, padding=1),
+    ]
+    size, in_ch = 56, 64
+    for stage, (out_ch, stride) in enumerate(
+        [(64, 1), (128, 2), (256, 2), (512, 2)], start=1
+    ):
+        for block in range(2):
+            s = stride if block == 0 else 1
+            layers.extend(_basic_block(f"layer{stage}.{block}", in_ch, out_ch, size, s))
+            size //= s
+            in_ch = out_ch
+    layers.append(Pool2D("avgpool", 512, kernel=7, in_size=7, stride=1))
+    layers.append(Dense("fc", 512, 1000))
+    return Network(name="ResNet-18", layers=layers, batch=batch, kind="CNN")
+
+
+def _bottleneck(prefix: str, in_ch: int, mid: int, out_ch: int, size: int, stride: int) -> list[Layer]:
+    layers = [
+        Conv2D(f"{prefix}.conv1", in_ch, mid, kernel=1, in_size=size),
+        Conv2D(f"{prefix}.conv2", mid, mid, kernel=3, in_size=size, stride=stride, padding=1),
+        Conv2D(f"{prefix}.conv3", mid, out_ch, kernel=1, in_size=size // stride),
+    ]
+    if stride != 1 or in_ch != out_ch:
+        layers.append(
+            Conv2D(f"{prefix}.down", in_ch, out_ch, kernel=1, in_size=size, stride=stride)
+        )
+    return layers
+
+
+def resnet50(batch: int = 979) -> Network:
+    """ResNet-50 (25.6M parameters, ~4.1G MACs/image)."""
+    layers: list[Layer] = [
+        Conv2D("conv1", 3, 64, kernel=7, in_size=224, stride=2, padding=3),
+        Pool2D("pool1", 64, kernel=3, in_size=112, stride=2, padding=1),
+    ]
+    size, in_ch = 56, 64
+    for stage, (mid, blocks, stride) in enumerate(
+        [(64, 3, 1), (128, 4, 2), (256, 6, 2), (512, 3, 2)], start=1
+    ):
+        out_ch = mid * 4
+        for block in range(blocks):
+            s = stride if block == 0 else 1
+            layers.extend(
+                _bottleneck(f"layer{stage}.{block}", in_ch, mid, out_ch, size, s)
+            )
+            size //= s
+            in_ch = out_ch
+    layers.append(Pool2D("avgpool", 2048, kernel=7, in_size=7, stride=1))
+    layers.append(Dense("fc", 2048, 1000))
+    return Network(name="ResNet-50", layers=layers, batch=batch, kind="CNN")
+
+
+def rnn_workload(batch: int = 16, steps: int = 32) -> Network:
+    """Two-layer Elman RNN, 2048 hidden units (~16.8M parameters)."""
+    layers: list[Layer] = [
+        RNNCell("rnn1", input_size=2048, hidden_size=2048, steps=steps),
+        RNNCell("rnn2", input_size=2048, hidden_size=2048, steps=steps),
+    ]
+    return Network(name="RNN", layers=layers, batch=batch, kind="RNN")
+
+
+def lstm_workload(batch: int = 16, steps: int = 32) -> Network:
+    """Single-layer LSTM, 2048 inputs x 1024 hidden (~12.6M parameters)."""
+    layers: list[Layer] = [
+        LSTMCell("lstm1", input_size=2048, hidden_size=1024, steps=steps),
+    ]
+    return Network(name="LSTM", layers=layers, batch=batch, kind="RNN")
+
+
+WORKLOAD_BUILDERS = {
+    "AlexNet": alexnet,
+    "Inception-v1": inception_v1,
+    "ResNet-18": resnet18,
+    "ResNet-50": resnet50,
+    "RNN": rnn_workload,
+    "LSTM": lstm_workload,
+}
+
+
+def paper_workloads() -> list[Network]:
+    """All six Table I workloads at their paper-scale batch sizes."""
+    return [builder() for builder in WORKLOAD_BUILDERS.values()]
+
+
+#: Batch used by the figure experiments for CNNs.  Table I's GOps column
+#: implies large throughput batches; the speedup/energy figures, however,
+#: reflect inference-style batching (EXPERIMENTS.md, "workload calibration").
+EVALUATION_CNN_BATCH = 8
+
+
+def evaluation_workloads(cnn_batch: int = EVALUATION_CNN_BATCH) -> list[Network]:
+    """The six workloads at the batch sizes used for Figs. 5-9."""
+    nets = []
+    for name, builder in WORKLOAD_BUILDERS.items():
+        if name in ("RNN", "LSTM"):
+            nets.append(builder())
+        else:
+            nets.append(builder(batch=cnn_batch))
+    return nets

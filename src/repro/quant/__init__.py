@@ -1,0 +1,33 @@
+"""Quantization library and quantized inference on the composed arithmetic."""
+
+from .conv import QuantizedConv2D, avg_pool2d, im2col, max_pool2d
+from .inference import MLP, QuantizedLinear, make_two_spirals
+from .quantizer import LinearQuantizer, quantization_error
+from .sensitivity import (
+    BitwidthAssignment,
+    SensitivityRecord,
+    assign_bitwidths,
+    average_bitwidth,
+    footprint_reduction,
+    layer_sensitivity,
+)
+from .tensors import QTensor
+
+__all__ = [
+    "QuantizedConv2D",
+    "avg_pool2d",
+    "im2col",
+    "max_pool2d",
+    "MLP",
+    "QuantizedLinear",
+    "make_two_spirals",
+    "LinearQuantizer",
+    "quantization_error",
+    "QTensor",
+    "BitwidthAssignment",
+    "SensitivityRecord",
+    "assign_bitwidths",
+    "average_bitwidth",
+    "footprint_reduction",
+    "layer_sensitivity",
+]

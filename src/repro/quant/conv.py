@@ -1,0 +1,147 @@
+"""Quantized 2-D convolution on the composed arithmetic.
+
+Convolutions lower to GEMMs via im2col -- exactly how the systolic array
+consumes them (paper Section III-C).  This module provides the quantized
+conv/pool operators used to run small CNNs through the same three backends
+as :mod:`repro.quant.inference`: ``float``, ``integer``, and ``composed``
+(bit-parallel, CVU-equivalent).  ``integer`` and ``composed`` agree
+bit-for-bit.
+
+Tensors are NHWC; weights are ``(kh, kw, in_ch, out_ch)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.dotprod import composed_matmul
+from .inference import BACKENDS, _centered_bitwidth
+from .quantizer import LinearQuantizer
+from .tensors import QTensor
+
+__all__ = ["im2col", "QuantizedConv2D", "max_pool2d", "avg_pool2d"]
+
+
+def im2col(x: np.ndarray, kernel: int, stride: int = 1, padding: int = 0) -> np.ndarray:
+    """Unfold NHWC input into ``(N * oh * ow, kernel * kernel * C)`` patches."""
+    if x.ndim != 4:
+        raise ValueError(f"expected NHWC input, got shape {x.shape}")
+    if kernel < 1 or stride < 1 or padding < 0:
+        raise ValueError("invalid convolution geometry")
+    n, h, w, c = x.shape
+    oh = (h + 2 * padding - kernel) // stride + 1
+    ow = (w + 2 * padding - kernel) // stride + 1
+    if oh < 1 or ow < 1:
+        raise ValueError("convolution output collapsed")
+    padded = np.pad(x, ((0, 0), (padding, padding), (padding, padding), (0, 0)))
+    patches = np.empty((n, oh, ow, kernel, kernel, c), dtype=x.dtype)
+    for i in range(kernel):
+        for j in range(kernel):
+            patches[:, :, :, i, j, :] = padded[
+                :, i : i + oh * stride : stride, j : j + ow * stride : stride, :
+            ]
+    return patches.reshape(n * oh * ow, kernel * kernel * c)
+
+
+@dataclass
+class QuantizedConv2D:
+    """A conv layer with float master weights and quantized execution."""
+
+    weight: np.ndarray  # (kh, kw, in_ch, out_ch)
+    bias: np.ndarray  # (out_ch,)
+    stride: int = 1
+    padding: int = 0
+    bits_weights: int = 8
+    bits_activations: int = 8
+    slice_width: int = 2
+    _wq: QTensor | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.weight.ndim != 4:
+            raise ValueError("conv weights must be (kh, kw, in_ch, out_ch)")
+        if self.weight.shape[0] != self.weight.shape[1]:
+            raise ValueError("only square kernels supported")
+        if self.bias.shape != (self.weight.shape[3],):
+            raise ValueError("bias shape must match output channels")
+
+    @property
+    def kernel(self) -> int:
+        return self.weight.shape[0]
+
+    def _weight_matrix(self) -> np.ndarray:
+        k, _, c_in, c_out = self.weight.shape
+        return self.weight.reshape(k * k * c_in, c_out)
+
+    def quantize_weights(self) -> QTensor:
+        if self._wq is None:
+            quantizer = LinearQuantizer(
+                bits=self.bits_weights, signed=True, symmetric=True
+            )
+            self._wq = quantizer(self._weight_matrix())
+        return self._wq
+
+    def forward(self, x: np.ndarray, backend: str = "composed") -> np.ndarray:
+        """Convolve NHWC ``x``; returns NHWC output."""
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+        n, h, w, _ = x.shape
+        oh = (h + 2 * self.padding - self.kernel) // self.stride + 1
+        ow = (w + 2 * self.padding - self.kernel) // self.stride + 1
+        cols = im2col(x, self.kernel, self.stride, self.padding)
+
+        if backend == "float":
+            out = cols @ self._weight_matrix() + self.bias
+            return out.reshape(n, oh, ow, -1)
+
+        wq = self.quantize_weights()
+        aq = LinearQuantizer(
+            bits=self.bits_activations, signed=False, symmetric=False
+        )(cols)
+        a_codes = aq.centered()
+        w_codes = wq.centered()
+        if backend == "integer":
+            acc = a_codes @ w_codes
+        else:
+            bw_a, signed_a = _centered_bitwidth(aq)
+            bw_w, signed_w = _centered_bitwidth(wq)
+            acc = composed_matmul(
+                a_codes,
+                w_codes,
+                bw_a,
+                bw_w,
+                slice_width=self.slice_width,
+                signed_x=signed_a,
+                signed_w=signed_w,
+            )
+        out = acc.astype(np.float64) * (aq.scale * wq.scale) + self.bias
+        return out.reshape(n, oh, ow, -1)
+
+
+def _pool(x: np.ndarray, kernel: int, stride: int, reducer) -> np.ndarray:
+    if x.ndim != 4:
+        raise ValueError(f"expected NHWC input, got shape {x.shape}")
+    n, h, w, c = x.shape
+    oh = (h - kernel) // stride + 1
+    ow = (w - kernel) // stride + 1
+    if oh < 1 or ow < 1:
+        raise ValueError("pool output collapsed")
+    out = np.empty((n, oh, ow, c), dtype=x.dtype)
+    for i in range(oh):
+        for j in range(ow):
+            window = x[
+                :, i * stride : i * stride + kernel, j * stride : j * stride + kernel, :
+            ]
+            out[:, i, j, :] = reducer(window, axis=(1, 2))
+    return out
+
+
+def max_pool2d(x: np.ndarray, kernel: int = 2, stride: int | None = None) -> np.ndarray:
+    """Max pooling over NHWC input."""
+    return _pool(x, kernel, stride or kernel, np.max)
+
+
+def avg_pool2d(x: np.ndarray, kernel: int = 2, stride: int | None = None) -> np.ndarray:
+    """Average pooling over NHWC input."""
+    return _pool(x, kernel, stride or kernel, np.mean)

@@ -1,0 +1,101 @@
+"""Linear (affine/symmetric) quantization.
+
+The paper leans on the algorithmic result that DNN layers tolerate
+heterogeneous sub-8-bit quantization (PACT, WRPN, QNN -- its refs [4, 8,
+13]).  This module provides the quantizers the examples and the quantized
+inference path use: per-tensor linear quantization with symmetric
+(weights) and asymmetric (activations) variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.bitslice import value_range
+from .tensors import QTensor
+
+__all__ = ["LinearQuantizer", "quantization_error"]
+
+
+@dataclass
+class LinearQuantizer:
+    """Per-tensor linear quantizer: ``q = clip(round(x / scale) + zero)``.
+
+    Attributes
+    ----------
+    bits:
+        Target bitwidth (1..8 on the evaluated hardware).
+    signed:
+        Two's-complement codes (typical for weights).
+    symmetric:
+        Force ``zero_point = 0``; preferred for weights so that integer
+        dot products need no zero-point correction terms.
+    """
+
+    bits: int = 8
+    signed: bool = True
+    symmetric: bool = True
+    scale: float | None = None
+    zero_point: int = 0
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.bits <= 16:
+            raise ValueError(f"bits must be in [1, 16], got {self.bits}")
+        if self.symmetric and not self.signed and self.bits < 2:
+            raise ValueError("symmetric unsigned quantization needs >= 2 bits")
+
+    @property
+    def code_range(self) -> tuple[int, int]:
+        return value_range(self.bits, self.signed)
+
+    def fit(self, x: np.ndarray) -> "LinearQuantizer":
+        """Choose scale/zero-point from the data range (min/max calibration)."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.size == 0:
+            raise ValueError("cannot calibrate on an empty tensor")
+        lo_code, hi_code = self.code_range
+        if self.symmetric:
+            absmax = float(np.max(np.abs(x)))
+            limit = max(abs(lo_code), hi_code)
+            self.scale = absmax / limit if absmax > 0 else 1.0
+            self.zero_point = 0
+        else:
+            x_min, x_max = float(x.min()), float(x.max())
+            if x_max == x_min:
+                self.scale = 1.0
+                self.zero_point = int(np.clip(-round(x_min), lo_code, hi_code))
+            else:
+                self.scale = (x_max - x_min) / (hi_code - lo_code)
+                self.zero_point = int(
+                    np.clip(round(lo_code - x_min / self.scale), lo_code, hi_code)
+                )
+        return self
+
+    def quantize(self, x: np.ndarray) -> QTensor:
+        if self.scale is None:
+            raise RuntimeError("quantizer not calibrated; call fit() first")
+        lo, hi = self.code_range
+        codes = np.clip(
+            np.round(np.asarray(x, dtype=np.float64) / self.scale) + self.zero_point,
+            lo,
+            hi,
+        ).astype(np.int64)
+        return QTensor(
+            values=codes,
+            scale=self.scale,
+            zero_point=self.zero_point,
+            bits=self.bits,
+            signed=self.signed,
+        )
+
+    def __call__(self, x: np.ndarray) -> QTensor:
+        """Calibrate on ``x`` and quantize it in one step."""
+        return self.fit(x).quantize(x)
+
+
+def quantization_error(x: np.ndarray, q: QTensor) -> float:
+    """RMS error introduced by quantizing ``x`` to ``q``."""
+    diff = np.asarray(x, dtype=np.float64) - q.dequantize()
+    return float(np.sqrt(np.mean(diff * diff)))

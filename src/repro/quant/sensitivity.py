@@ -1,0 +1,172 @@
+"""Layer-wise quantization sensitivity and automatic bitwidth assignment.
+
+The paper's heterogeneous mode rests on the algorithmic results of PACT /
+WRPN / QNN / ReLeQ (its refs [4, 5, 8, 13, 16]): individual DNN layers
+tolerate different bitwidths, and an assignment that keeps sensitive
+layers (typically first and last) wide while deep-quantizing the rest
+preserves full-precision accuracy.  This module reproduces that substrate
+in miniature on the numpy models:
+
+* :func:`layer_sensitivity` -- quantize one layer at a time and measure
+  the accuracy drop (the standard sensitivity scan);
+* :func:`assign_bitwidths` -- greedy bitwidth search: repeatedly narrow
+  the layer whose narrowing costs the least accuracy, while a validation
+  accuracy floor holds (a deterministic stand-in for ReLeQ's RL search);
+* :func:`average_bitwidth` / :func:`footprint_reduction` -- the metrics
+  such searches optimize.
+
+Everything runs on the ``composed`` backend, so the searched assignments
+are exactly executable on the modelled hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .inference import MLP
+
+__all__ = [
+    "SensitivityRecord",
+    "layer_sensitivity",
+    "BitwidthAssignment",
+    "assign_bitwidths",
+    "average_bitwidth",
+    "footprint_reduction",
+]
+
+
+@dataclass(frozen=True)
+class SensitivityRecord:
+    """Accuracy impact of quantizing one layer to one bitwidth."""
+
+    layer_index: int
+    bits: int
+    accuracy: float
+    accuracy_drop: float
+
+
+def layer_sensitivity(
+    mlp: MLP,
+    x: np.ndarray,
+    y: np.ndarray,
+    bits_candidates: tuple[int, ...] = (8, 4, 2),
+    backend: str = "composed",
+) -> list[SensitivityRecord]:
+    """One-layer-at-a-time sensitivity scan.
+
+    Each record quantizes layer ``i`` (weights and activations) to
+    ``bits`` while every other layer stays at 8-bit, and reports the
+    accuracy against the float reference.
+    """
+    if not bits_candidates:
+        raise ValueError("need at least one candidate bitwidth")
+    reference = mlp.accuracy(x, y, backend="float")
+    records = []
+    n_layers = len(mlp.layers)
+    for index in range(n_layers):
+        for bits in bits_candidates:
+            per_layer = [8] * n_layers
+            per_layer[index] = bits
+            acc = mlp.accuracy(
+                x,
+                y,
+                backend=backend,
+                bits_weights=per_layer,
+                bits_activations=per_layer,
+            )
+            records.append(
+                SensitivityRecord(
+                    layer_index=index,
+                    bits=bits,
+                    accuracy=acc,
+                    accuracy_drop=reference - acc,
+                )
+            )
+    return records
+
+
+@dataclass(frozen=True)
+class BitwidthAssignment:
+    """Result of the greedy bitwidth search."""
+
+    bits_per_layer: tuple[int, ...]
+    accuracy: float
+    float_accuracy: float
+    steps: int
+
+    @property
+    def accuracy_drop(self) -> float:
+        return self.float_accuracy - self.accuracy
+
+
+def assign_bitwidths(
+    mlp: MLP,
+    x: np.ndarray,
+    y: np.ndarray,
+    max_drop: float = 0.02,
+    ladder: tuple[int, ...] = (8, 4, 2),
+    backend: str = "composed",
+) -> BitwidthAssignment:
+    """Greedy heterogeneous bitwidth assignment under an accuracy floor.
+
+    Starting from all layers at ``ladder[0]``, repeatedly evaluates
+    narrowing each layer one rung down the ladder and commits the
+    narrowing with the highest resulting accuracy, as long as accuracy
+    stays within ``max_drop`` of the float reference.  Terminates when no
+    narrowing survives the floor.
+    """
+    if max_drop < 0:
+        raise ValueError("max_drop must be non-negative")
+    if len(ladder) < 2 or any(a <= b for a, b in zip(ladder, ladder[1:])):
+        raise ValueError("ladder must be strictly decreasing, e.g. (8, 4, 2)")
+    n_layers = len(mlp.layers)
+    float_acc = mlp.accuracy(x, y, backend="float")
+    floor = float_acc - max_drop
+    current = [0] * n_layers  # rung index per layer
+    steps = 0
+
+    def acc_for(rungs: list[int]) -> float:
+        bits = [ladder[r] for r in rungs]
+        return mlp.accuracy(
+            x, y, backend=backend, bits_weights=bits, bits_activations=bits
+        )
+
+    while True:
+        best_choice: tuple[float, int] | None = None
+        for layer in range(n_layers):
+            if current[layer] == len(ladder) - 1:
+                continue
+            trial = list(current)
+            trial[layer] += 1
+            acc = acc_for(trial)
+            if acc >= floor and (best_choice is None or acc > best_choice[0]):
+                best_choice = (acc, layer)
+        if best_choice is None:
+            break
+        current[best_choice[1]] += 1
+        steps += 1
+
+    final_bits = tuple(ladder[r] for r in current)
+    return BitwidthAssignment(
+        bits_per_layer=final_bits,
+        accuracy=acc_for(current),
+        float_accuracy=float_acc,
+        steps=steps,
+    )
+
+
+def average_bitwidth(mlp: MLP, bits_per_layer: tuple[int, ...]) -> float:
+    """Parameter-weighted mean bitwidth (the metric deep-quantization
+    papers report)."""
+    if len(bits_per_layer) != len(mlp.layers):
+        raise ValueError("one bitwidth per layer required")
+    weights = [layer.weight.size for layer in mlp.layers]
+    total = sum(weights)
+    return sum(b * w for b, w in zip(bits_per_layer, weights)) / total
+
+
+def footprint_reduction(mlp: MLP, bits_per_layer: tuple[int, ...]) -> float:
+    """Model-size reduction factor vs uniform 8-bit storage."""
+    return 8.0 / average_bitwidth(mlp, bits_per_layer)

@@ -1,0 +1,48 @@
+"""Quantized tensor container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.bitslice import check_range
+
+__all__ = ["QTensor"]
+
+
+@dataclass(frozen=True)
+class QTensor:
+    """An integer-coded tensor with its affine dequantization parameters.
+
+    ``float value ~= (codes - zero_point) * scale``
+    """
+
+    values: np.ndarray
+    scale: float
+    zero_point: int
+    bits: int
+    signed: bool
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+        check_range(self.values, self.bits, self.signed)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.values.shape
+
+    @property
+    def is_symmetric(self) -> bool:
+        return self.zero_point == 0
+
+    def dequantize(self) -> np.ndarray:
+        return (self.values.astype(np.float64) - self.zero_point) * self.scale
+
+    def centered(self) -> np.ndarray:
+        """Zero-point-corrected integer codes (what the MAC array consumes)."""
+        return self.values.astype(np.int64) - self.zero_point
+
+    def storage_bytes(self) -> int:
+        return -(-self.values.size * self.bits // 8)

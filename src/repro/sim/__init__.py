@@ -1,0 +1,27 @@
+"""Tiled systolic-accelerator performance and energy simulator."""
+
+from .performance import LayerResult, simulate_layer
+from .report import Comparison, compare, format_table, geomean
+from .roofline import RooflinePoint, ridge_point, roofline_analysis
+from .simulator import NetworkResult, simulate_network
+from .systolic import SystolicArray, SystolicTileResult
+from .tiling import BufferSplit, TrafficPlan, plan_traffic
+
+__all__ = [
+    "LayerResult",
+    "simulate_layer",
+    "Comparison",
+    "compare",
+    "format_table",
+    "geomean",
+    "NetworkResult",
+    "simulate_network",
+    "BufferSplit",
+    "TrafficPlan",
+    "plan_traffic",
+    "SystolicArray",
+    "SystolicTileResult",
+    "RooflinePoint",
+    "ridge_point",
+    "roofline_analysis",
+]

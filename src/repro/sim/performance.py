@@ -1,0 +1,167 @@
+"""Per-layer cycle and energy model for systolic accelerators.
+
+Timing: the array streams ``M`` result rows through ``ceil(K / R_eff)``
+reduction passes and ``ceil(N / cols)`` column passes -- reduced operand
+bitwidths widen the effective reduction ``R_eff`` on bit-composable
+datapaths.  Compute and DRAM transfers are double-buffered, so a layer
+takes ``max(compute, memory)`` time (the paper's simulator makes the same
+assumption).
+
+Energy: MAC switching energy (bitwidth-mode dependent) + scratchpad fill
+on every DRAM byte + DRAM access energy and interface background power +
+runtime-proportional uncore power (scratchpad leakage, control, clocks).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..hw.dram import MemorySpec
+from ..hw.platforms import AcceleratorSpec
+from ..nn.graph import Network
+from ..nn.layers import Conv2D, Layer
+from .tiling import BufferSplit, plan_traffic
+
+__all__ = ["LayerResult", "simulate_layer"]
+
+
+@dataclass(frozen=True)
+class LayerResult:
+    """Simulated outcome of one layer on one platform + memory system."""
+
+    layer_name: str
+    bw_act: int
+    bw_w: int
+    macs: int
+    compute_cycles: int
+    memory_cycles: int
+    traffic_bytes: int
+    compute_energy_pj: float
+    sram_energy_pj: float
+    dram_energy_pj: float
+    uncore_energy_pj: float
+    schedule: str
+
+    @property
+    def cycles(self) -> int:
+        """Double-buffered layer latency in cycles."""
+        return max(self.compute_cycles, self.memory_cycles)
+
+    @property
+    def is_memory_bound(self) -> bool:
+        return self.memory_cycles > self.compute_cycles
+
+    @property
+    def energy_pj(self) -> float:
+        return (
+            self.compute_energy_pj
+            + self.sram_energy_pj
+            + self.dram_energy_pj
+            + self.uncore_energy_pj
+        )
+
+    def seconds(self, frequency_hz: float) -> float:
+        return self.cycles / frequency_hz
+
+
+def _factor_pairs(n: int) -> list[tuple[int, int]]:
+    pairs = []
+    for a in range(1, n + 1):
+        if n % a == 0:
+            pairs.append((a, n // a))
+    return pairs
+
+
+def _compute_cycles(
+    gemm_m: int,
+    gemm_k: int,
+    gemm_n: int,
+    count: int,
+    spec: AcceleratorSpec,
+    bw_act: int,
+    bw_w: int,
+) -> int:
+    """Cycles for one GEMM on the systolic array, including padding waste.
+
+    Bit-composable modes unlock ``multiplier`` independent dot-product
+    clusters per unit.  Clusters either chain along the reduction dimension
+    (longer effective dot products, paper Fig. 3-c) or map to additional
+    output columns (independent results); the compiler picks the split that
+    minimises padding waste, so we take the best factorisation.
+    """
+    multiplier = spec.throughput_multiplier(bw_act, bw_w)
+    best = None
+    for k_ext, n_ext in _factor_pairs(multiplier):
+        k_passes = math.ceil(gemm_k / (spec.reduction_lanes * k_ext))
+        n_passes = math.ceil(gemm_n / (spec.array_cols * n_ext))
+        cycles = count * gemm_m * k_passes * n_passes
+        if best is None or cycles < best:
+            best = cycles
+    assert best is not None
+    return best
+
+
+def simulate_layer(
+    layer: Layer,
+    network: Network,
+    spec: AcceleratorSpec,
+    memory: MemorySpec,
+    split: BufferSplit = BufferSplit(),
+) -> LayerResult | None:
+    """Simulate one weighted layer; returns ``None`` for compute-free layers."""
+    gemms = layer.gemms(network.batch)
+    if not gemms:
+        return None
+    bw = network.bitwidth(layer.name)
+
+    compute_cycles = 0
+    traffic = 0
+    macs = 0
+    schedules: list[str] = []
+    for gemm in gemms:
+        compute_cycles += _compute_cycles(
+            gemm.m, gemm.k, gemm.n, gemm.count, spec, bw.activations, bw.weights
+        )
+        unique_inputs = None
+        if isinstance(layer, Conv2D):
+            unique_inputs = layer.input_elements(network.batch) // gemm.count
+        plan = plan_traffic(
+            gemm,
+            bw.activations,
+            bw.weights,
+            spec,
+            split=split,
+            input_unique_elements=unique_inputs,
+        )
+        traffic += plan.total_traffic
+        macs += gemm.macs
+        schedules.append(plan.schedule)
+
+    bytes_per_cycle = memory.bytes_per_cycle(spec.frequency_hz)
+    memory_cycles = math.ceil(traffic / bytes_per_cycle)
+
+    mac_energy = spec.mac_energy_pj(bw.activations, bw.weights)
+    spad = spec.scratchpad
+    compute_energy = macs * mac_energy
+    sram_energy = traffic * spad.energy_per_byte_pj  # scratchpad fill
+    dram_energy = memory.transfer_energy_pj(traffic)
+    layer_cycles = max(compute_cycles, memory_cycles)
+    layer_seconds = layer_cycles / spec.frequency_hz
+    uncore_energy = spec.uncore_power_mw * 1e-3 * layer_seconds * 1e12
+    dram_energy += memory.background_power_w * layer_seconds * 1e12
+
+    return LayerResult(
+        layer_name=layer.name,
+        bw_act=bw.activations,
+        bw_w=bw.weights,
+        macs=macs,
+        compute_cycles=compute_cycles,
+        memory_cycles=memory_cycles,
+        traffic_bytes=traffic,
+        compute_energy_pj=compute_energy,
+        sram_energy_pj=sram_energy,
+        dram_energy_pj=dram_energy,
+        uncore_energy_pj=uncore_energy,
+        schedule="+".join(sorted(set(schedules))),
+    )

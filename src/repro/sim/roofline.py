@@ -1,0 +1,72 @@
+"""Roofline analysis for the modelled accelerators.
+
+Places each layer of a workload on the classic roofline: operational
+intensity (MACs per DRAM byte, from the tiling planner) against the
+platform's compute roof and the memory system's bandwidth slope.  This is
+the analytical lens behind the paper's DDR4-vs-HBM2 story -- recurrent
+layers sit far left of the DDR4 ridge point, convolutions far right --
+and a diagnostic downstream users get for their own networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hw.dram import MemorySpec
+from ..hw.platforms import AcceleratorSpec
+from ..nn.graph import Network
+from .performance import simulate_layer
+from .tiling import BufferSplit
+
+__all__ = ["RooflinePoint", "ridge_point", "roofline_analysis"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One layer's position on the roofline."""
+
+    layer_name: str
+    operational_intensity: float  # MACs per DRAM byte
+    attained_macs_per_cycle: float
+    peak_macs_per_cycle: float
+    memory_bound: bool
+
+    @property
+    def roof_fraction(self) -> float:
+        return self.attained_macs_per_cycle / self.peak_macs_per_cycle
+
+
+def ridge_point(spec: AcceleratorSpec, memory: MemorySpec, bw_x: int = 8, bw_w: int = 8) -> float:
+    """Operational intensity (MACs/byte) where compute and memory roofs meet."""
+    peak = spec.macs_per_cycle(bw_x, bw_w)
+    bytes_per_cycle = memory.bytes_per_cycle(spec.frequency_hz)
+    return peak / bytes_per_cycle
+
+
+def roofline_analysis(
+    network: Network,
+    spec: AcceleratorSpec,
+    memory: MemorySpec,
+    split: BufferSplit = BufferSplit(),
+) -> list[RooflinePoint]:
+    """Per-layer roofline placement for ``network`` on ``spec`` + ``memory``."""
+    points = []
+    for layer in network.layers:
+        result = simulate_layer(layer, network, spec, memory, split=split)
+        if result is None:
+            continue
+        intensity = result.macs / result.traffic_bytes
+        attained = result.macs / result.cycles
+        peak = spec.macs_per_cycle(result.bw_act, result.bw_w)
+        points.append(
+            RooflinePoint(
+                layer_name=result.layer_name,
+                operational_intensity=intensity,
+                attained_macs_per_cycle=attained,
+                peak_macs_per_cycle=peak,
+                memory_bound=result.is_memory_bound,
+            )
+        )
+    if not points:
+        raise ValueError(f"{network.name} has no layers to analyse")
+    return points

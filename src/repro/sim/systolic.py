@@ -1,0 +1,142 @@
+"""Cycle-accurate weight-stationary systolic array model.
+
+The analytical performance model (:mod:`repro.sim.performance`) charges
+``M`` cycles per (K-pass, N-pass) tile.  This module simulates the array
+register-by-register -- activations skewed along rows, partial sums
+flowing down columns, weights resident in PEs -- to validate both the
+*functional* output (exact GEMM) and the *timing* (the analytical count is
+the steady-state limit; the cycle-accurate count adds the pipeline
+fill/drain ``R + C - 1`` and the weight-load ``R`` per tile, which
+amortize away for realistic ``M``).
+
+This is the TPU-style organization the paper builds BPVeC on; each "PE"
+here stands for one CVU column slot (the CVU's internal vector/bit
+parallelism is validated separately by :mod:`repro.core`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SystolicTileResult", "SystolicArray"]
+
+
+@dataclass(frozen=True)
+class SystolicTileResult:
+    """Outcome of streaming one tile GEMM through the array."""
+
+    output: np.ndarray
+    cycles: int
+    weight_load_cycles: int
+    fill_drain_cycles: int
+
+    @property
+    def steady_state_cycles(self) -> int:
+        return self.cycles - self.weight_load_cycles - self.fill_drain_cycles
+
+
+class SystolicArray:
+    """A ``rows x cols`` weight-stationary systolic array.
+
+    ``rows`` spans the reduction (K) dimension, ``cols`` the output (N)
+    dimension.  One tile holds a ``rows x cols`` weight block; activations
+    stream M rows through it.
+    """
+
+    def __init__(self, rows: int, cols: int) -> None:
+        if rows < 1 or cols < 1:
+            raise ValueError("array dimensions must be >= 1")
+        self.rows = rows
+        self.cols = cols
+
+    # ------------------------------------------------------------------
+    def tile_cycles(self, m: int) -> int:
+        """Closed-form cycle count for one tile of M activation rows."""
+        if m < 1:
+            raise ValueError("m must be >= 1")
+        return self.rows + (m + self.rows + self.cols - 2)
+
+    def run_tile(self, activations: np.ndarray, weights: np.ndarray) -> SystolicTileResult:
+        """Cycle-by-cycle simulation of one weight-stationary tile.
+
+        ``activations`` is ``(M, rows)`` and ``weights`` ``(rows, cols)``;
+        smaller operands are zero-padded (modelling an underutilized tile).
+        Returns the exact ``activations @ weights`` alongside the cycle
+        count.
+        """
+        activations = np.asarray(activations, dtype=np.int64)
+        weights = np.asarray(weights, dtype=np.int64)
+        if activations.ndim != 2 or weights.ndim != 2:
+            raise ValueError("operands must be 2-D")
+        m, k = activations.shape
+        kw, n = weights.shape
+        if k > self.rows or kw > self.rows:
+            raise ValueError(f"reduction {max(k, kw)} exceeds {self.rows} rows")
+        if k != kw:
+            raise ValueError(f"inner dimensions differ: {k} vs {kw}")
+        if n > self.cols:
+            raise ValueError(f"{n} output columns exceed {self.cols}")
+
+        r, c = self.rows, self.cols
+        a = np.zeros((m, r), dtype=np.int64)
+        a[:, :k] = activations
+        w = np.zeros((r, c), dtype=np.int64)
+        w[:k, :n] = weights
+
+        weight_load = r  # one weight row shifted in per cycle
+        fill_drain = r + c - 2
+        stream_cycles = m + fill_drain  # last output at t = m + r + c - 3
+
+        act_reg = np.zeros((r, c), dtype=np.int64)
+        psum_reg = np.zeros((r, c), dtype=np.int64)
+        out = np.zeros((m, c), dtype=np.int64)
+
+        for t in range(stream_cycles):
+            # Shift activations one PE right; inject the skewed column 0.
+            new_act = np.empty_like(act_reg)
+            new_act[:, 1:] = act_reg[:, :-1]
+            for row in range(r):
+                idx = t - row
+                new_act[row, 0] = a[idx, row] if 0 <= idx < m else 0
+            # Partial sums advance one PE down as each PE fires its MAC.
+            new_psum = np.empty_like(psum_reg)
+            new_psum[0] = w[0] * new_act[0]
+            new_psum[1:] = psum_reg[:-1] + w[1:] * new_act[1:]
+            act_reg, psum_reg = new_act, new_psum
+            # Bottom row emits output row m_out for column c_out when
+            # t == m_out + (r - 1) + c_out.
+            for col in range(c):
+                m_out = t - (r - 1) - col
+                if 0 <= m_out < m:
+                    out[m_out, col] = psum_reg[r - 1, col]
+
+        expected = activations @ weights
+        if not np.array_equal(out[:, :n], expected):
+            raise AssertionError("systolic dataflow produced a wrong GEMM result")
+        return SystolicTileResult(
+            output=out[:, :n],
+            cycles=weight_load + stream_cycles,
+            weight_load_cycles=weight_load,
+            fill_drain_cycles=fill_drain,
+        )
+
+    def run_gemm(self, a: np.ndarray, w: np.ndarray) -> tuple[np.ndarray, int]:
+        """Tile a full GEMM over the array; returns (result, total cycles)."""
+        a = np.asarray(a, dtype=np.int64)
+        w = np.asarray(w, dtype=np.int64)
+        m, k = a.shape
+        _, n = w.shape
+        out = np.zeros((m, n), dtype=np.int64)
+        cycles = 0
+        for k0 in range(0, k, self.rows):
+            k1 = min(k, k0 + self.rows)
+            for n0 in range(0, n, self.cols):
+                n1 = min(n, n0 + self.cols)
+                tile = self.run_tile(a[:, k0:k1], w[k0:k1, n0:n1])
+                out[:, n0:n1] += tile.output
+                cycles += tile.cycles
+        if not np.array_equal(out, a @ w):
+            raise AssertionError("tiled systolic GEMM mismatch")
+        return out, cycles

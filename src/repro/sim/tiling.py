@@ -1,0 +1,157 @@
+"""Scratchpad-constrained tiling and DRAM traffic estimation.
+
+For every GEMM the simulator evaluates the three canonical dataflow
+schedules an accelerator compiler would consider and keeps the cheapest:
+
+* **weight-stationary**: weights resident in their scratchpad partition;
+  activations are re-streamed once per weight pass;
+* **activation-stationary**: the converse;
+* **output-stationary**: a square-ish output tile accumulates on-chip while
+  both operands stream; operand traffic multiplies by the number of
+  column/row tile passes.
+
+Traffic never drops below the compulsory minimum (each operand byte and
+each output byte crosses the DRAM interface at least once -- weights only
+once across repeated GEMMs when they fit on chip, e.g. recurrent steps).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..hw.platforms import AcceleratorSpec
+from ..nn.layers import Gemm
+
+__all__ = ["BufferSplit", "TrafficPlan", "plan_traffic"]
+
+_OUTPUT_BYTES_PER_ELEMENT = 1  # outputs are requantized to 8-bit on write-back
+_ACCUMULATOR_BYTES = 4
+
+
+@dataclass(frozen=True)
+class BufferSplit:
+    """How the unified scratchpad is partitioned between operand classes."""
+
+    weight_fraction: float = 0.4
+    activation_fraction: float = 0.4
+    accumulator_fraction: float = 0.2
+
+    def __post_init__(self) -> None:
+        total = (
+            self.weight_fraction
+            + self.activation_fraction
+            + self.accumulator_fraction
+        )
+        if not math.isclose(total, 1.0, rel_tol=1e-6):
+            raise ValueError(f"buffer fractions must sum to 1, got {total}")
+        if min(
+            self.weight_fraction,
+            self.activation_fraction,
+            self.accumulator_fraction,
+        ) <= 0:
+            raise ValueError("every buffer fraction must be positive")
+
+
+@dataclass(frozen=True)
+class TrafficPlan:
+    """DRAM traffic (bytes) chosen for one GEMM workload."""
+
+    schedule: str
+    weight_traffic: int
+    input_traffic: int
+    output_traffic: int
+    weight_bytes: int
+    input_bytes_per_repeat: int
+
+    @property
+    def total_traffic(self) -> int:
+        return self.weight_traffic + self.input_traffic + self.output_traffic
+
+
+def _bytes(elements: int, bits: int) -> int:
+    return -(-elements * bits // 8)
+
+
+def plan_traffic(
+    gemm: Gemm,
+    bw_act: int,
+    bw_w: int,
+    spec: AcceleratorSpec,
+    split: BufferSplit = BufferSplit(),
+    input_unique_elements: int | None = None,
+) -> TrafficPlan:
+    """Pick the cheapest schedule for ``gemm`` on ``spec``.
+
+    ``input_unique_elements`` is the true activation footprint when the GEMM
+    is an im2col lowering of a convolution (the sliding-window overlap is
+    served from on-chip line buffers, so DRAM only sees each input element
+    once per pass).
+    """
+    if not 1 <= bw_act <= 8 or not 1 <= bw_w <= 8:
+        raise ValueError(f"unsupported bitwidths {bw_act}x{bw_w}")
+
+    w_buf = int(spec.onchip_bytes * split.weight_fraction)
+    a_buf = int(spec.onchip_bytes * split.activation_fraction)
+    acc_elems = int(spec.onchip_bytes * split.accumulator_fraction) // _ACCUMULATOR_BYTES
+
+    weight_bytes = _bytes(gemm.weight_elements, bw_w)
+    unique_inputs = (
+        input_unique_elements
+        if input_unique_elements is not None
+        else gemm.m * gemm.k
+    )
+    input_bytes = _bytes(unique_inputs, bw_act)
+    output_bytes = gemm.m * gemm.n * _OUTPUT_BYTES_PER_ELEMENT
+    count = gemm.count
+
+    candidates: list[TrafficPlan] = []
+
+    # Weight-stationary: weights tiled into the weight buffer; activations
+    # re-streamed once per weight pass.  When all weights fit, repeated
+    # GEMMs (recurrent steps) reuse them without reloading.
+    w_passes = max(1, math.ceil(weight_bytes / w_buf))
+    w_traffic = weight_bytes if weight_bytes <= w_buf else weight_bytes * count
+    candidates.append(
+        TrafficPlan(
+            schedule="weight-stationary",
+            weight_traffic=w_traffic,
+            input_traffic=input_bytes * w_passes * count,
+            output_traffic=output_bytes * count,
+            weight_bytes=weight_bytes,
+            input_bytes_per_repeat=input_bytes,
+        )
+    )
+
+    # Activation-stationary: the converse.
+    a_passes = max(1, math.ceil(input_bytes / a_buf))
+    candidates.append(
+        TrafficPlan(
+            schedule="activation-stationary",
+            weight_traffic=weight_bytes * a_passes * count,
+            input_traffic=input_bytes * count,
+            output_traffic=output_bytes * count,
+            weight_bytes=weight_bytes,
+            input_bytes_per_repeat=input_bytes,
+        )
+    )
+
+    # Output-stationary: square-ish accumulator tile; both operands stream
+    # once per opposing tile pass.
+    tile = max(1, int(math.sqrt(acc_elems)))
+    m_tile = min(gemm.m, tile)
+    n_tile = min(gemm.n, max(1, acc_elems // m_tile))
+    m_passes = math.ceil(gemm.m / m_tile)
+    n_passes = math.ceil(gemm.n / n_tile)
+    candidates.append(
+        TrafficPlan(
+            schedule="output-stationary",
+            weight_traffic=weight_bytes * m_passes * count,
+            input_traffic=input_bytes * n_passes * count,
+            output_traffic=output_bytes * count,
+            weight_bytes=weight_bytes,
+            input_bytes_per_repeat=input_bytes,
+        )
+    )
+
+    return min(candidates, key=lambda plan: plan.total_traffic)

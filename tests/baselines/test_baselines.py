@@ -1,0 +1,128 @@
+"""Tests for the TPU-like, BitFusion, and GPU baseline models."""
+
+import pytest
+
+from repro.baselines import (
+    BITFUSION,
+    FusionUnit,
+    RTX_2080_TI,
+    TPU_LIKE,
+    core_power_mw,
+    simulate_gpu,
+    supports_bitwidth_speedup,
+)
+from repro.baselines.gpu import GPUSpec
+from repro.nn import (
+    homogeneous_8bit,
+    lstm_workload,
+    resnet18,
+    rnn_workload,
+)
+
+
+class TestTPULike:
+    def test_power_budget_saturated(self):
+        assert core_power_mw() == pytest.approx(250.0)
+
+    def test_no_bitwidth_speedup(self):
+        assert not supports_bitwidth_speedup()
+
+
+class TestFusionUnit:
+    def test_sixteen_bitbricks(self):
+        assert FusionUnit().num_bitbricks == 16
+
+    def test_mode_throughputs(self):
+        fu = FusionUnit()
+        assert fu.multiplies_per_cycle(8, 8) == 1
+        assert fu.multiplies_per_cycle(8, 4) == 2
+        assert fu.multiplies_per_cycle(8, 2) == 4
+        assert fu.multiplies_per_cycle(4, 4) == 4
+        assert fu.multiplies_per_cycle(2, 2) == 16
+
+    def test_bricks_per_product(self):
+        fu = FusionUnit()
+        assert fu.bitbricks_per_product(8, 8) == 16
+        assert fu.bitbricks_per_product(2, 2) == 1
+
+    def test_matches_platform_spec(self):
+        fu = FusionUnit()
+        for bw in (2, 4, 8):
+            assert (
+                BITFUSION.throughput_multiplier(bw, bw)
+                == fu.multiplies_per_cycle(bw, bw)
+            )
+
+    def test_fig4_cost_ratios(self):
+        """BitFusion sits at the 2-bit, L=1 point: ~1.4x area, >1x power."""
+        fu = FusionUnit()
+        assert fu.area_ratio_vs_conventional == pytest.approx(1.40, rel=0.02)
+        assert fu.power_ratio_vs_conventional > 1.0
+
+
+class TestGPUSpec:
+    def test_table2_parameters(self):
+        assert RTX_2080_TI.tensor_cores == 544
+        assert RTX_2080_TI.frequency_hz == pytest.approx(1545e6)
+        assert RTX_2080_TI.memory_gb == 11.0
+
+    def test_int4_peak_doubles_int8(self):
+        assert RTX_2080_TI.peak_ops(4) == pytest.approx(
+            2 * RTX_2080_TI.peak_ops(8), rel=0.01
+        )
+
+    def test_unsupported_precision(self):
+        with pytest.raises(ValueError):
+            RTX_2080_TI.peak_ops(16)
+
+
+class TestGPUSimulation:
+    def test_cnn_much_more_efficient_than_rnn(self):
+        """TensorRT-class behaviour: recurrent GEMV work is very inefficient."""
+        cnn = simulate_gpu(homogeneous_8bit(resnet18(batch=8)))
+        rnn = simulate_gpu(homogeneous_8bit(rnn_workload()))
+        cnn_eff = cnn.ops_per_second / RTX_2080_TI.peak_ops(8)
+        rnn_eff = rnn.ops_per_second / RTX_2080_TI.peak_ops(8)
+        assert cnn_eff > 20 * rnn_eff
+
+    def test_power_between_idle_and_tdp(self):
+        for net in (resnet18(batch=8), lstm_workload()):
+            res = simulate_gpu(homogeneous_8bit(net))
+            assert RTX_2080_TI.idle_w < res.average_power_w < RTX_2080_TI.tdp_w
+
+    def test_int4_faster_than_int8(self):
+        net = homogeneous_8bit(resnet18(batch=8))
+        assert (
+            simulate_gpu(net, precision=4).total_seconds
+            < simulate_gpu(net, precision=8).total_seconds
+        )
+
+    def test_derived_metrics(self):
+        res = simulate_gpu(homogeneous_8bit(resnet18(batch=2)))
+        assert res.ops_per_second == pytest.approx(res.total_ops / res.total_seconds)
+        assert res.perf_per_watt == pytest.approx(
+            res.ops_per_second / res.average_power_w
+        )
+
+    def test_empty_network_rejected(self):
+        from repro.nn import Network, Pool2D
+
+        net = Network("p", [Pool2D("p", 2, kernel=2, in_size=4)])
+        with pytest.raises(ValueError):
+            simulate_gpu(net)
+
+    def test_custom_gpu(self):
+        slow = GPUSpec(
+            name="half",
+            tensor_cores=272,
+            frequency_hz=1e9,
+            int8_peak_tops=100.0,
+            int4_peak_tops=200.0,
+            tdp_w=150.0,
+            idle_w=30.0,
+        )
+        net = homogeneous_8bit(resnet18(batch=2))
+        assert (
+            simulate_gpu(net, gpu=slow).total_seconds
+            > simulate_gpu(net).total_seconds
+        )

@@ -1,0 +1,77 @@
+"""Tests for the temporal (bit-serial) Stripes/Loom baselines."""
+
+import pytest
+
+from repro.baselines import LOOM, STRIPES, TAXONOMY
+from repro.hw import BPVEC, HBM2, TPU_LIKE
+from repro.nn import lstm_workload, paper_heterogeneous, resnet50
+from repro.sim import simulate_network
+
+
+class TestThroughputScaling:
+    def test_stripes_activation_serial(self):
+        """Stripes gains only from narrow activations."""
+        assert STRIPES.throughput_multiplier(8, 8) == 1
+        assert STRIPES.throughput_multiplier(4, 8) == 2
+        assert STRIPES.throughput_multiplier(2, 8) == 4
+        assert STRIPES.throughput_multiplier(8, 2) == 1  # weights don't help
+
+    def test_loom_fully_serial(self):
+        assert LOOM.throughput_multiplier(8, 8) == 1
+        assert LOOM.throughput_multiplier(4, 4) == 4
+        assert LOOM.throughput_multiplier(2, 2) == 16
+        assert LOOM.throughput_multiplier(8, 2) == 4
+
+    def test_loom_matches_spatial_mode_scaling(self):
+        """Temporal-both and spatial designs share the mode algebra."""
+        for bw in ((8, 8), (8, 4), (4, 4), (2, 2)):
+            assert LOOM.throughput_multiplier(*bw) == BPVEC.throughput_multiplier(*bw)
+
+
+class TestPowerDiscipline:
+    def test_serial_units_cost_more_per_mac(self):
+        assert STRIPES.num_macs < TPU_LIKE.num_macs
+        assert LOOM.num_macs <= STRIPES.num_macs
+
+    def test_mac_energy_ratios(self):
+        assert STRIPES.mac_energy_pj(8, 8) == pytest.approx(
+            1.15 * TPU_LIKE.mac_energy_pj(8, 8)
+        )
+        assert LOOM.mac_energy_pj(8, 8) == pytest.approx(
+            1.25 * TPU_LIKE.mac_energy_pj(8, 8)
+        )
+
+    def test_reduced_bitwidth_divides_serial_energy(self):
+        assert LOOM.mac_energy_pj(4, 4) == pytest.approx(
+            LOOM.mac_energy_pj(8, 8) / 4
+        )
+
+
+class TestTaxonomyOrdering:
+    def test_taxonomy_table_complete(self):
+        labels = [t[0] for t in TAXONOMY]
+        assert labels == ["TPU-like", "Stripes", "Loom", "BitFusion", "BPVeC"]
+        corners = {t[2] for t in TAXONOMY}
+        assert ("vectorized", "flexible", "spatial") in corners
+
+    def test_bpvec_beats_temporal_designs_on_quantized_cnn(self):
+        """The vacant corner wins: vector-spatial > scalar-temporal."""
+        net = paper_heterogeneous(resnet50(batch=4))
+        loom = simulate_network(net, LOOM, HBM2)
+        stripes = simulate_network(net, STRIPES, HBM2)
+        bpvec = simulate_network(net, BPVEC, HBM2)
+        assert bpvec.total_cycles < loom.total_cycles < stripes.total_cycles
+
+    def test_bandwidth_walls_fully_flexible_styles_equally(self):
+        """Loom and BPVeC hit the same DDR4 wall on the 4-bit LSTM (the
+        Fig. 5 RNN story); Stripes is slower outright because
+        activation-only serialization recovers just 2x of the 4x mode."""
+        from repro.hw import DDR4
+
+        net = paper_heterogeneous(lstm_workload())
+        loom = simulate_network(net, LOOM, DDR4)
+        bpvec = simulate_network(net, BPVEC, DDR4)
+        stripes = simulate_network(net, STRIPES, DDR4)
+        assert loom.total_seconds == pytest.approx(bpvec.total_seconds, rel=0.02)
+        assert loom.memory_bound_fraction == 1.0
+        assert stripes.total_seconds > 1.2 * bpvec.total_seconds

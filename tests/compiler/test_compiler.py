@@ -1,0 +1,157 @@
+"""Tests for the ISA, lowering, and executor."""
+
+import pytest
+
+from repro.compiler import (
+    Barrier,
+    Executor,
+    GemmTile,
+    LoadTile,
+    Program,
+    SetMode,
+    StoreTile,
+    functional_check,
+    lower_layer,
+    lower_network,
+)
+from repro.hw import BITFUSION, BPVEC, DDR4, HBM2, TPU_LIKE
+from repro.nn import (
+    Dense,
+    Network,
+    Pool2D,
+    alexnet,
+    homogeneous_8bit,
+    lstm_workload,
+    paper_heterogeneous,
+    resnet18,
+    uniform,
+)
+from repro.sim import simulate_network
+
+
+class TestISA:
+    def test_instruction_validation(self):
+        with pytest.raises(ValueError):
+            SetMode(0, 8)
+        with pytest.raises(ValueError):
+            LoadTile("cache", 10)
+        with pytest.raises(ValueError):
+            LoadTile("weights", -1)
+        with pytest.raises(ValueError):
+            StoreTile(-1)
+        with pytest.raises(ValueError):
+            GemmTile(0, 1, 1)
+
+    def test_program_aggregates(self):
+        p = Program()
+        p.append(SetMode(8, 8))
+        p.append(LoadTile("weights", 100))
+        p.append(LoadTile("activations", 50))
+        p.append(GemmTile(2, 3, 4, count=5))
+        p.append(StoreTile(40))
+        p.append(Barrier("l0"))
+        assert p.total_load_bytes == 150
+        assert p.total_store_bytes == 40
+        assert p.total_traffic_bytes == 190
+        assert p.total_macs == 2 * 3 * 4 * 5
+        assert len(p) == 6
+        p.validate()
+
+    def test_validate_rejects_gemm_before_mode(self):
+        p = Program([GemmTile(1, 1, 1), Barrier()])
+        with pytest.raises(ValueError):
+            p.validate()
+
+    def test_validate_rejects_missing_final_barrier(self):
+        p = Program([SetMode(8, 8), GemmTile(1, 1, 1)])
+        with pytest.raises(ValueError):
+            p.validate()
+
+    def test_summary(self):
+        p = Program([SetMode(8, 8), GemmTile(10, 10, 10), Barrier()])
+        s = p.summary()
+        assert "GemmTile" in s and "MMACs" in s
+
+
+class TestLowering:
+    def test_pool_layers_skipped(self):
+        pool = Pool2D("p", 4, kernel=2, in_size=8)
+        net = Network("T", [pool])
+        assert lower_layer(pool, net, BPVEC) is None
+
+    def test_layer_program_structure(self):
+        layer = Dense("fc", 128, 64)
+        net = uniform(Network("T", [layer], batch=4), 8, 8)
+        prog = lower_layer(layer, net, BPVEC)
+        kinds = [type(i).__name__ for i in prog]
+        assert kinds == ["SetMode", "LoadTile", "LoadTile", "GemmTile", "StoreTile", "Barrier"]
+
+    def test_heterogeneous_modes_emitted(self):
+        net = paper_heterogeneous(alexnet(batch=1))
+        prog = lower_network(net, BPVEC)
+        modes = {(i.bw_act, i.bw_w) for i in prog if isinstance(i, SetMode)}
+        assert (8, 8) in modes and (4, 4) in modes
+
+    def test_empty_network_rejected(self):
+        net = Network("p", [Pool2D("p", 2, kernel=2, in_size=4)])
+        with pytest.raises(ValueError):
+            lower_network(net, BPVEC)
+
+    def test_macs_match_network(self):
+        net = homogeneous_8bit(resnet18(batch=2))
+        prog = lower_network(net, BPVEC)
+        assert prog.total_macs == net.total_macs()
+
+
+class TestExecutorAgreesWithSimulator:
+    @pytest.mark.parametrize("spec", [TPU_LIKE, BITFUSION, BPVEC])
+    @pytest.mark.parametrize("memory", [DDR4, HBM2])
+    def test_resnet18_cycle_agreement(self, spec, memory):
+        """Executing the lowered program == analytical simulation."""
+        net = homogeneous_8bit(resnet18(batch=2))
+        prog = lower_network(net, spec)
+        result = Executor(spec, memory).run(prog)
+        sim = simulate_network(net, spec, memory)
+        assert result.cycles == sim.total_cycles
+        assert result.traffic_bytes == sim.total_traffic_bytes
+        assert result.macs == sim.total_macs
+
+    def test_lstm_heterogeneous_agreement(self):
+        net = paper_heterogeneous(lstm_workload())
+        prog = lower_network(net, BPVEC)
+        result = Executor(BPVEC, DDR4).run(prog)
+        sim = simulate_network(net, BPVEC, DDR4)
+        assert result.cycles == sim.total_cycles
+
+    def test_segments_equal_weighted_layers(self):
+        net = homogeneous_8bit(resnet18(batch=1))
+        prog = lower_network(net, BPVEC)
+        result = Executor(BPVEC, DDR4).run(prog)
+        assert result.segments == 21
+
+    def test_seconds_helper(self):
+        net = homogeneous_8bit(lstm_workload())
+        result = Executor(BPVEC, DDR4).run(lower_network(net, BPVEC))
+        assert result.seconds(500e6) == pytest.approx(result.cycles / 500e6)
+
+    def test_gemm_before_mode_rejected_at_runtime(self):
+        p = Program([SetMode(8, 8), GemmTile(1, 1, 1), Barrier()])
+        p.instructions.pop(0)
+        p.instructions.insert(0, Barrier())  # keep final barrier rule happy
+        p2 = Program([GemmTile(1, 1, 1), Barrier()])
+        with pytest.raises(ValueError):
+            Executor(BPVEC, DDR4).run(p2)
+
+
+class TestFunctionalCheck:
+    def test_alexnet_program_semantics(self):
+        net = paper_heterogeneous(alexnet(batch=1))
+        prog = lower_network(net, BPVEC)
+        checked = functional_check(prog, max_elements=256)
+        assert checked == len([i for i in prog if isinstance(i, GemmTile)])
+
+    def test_mismatch_detection_wiring(self):
+        """A program with no mode fails fast."""
+        p = Program([GemmTile(2, 2, 2), Barrier()])
+        with pytest.raises(ValueError):
+            functional_check(p)

@@ -1,0 +1,179 @@
+"""Unit and property tests for the bit-slicing math (paper Eq. 1-4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import bitslice
+
+
+class TestNumSlices:
+    def test_exact_division(self):
+        assert bitslice.num_slices(8, 2) == 4
+        assert bitslice.num_slices(8, 1) == 8
+        assert bitslice.num_slices(8, 4) == 2
+        assert bitslice.num_slices(8, 8) == 1
+
+    def test_round_up(self):
+        assert bitslice.num_slices(3, 2) == 2
+        assert bitslice.num_slices(5, 2) == 3
+        assert bitslice.num_slices(7, 4) == 2
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            bitslice.num_slices(0, 2)
+        with pytest.raises(ValueError):
+            bitslice.num_slices(8, 0)
+
+
+class TestValueRange:
+    def test_signed(self):
+        assert bitslice.value_range(8, True) == (-128, 127)
+        assert bitslice.value_range(2, True) == (-2, 1)
+        assert bitslice.value_range(1, True) == (-1, 0)
+
+    def test_unsigned(self):
+        assert bitslice.value_range(8, False) == (0, 255)
+        assert bitslice.value_range(1, False) == (0, 1)
+
+    def test_check_range_rejects(self):
+        with pytest.raises(ValueError):
+            bitslice.check_range(np.array([128]), 8, True)
+        with pytest.raises(ValueError):
+            bitslice.check_range(np.array([-1]), 8, False)
+        with pytest.raises(ValueError):
+            bitslice.check_range(np.array([256]), 8, False)
+
+    def test_check_range_accepts_boundary(self):
+        bitslice.check_range(np.array([-128, 127]), 8, True)
+        bitslice.check_range(np.array([0, 255]), 8, False)
+        bitslice.check_range(np.array([], dtype=np.int64), 8, False)
+
+
+class TestSliceVector:
+    def test_unsigned_example(self):
+        # 0b1101_10 = 54 with 2-bit slices: [2, 1, 3]
+        slices = bitslice.slice_vector(np.array([54]), 6, 2, signed=False)
+        np.testing.assert_array_equal(slices[:, 0], [2, 1, 3])
+
+    def test_signed_top_slice_is_negative(self):
+        # -1 in 8-bit two's complement = 0xFF; 2-bit slices 3,3,3, top = -1
+        slices = bitslice.slice_vector(np.array([-1]), 8, 2, signed=True)
+        np.testing.assert_array_equal(slices[:, 0], [3, 3, 3, -1])
+
+    def test_signed_min_value(self):
+        slices = bitslice.slice_vector(np.array([-128]), 8, 2, signed=True)
+        np.testing.assert_array_equal(slices[:, 0], [0, 0, 0, -2])
+
+    def test_slice_shape(self):
+        x = np.zeros((3, 5), dtype=np.int64)
+        slices = bitslice.slice_vector(x, 8, 2, signed=True)
+        assert slices.shape == (4, 3, 5)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            bitslice.slice_vector(np.array([300]), 8, 2, signed=False)
+
+    def test_non_dividing_slice_width_pads(self):
+        # 3-bit signed value -4 with 2-bit slices -> 2 slices covering 4 bits.
+        slices = bitslice.slice_vector(np.array([-4]), 3, 2, signed=True)
+        assert slices.shape[0] == 2
+        assert bitslice.recompose_vector(slices, 2)[0] == -4
+
+
+class TestRecompose:
+    def test_roundtrip_simple(self):
+        x = np.array([-128, -1, 0, 1, 127])
+        slices = bitslice.slice_vector(x, 8, 2, signed=True)
+        np.testing.assert_array_equal(bitslice.recompose_vector(slices, 2), x)
+
+    def test_empty_slices_rejected(self):
+        with pytest.raises(ValueError):
+            bitslice.recompose_vector(np.zeros((0, 4)), 2)
+
+    def test_slice_weights(self):
+        np.testing.assert_array_equal(bitslice.slice_weights(8, 2), [1, 4, 16, 64])
+        np.testing.assert_array_equal(bitslice.slice_weights(4, 1), [1, 2, 4, 8])
+
+
+@st.composite
+def slicing_case(draw):
+    """Random (vector pair, bitwidths, slicing, signedness) combination."""
+    bw_x = draw(st.integers(1, 8))
+    bw_w = draw(st.integers(1, 8))
+    slice_x = draw(st.integers(1, 4))
+    slice_w = draw(st.integers(1, 4))
+    signed_x = draw(st.booleans())
+    signed_w = draw(st.booleans())
+    n = draw(st.integers(1, 64))
+    lo_x, hi_x = bitslice.value_range(bw_x, signed_x)
+    lo_w, hi_w = bitslice.value_range(bw_w, signed_w)
+    x = draw(
+        st.lists(st.integers(lo_x, hi_x), min_size=n, max_size=n).map(np.array)
+    )
+    w = draw(
+        st.lists(st.integers(lo_w, hi_w), min_size=n, max_size=n).map(np.array)
+    )
+    return x, w, bw_x, bw_w, slice_x, slice_w, signed_x, signed_w
+
+
+@settings(max_examples=200, deadline=None)
+@given(slicing_case())
+def test_slice_recompose_roundtrip(case):
+    """Invariant: recompose(slice(x)) == x for every configuration."""
+    x, _, bw_x, _, slice_x, _, signed_x, _ = case
+    slices = bitslice.slice_vector(x, bw_x, slice_x, signed_x)
+    np.testing.assert_array_equal(bitslice.recompose_vector(slices, slice_x), x)
+
+
+@settings(max_examples=200, deadline=None)
+@given(slicing_case())
+def test_sliced_dot_product_exact(case):
+    """Invariant (Eq. 4): composed dot product == plain integer dot product."""
+    x, w, bw_x, bw_w, slice_x, slice_w, signed_x, signed_w = case
+    expected = int(np.dot(x.astype(np.int64), w.astype(np.int64)))
+    got = bitslice.sliced_dot_product(
+        x, w, bw_x, bw_w, slice_x, slice_w, signed_x, signed_w
+    )
+    assert got == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(slicing_case())
+def test_term_shifts_bounded(case):
+    """Shift amounts never exceed (slices_x-1)*sx + (slices_w-1)*sw."""
+    x, w, bw_x, bw_w, slice_x, slice_w, signed_x, signed_w = case
+    terms = bitslice.sliced_dot_product_terms(
+        x, w, bw_x, bw_w, slice_x, slice_w, signed_x, signed_w
+    )
+    max_shift = (bitslice.num_slices(bw_x, slice_x) - 1) * slice_x + (
+        bitslice.num_slices(bw_w, slice_w) - 1
+    ) * slice_w
+    assert all(0 <= shift <= max_shift for shift, _ in terms)
+    assert len(terms) == bitslice.num_slices(bw_x, slice_x) * bitslice.num_slices(
+        bw_w, slice_w
+    )
+
+
+def test_paper_figure2a_example():
+    """Paper Fig. 2-(a): two 4-bit x 4-bit elements with 2-bit slicing."""
+    x = np.array([13, 7])
+    w = np.array([9, 5])
+    got = bitslice.sliced_dot_product(x, w, 4, 4, 2, 2, False, False)
+    assert got == 13 * 9 + 7 * 5
+
+
+def test_paper_figure2b_example():
+    """Paper Fig. 2-(b): 4-bit inputs x 2-bit weights, four elements."""
+    x = np.array([11, 4, 15, 2])
+    w = np.array([3, 1, 2, 0])
+    got = bitslice.sliced_dot_product(x, w, 4, 2, 2, 2, False, False)
+    assert got == int(np.dot(x, w))
+
+
+def test_mismatched_shapes_rejected():
+    with pytest.raises(ValueError):
+        bitslice.sliced_dot_product_terms(
+            np.array([1, 2]), np.array([1]), 4, 4, 2, 2
+        )

@@ -1,0 +1,111 @@
+"""Tests for CVU composition planning (paper Fig. 3-b/c modes)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import plan_composition
+
+
+class TestHomogeneous8bit:
+    def test_all_nbves_one_group(self):
+        plan = plan_composition(8, 8, slice_width=2, max_bitwidth=8)
+        assert plan.n_nbve_total == 16
+        assert plan.slices_x == 4 and plan.slices_w == 4
+        assert plan.nbves_per_group == 16
+        assert plan.n_groups == 1
+        assert plan.utilization == 1.0
+        assert plan.throughput_multiplier == 1
+
+    def test_shift_table(self):
+        plan = plan_composition(8, 8, slice_width=2)
+        shifts = sorted(a.shift for a in plan.assignments)
+        # shifts are 2*(j+k) for j,k in 0..3
+        expected = sorted(2 * (j + k) for j in range(4) for k in range(4))
+        assert shifts == expected
+        assert plan.max_shift == 12
+
+
+class TestHeterogeneousModes:
+    def test_8x2_four_clusters(self):
+        """Paper Fig. 3-(c): 8-bit x 2-bit -> 4 clusters of 4 NBVEs."""
+        plan = plan_composition(8, 2, slice_width=2)
+        assert plan.nbves_per_group == 4
+        assert plan.n_groups == 4
+        assert plan.throughput_multiplier == 4
+        assert plan.utilization == 1.0
+
+    def test_2x2_sixteen_independent(self):
+        """Paper: 2-bit datatypes -> every NBVE independent -> 16x."""
+        plan = plan_composition(2, 2, slice_width=2)
+        assert plan.nbves_per_group == 1
+        assert plan.n_groups == 16
+        assert plan.throughput_multiplier == 16
+
+    def test_4x4_four_clusters(self):
+        plan = plan_composition(4, 4, slice_width=2)
+        assert plan.nbves_per_group == 4
+        assert plan.n_groups == 4
+
+    def test_8x4(self):
+        plan = plan_composition(8, 4, slice_width=2)
+        assert plan.nbves_per_group == 8
+        assert plan.n_groups == 2
+
+    def test_odd_bitwidth_underutilises(self):
+        # 6-bit x 6-bit with 2-bit slicing: 9 NBVEs/group, only 1 group fits.
+        plan = plan_composition(6, 6, slice_width=2)
+        assert plan.nbves_per_group == 9
+        assert plan.n_groups == 1
+        assert plan.utilization == pytest.approx(9 / 16)
+
+
+class TestOneBitSlicing:
+    def test_8x8_uses_64_nbves(self):
+        plan = plan_composition(8, 8, slice_width=1)
+        assert plan.n_nbve_total == 64
+        assert plan.nbves_per_group == 64
+        assert plan.n_groups == 1
+
+
+class TestValidation:
+    def test_bitwidth_exceeds_max(self):
+        with pytest.raises(ValueError):
+            plan_composition(9, 8, slice_width=2, max_bitwidth=8)
+        with pytest.raises(ValueError):
+            plan_composition(8, 16, slice_width=2, max_bitwidth=8)
+
+    def test_zero_bitwidth(self):
+        with pytest.raises(ValueError):
+            plan_composition(0, 8)
+
+    def test_slice_width_must_divide_max(self):
+        with pytest.raises(ValueError):
+            plan_composition(8, 8, slice_width=3, max_bitwidth=8)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    bw_x=st.integers(1, 8),
+    bw_w=st.integers(1, 8),
+    slice_width=st.sampled_from([1, 2, 4, 8]),
+)
+def test_plan_invariants(bw_x, bw_w, slice_width):
+    plan = plan_composition(bw_x, bw_w, slice_width=slice_width, max_bitwidth=8)
+    # Groups never oversubscribe the NBVE pool.
+    assert plan.n_nbve_used <= plan.n_nbve_total
+    assert 0 < plan.utilization <= 1.0
+    # Each assignment's shift matches its slice coordinates.
+    for a in plan.assignments:
+        assert a.shift == slice_width * (a.slice_x + a.slice_w)
+        assert 0 <= a.slice_x < plan.slices_x
+        assert 0 <= a.slice_w < plan.slices_w
+    # NBVE ids are unique.
+    ids = [a.nbve_id for a in plan.assignments]
+    assert len(ids) == len(set(ids))
+    # Every group has the full complement of slice pairs.
+    groups = {}
+    for a in plan.assignments:
+        groups.setdefault(a.group, set()).add((a.slice_x, a.slice_w))
+    for pairs in groups.values():
+        assert len(pairs) == plan.slices_x * plan.slices_w

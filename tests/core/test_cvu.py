@@ -1,0 +1,173 @@
+"""Tests for the NBVE and CVU functional models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CVU, CVUConfig, NBVE
+from repro.core.bitslice import value_range
+
+
+class TestNBVE:
+    def test_basic_dot(self):
+        nbve = NBVE(lanes=4, slice_width=2)
+        assert nbve.compute(np.array([1, 2, 3, 0]), np.array([3, 3, 1, 2])) == 12
+
+    def test_signed_slice_mode(self):
+        nbve = NBVE(lanes=2, slice_width=2)
+        assert nbve.compute(
+            np.array([-2, 1]), np.array([3, 3]), signed_a=True
+        ) == -3
+
+    def test_rejects_overlong_vector(self):
+        nbve = NBVE(lanes=2, slice_width=2)
+        with pytest.raises(ValueError):
+            nbve.compute(np.array([1, 1, 1]), np.array([1, 1, 1]))
+
+    def test_rejects_out_of_range_slice(self):
+        nbve = NBVE(lanes=4, slice_width=2)
+        with pytest.raises(ValueError):
+            nbve.compute(np.array([4]), np.array([1]))  # 4 needs 3 bits
+
+    def test_rejects_shape_mismatch(self):
+        nbve = NBVE(lanes=4, slice_width=2)
+        with pytest.raises(ValueError):
+            nbve.compute(np.array([1, 2]), np.array([1]))
+
+    def test_counters(self):
+        nbve = NBVE(lanes=4, slice_width=2)
+        nbve.compute(np.array([1, 2]), np.array([3, 0]))
+        nbve.compute(np.array([1]), np.array([3]))
+        assert nbve.invocations == 2
+        assert nbve.macs_performed == 3
+        nbve.reset_counters()
+        assert nbve.invocations == 0
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            NBVE(lanes=0)
+        with pytest.raises(ValueError):
+            NBVE(lanes=4, slice_width=0)
+
+    def test_properties(self):
+        nbve = NBVE(lanes=16, slice_width=2)
+        assert nbve.adder_tree_inputs == 16
+        assert nbve.product_bits == 4
+
+
+class TestCVUConfig:
+    def test_paper_design_point(self):
+        cfg = CVUConfig()  # 2-bit slicing, 8-bit max, L=16
+        assert cfg.n_nbve == 16
+        assert cfg.multipliers == 256
+        assert cfg.peak_macs_per_cycle == 16
+
+    def test_one_bit_slicing(self):
+        cfg = CVUConfig(slice_width=1)
+        assert cfg.n_nbve == 64
+
+    def test_invalid_slicing(self):
+        with pytest.raises(ValueError):
+            CVUConfig(slice_width=3)
+        with pytest.raises(ValueError):
+            CVUConfig(lanes=0)
+
+
+class TestCVUDotProduct:
+    def test_exact_8x8_signed(self):
+        cvu = CVU()
+        rng = np.random.default_rng(0)
+        x = rng.integers(-128, 128, size=100)
+        w = rng.integers(-128, 128, size=100)
+        res = cvu.dot_product(x, w, 8, 8)
+        assert res.value == int(np.dot(x, w))
+
+    def test_cycle_count_chunking(self):
+        cvu = CVU()  # 16 lanes
+        x = np.ones(33, dtype=np.int64)
+        w = np.ones(33, dtype=np.int64)
+        res = cvu.dot_product(x, w, 8, 8)
+        assert res.cycles == 3  # ceil(33/16)
+        assert res.value == 33
+
+    def test_grouped_8x2_four_lanes(self):
+        cvu = CVU()
+        rng = np.random.default_rng(1)
+        xs = [rng.integers(-128, 128, size=20) for _ in range(4)]
+        ws = [rng.integers(-2, 2, size=20) for _ in range(4)]
+        res = cvu.grouped_dot_products(xs, ws, 8, 2)
+        for lane in range(4):
+            assert res.values[lane] == int(np.dot(xs[lane], ws[lane]))
+
+    def test_group_limit_enforced(self):
+        cvu = CVU()
+        xs = [np.array([1])] * 5
+        with pytest.raises(ValueError):
+            cvu.grouped_dot_products(xs, xs, 8, 2)  # 8x2 supports only 4
+
+    def test_empty_lanes_rejected(self):
+        cvu = CVU()
+        with pytest.raises(ValueError):
+            cvu.grouped_dot_products([], [], 8, 8)
+
+    def test_lane_count_mismatch(self):
+        cvu = CVU()
+        with pytest.raises(ValueError):
+            cvu.grouped_dot_products([np.array([1])], [], 8, 8)
+
+    def test_effective_macs_per_cycle(self):
+        cvu = CVU()
+        assert cvu.effective_macs_per_cycle(8, 8) == 16
+        assert cvu.effective_macs_per_cycle(8, 2) == 64
+        assert cvu.effective_macs_per_cycle(4, 4) == 64
+        assert cvu.effective_macs_per_cycle(2, 2) == 256
+
+    def test_counters_accumulate_and_reset(self):
+        cvu = CVU()
+        cvu.dot_product(np.arange(16), np.arange(16), 8, 8)
+        assert cvu.cycles == 1
+        assert sum(n.invocations for n in cvu.nbves) == 16
+        cvu.reset_counters()
+        assert cvu.cycles == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    bw_x=st.integers(1, 8),
+    bw_w=st.integers(1, 8),
+    signed_x=st.booleans(),
+    signed_w=st.booleans(),
+    n=st.integers(1, 40),
+    seed=st.integers(0, 2**32 - 1),
+)
+def test_cvu_matches_reference_all_bitwidths(bw_x, bw_w, signed_x, signed_w, n, seed):
+    """The CVU is bit-exact for every supported bitwidth combination."""
+    rng = np.random.default_rng(seed)
+    lo_x, hi_x = value_range(bw_x, signed_x)
+    lo_w, hi_w = value_range(bw_w, signed_w)
+    x = rng.integers(lo_x, hi_x + 1, size=n)
+    w = rng.integers(lo_w, hi_w + 1, size=n)
+    cvu = CVU()
+    res = cvu.dot_product(x, w, bw_x, bw_w, signed_x, signed_w)
+    assert res.value == int(np.dot(x, w))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    bw=st.sampled_from([2, 4, 8]),
+    n=st.integers(1, 30),
+    seed=st.integers(0, 2**32 - 1),
+)
+def test_heterogeneous_lanes_equal_sequential(bw, n, seed):
+    """Cluster-parallel results equal running each lane alone."""
+    rng = np.random.default_rng(seed)
+    cvu = CVU()
+    groups = cvu.plan(bw, bw).n_groups
+    lo, hi = value_range(bw, True)
+    xs = [rng.integers(lo, hi + 1, size=n) for _ in range(groups)]
+    ws = [rng.integers(lo, hi + 1, size=n) for _ in range(groups)]
+    parallel = cvu.grouped_dot_products(xs, ws, bw, bw)
+    for lane in range(groups):
+        solo = CVU().dot_product(xs[lane], ws[lane], bw, bw)
+        assert parallel.values[lane] == solo.value

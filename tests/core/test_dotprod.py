@@ -1,0 +1,71 @@
+"""Tests for the vectorised composed matmul."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import composed_matmul, composition_workload, reference_matmul
+from repro.core.bitslice import value_range
+
+
+def test_reference_matmul_int64():
+    x = np.array([[1, 2], [3, 4]])
+    w = np.array([[5, 6], [7, 8]])
+    np.testing.assert_array_equal(
+        reference_matmul(x, w), np.array([[19, 22], [43, 50]])
+    )
+
+
+def test_composed_matmul_matches_reference_8x8():
+    rng = np.random.default_rng(0)
+    x = rng.integers(-128, 128, size=(8, 32))
+    w = rng.integers(-128, 128, size=(32, 12))
+    np.testing.assert_array_equal(
+        composed_matmul(x, w, 8, 8), reference_matmul(x, w)
+    )
+
+
+def test_composed_matmul_batched_input():
+    rng = np.random.default_rng(1)
+    x = rng.integers(0, 16, size=(2, 3, 10))
+    w = rng.integers(-8, 8, size=(10, 4))
+    got = composed_matmul(x, w, 4, 4, signed_x=False, signed_w=True)
+    np.testing.assert_array_equal(got, reference_matmul(x, w))
+
+
+def test_inner_dim_mismatch():
+    with pytest.raises(ValueError):
+        composed_matmul(np.zeros((2, 3)), np.zeros((4, 2)), 8, 8)
+
+
+def test_composition_workload_counts():
+    # 8x8 with 2-bit slicing -> 16 narrow MACs per wide MAC.
+    wide = 4 * 10 * 6
+    assert composition_workload((4, 10), (10, 6), 8, 8, 2) == wide * 16
+    # 8x2 -> 4 narrow MACs per wide MAC.
+    assert composition_workload((4, 10), (10, 6), 8, 2, 2) == wide * 4
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    bw_x=st.integers(1, 8),
+    bw_w=st.integers(1, 8),
+    slice_width=st.sampled_from([1, 2, 4]),
+    signed_x=st.booleans(),
+    signed_w=st.booleans(),
+    m=st.integers(1, 6),
+    k=st.integers(1, 24),
+    n=st.integers(1, 6),
+    seed=st.integers(0, 2**32 - 1),
+)
+def test_composed_matmul_exact_property(
+    bw_x, bw_w, slice_width, signed_x, signed_w, m, k, n, seed
+):
+    rng = np.random.default_rng(seed)
+    lo_x, hi_x = value_range(bw_x, signed_x)
+    lo_w, hi_w = value_range(bw_w, signed_w)
+    x = rng.integers(lo_x, hi_x + 1, size=(m, k))
+    w = rng.integers(lo_w, hi_w + 1, size=(k, n))
+    got = composed_matmul(x, w, bw_x, bw_w, slice_width, signed_x, signed_w)
+    np.testing.assert_array_equal(got, reference_matmul(x, w))

@@ -1,0 +1,159 @@
+"""Property tests for the gate-level (bit-true) datapath golden model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CVU
+from repro.core.bitslice import value_range
+from repro.core.gates import (
+    GateNBVE,
+    adder_tree,
+    array_multiply,
+    bits_to_int,
+    full_adder,
+    gate_level_dot_product,
+    int_to_bits,
+    left_shift,
+    ripple_add,
+)
+
+
+class TestBitCodec:
+    def test_roundtrip_unsigned(self):
+        for v in (0, 1, 5, 255):
+            assert bits_to_int(int_to_bits(v, 8)) == v
+
+    def test_roundtrip_signed(self):
+        for v in (-128, -1, 0, 127):
+            assert bits_to_int(int_to_bits(v, 8, signed=True), signed=True) == v
+
+    def test_little_endian(self):
+        assert int_to_bits(1, 4) == [1, 0, 0, 0]
+        assert int_to_bits(8, 4) == [0, 0, 0, 1]
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            int_to_bits(256, 8)
+        with pytest.raises(ValueError):
+            int_to_bits(-1, 8)
+        with pytest.raises(ValueError):
+            int_to_bits(128, 8, signed=True)
+
+    def test_bad_vectors(self):
+        with pytest.raises(ValueError):
+            bits_to_int([])
+        with pytest.raises(ValueError):
+            bits_to_int([0, 2])
+        with pytest.raises(ValueError):
+            int_to_bits(0, 0)
+
+
+class TestFullAdder:
+    def test_truth_table(self):
+        expected = {
+            (0, 0, 0): (0, 0),
+            (0, 0, 1): (1, 0),
+            (0, 1, 0): (1, 0),
+            (0, 1, 1): (0, 1),
+            (1, 0, 0): (1, 0),
+            (1, 0, 1): (0, 1),
+            (1, 1, 0): (0, 1),
+            (1, 1, 1): (1, 1),
+        }
+        for inputs, output in expected.items():
+            assert full_adder(*inputs) == output
+
+
+@settings(max_examples=150, deadline=None)
+@given(a=st.integers(-512, 511), b=st.integers(-512, 511))
+def test_ripple_add_exact(a, b):
+    bits = ripple_add(int_to_bits(a, 10, True), int_to_bits(b, 10, True))
+    assert bits_to_int(bits, signed=True) == a + b
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    wa=st.integers(1, 6),
+    wb=st.integers(1, 6),
+    signed_a=st.booleans(),
+    signed_b=st.booleans(),
+    seed=st.integers(0, 2**31),
+)
+def test_array_multiply_exact(wa, wb, signed_a, signed_b, seed):
+    rng = np.random.default_rng(seed)
+    lo_a, hi_a = value_range(wa, signed_a)
+    lo_b, hi_b = value_range(wb, signed_b)
+    a = int(rng.integers(lo_a, hi_a + 1))
+    b = int(rng.integers(lo_b, hi_b + 1))
+    bits = array_multiply(
+        int_to_bits(a, wa, signed_a), int_to_bits(b, wb, signed_b), signed_a, signed_b
+    )
+    assert bits_to_int(bits, signed=signed_a or signed_b) == a * b
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    values=st.lists(st.integers(-100, 100), min_size=1, max_size=16),
+)
+def test_adder_tree_exact(values):
+    vectors = [int_to_bits(v, 9, signed=True) for v in values]
+    assert bits_to_int(adder_tree(vectors), signed=True) == sum(values)
+
+
+def test_adder_tree_empty_rejected():
+    with pytest.raises(ValueError):
+        adder_tree([])
+
+
+def test_left_shift():
+    assert bits_to_int(left_shift(int_to_bits(3, 4), 2)) == 12
+    with pytest.raises(ValueError):
+        left_shift([1], -1)
+
+
+class TestGateNBVE:
+    def test_small_dot_product(self):
+        nbve = GateNBVE(lanes=4, slice_width=2)
+        assert nbve.compute([1, 2, 3], [3, 2, 1]) == 10
+
+    def test_signed_slices(self):
+        nbve = GateNBVE(lanes=2, slice_width=2)
+        assert nbve.compute([-2, 1], [-1, -2], True, True) == 0
+
+    def test_lane_limit(self):
+        nbve = GateNBVE(lanes=2, slice_width=2)
+        with pytest.raises(ValueError):
+            nbve.compute([1, 1, 1], [1, 1, 1])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            GateNBVE().compute([1], [1, 2])
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            GateNBVE(lanes=0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    bw_x=st.integers(1, 8),
+    bw_w=st.integers(1, 8),
+    signed_x=st.booleans(),
+    signed_w=st.booleans(),
+    n=st.integers(1, 12),
+    seed=st.integers(0, 2**31),
+)
+def test_gate_level_equals_word_level_cvu(bw_x, bw_w, signed_x, signed_w, n, seed):
+    """The RTL-equivalent datapath matches the word-level CVU bit-for-bit."""
+    rng = np.random.default_rng(seed)
+    lo_x, hi_x = value_range(bw_x, signed_x)
+    lo_w, hi_w = value_range(bw_w, signed_w)
+    x = rng.integers(lo_x, hi_x + 1, size=n)
+    w = rng.integers(lo_w, hi_w + 1, size=n)
+    gate = gate_level_dot_product(
+        x.tolist(), w.tolist(), bw_x, bw_w, 2, signed_x, signed_w
+    )
+    word = CVU().dot_product(x, w, bw_x, bw_w, signed_x, signed_w).value
+    assert gate == word == int(np.dot(x, w))

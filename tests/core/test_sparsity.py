@@ -1,0 +1,107 @@
+"""Tests for bit-slice sparsity analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    effectual_fraction,
+    ideal_skip_speedup,
+    slice_sparsity,
+)
+
+
+class TestSliceSparsity:
+    def test_all_zero_tensor(self):
+        s = slice_sparsity(np.zeros(100, dtype=np.int64), 8, 2)
+        assert s.overall_zero_fraction == 1.0
+        assert s.per_slice_zero_fraction == (1.0, 1.0, 1.0, 1.0)
+        assert s.n_slices == 4
+
+    def test_dense_tensor(self):
+        # -1 has all slices non-zero (0b11 everywhere + signed top).
+        s = slice_sparsity(np.full(50, -1, dtype=np.int64), 8, 2)
+        assert s.overall_zero_fraction == 0.0
+
+    def test_small_unsigned_values_have_sparse_high_slices(self):
+        """Quantized activations are small-valued: upper slices all zero."""
+        rng = np.random.default_rng(0)
+        x = rng.integers(0, 8, size=1000)  # unsigned values fit 3 bits
+        s = slice_sparsity(x, 8, 2, signed=False)
+        assert s.per_slice_zero_fraction[2] == 1.0
+        assert s.per_slice_zero_fraction[3] == 1.0
+        assert s.per_slice_zero_fraction[0] < 0.5
+
+    def test_signed_sign_extension_fills_top_slices(self):
+        """Negative values sign-extend to 0b11 slices: less slice sparsity
+        than the magnitude alone suggests (why Laconic prefers
+        sign-magnitude encodings)."""
+        rng = np.random.default_rng(0)
+        x = rng.integers(-4, 5, size=1000)
+        s = slice_sparsity(x, 8, 2, signed=True)
+        negatives = float(np.mean(np.asarray(x) < 0))
+        assert s.per_slice_zero_fraction[3] == pytest.approx(1 - negatives, abs=0.02)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            slice_sparsity(np.array([], dtype=np.int64), 8, 2)
+
+
+class TestEffectualFraction:
+    def test_all_zero_operand(self):
+        x = np.zeros(10, dtype=np.int64)
+        w = np.ones(10, dtype=np.int64)
+        assert effectual_fraction(x, w, 8, 8) == 0.0
+
+    def test_fully_dense(self):
+        x = np.full(10, -1, dtype=np.int64)
+        w = np.full(10, -1, dtype=np.int64)
+        assert effectual_fraction(x, w, 8, 8) == 1.0
+
+    def test_bounded(self):
+        rng = np.random.default_rng(1)
+        x = rng.integers(-128, 128, size=200)
+        w = rng.integers(-8, 8, size=200)
+        frac = effectual_fraction(x, w, 8, 4)
+        assert 0.0 < frac < 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            effectual_fraction(np.ones(3), np.ones(4), 8, 8)
+
+
+class TestIdealSkipSpeedup:
+    def test_reciprocal_of_effectual(self):
+        rng = np.random.default_rng(2)
+        x = rng.integers(-8, 8, size=100)
+        w = rng.integers(-8, 8, size=100)
+        frac = effectual_fraction(x, w, 4, 4)
+        assert ideal_skip_speedup(x, w, 4, 4) == pytest.approx(1.0 / frac)
+
+    def test_zero_work_caps_at_slice_count(self):
+        x = np.zeros(10, dtype=np.int64)
+        w = np.zeros(10, dtype=np.int64)
+        assert ideal_skip_speedup(x, w, 8, 8) == 16.0
+
+    def test_quantized_weights_offer_skip_opportunity(self):
+        """Laconic's premise: deep-quantized tensors are slice-sparse."""
+        rng = np.random.default_rng(3)
+        w = np.clip(rng.normal(0, 1.5, 2000), -8, 7).astype(np.int64)
+        x = np.clip(np.abs(rng.normal(0, 2, 2000)), 0, 15).astype(np.int64)
+        speedup = ideal_skip_speedup(x, w, 4, 4, signed_x=False, signed_w=True)
+        assert speedup > 1.3
+
+
+@settings(max_examples=50, deadline=None)
+@given(bw=st.integers(2, 8), sw=st.sampled_from([1, 2, 4]), seed=st.integers(0, 2**31))
+def test_sparsity_fractions_in_range(bw, sw, seed):
+    rng = np.random.default_rng(seed)
+    lo, hi = -(1 << (bw - 1)), (1 << (bw - 1)) - 1
+    x = rng.integers(lo, hi + 1, size=64)
+    s = slice_sparsity(x, bw, sw)
+    assert 0.0 <= s.overall_zero_fraction <= 1.0
+    assert all(0.0 <= f <= 1.0 for f in s.per_slice_zero_fraction)
+    assert s.overall_zero_fraction == pytest.approx(
+        float(np.mean(s.per_slice_zero_fraction))
+    )

@@ -1,0 +1,57 @@
+"""Tests for the power-budget scaling study."""
+
+import pytest
+
+from repro.experiments import budget_sweep, resize_for_budget
+from repro.hw import BITFUSION, BPVEC, DDR4, TPU_LIKE
+
+
+class TestResizeForBudget:
+    def test_250mw_reproduces_table2(self):
+        assert resize_for_budget(TPU_LIKE, 250).num_macs == 512
+        assert resize_for_budget(BPVEC, 250).num_macs == 1024
+
+    def test_scaling_is_roughly_linear(self):
+        half = resize_for_budget(BPVEC, 125)
+        double = resize_for_budget(BPVEC, 500)
+        assert half.num_macs == 512
+        assert double.num_macs == 2048
+
+    def test_style_preserved(self):
+        resized = resize_for_budget(BITFUSION, 500)
+        assert resized.style == "bitfusion"
+        assert resized.num_macs > BITFUSION.num_macs
+
+    def test_geometry_stays_consistent(self):
+        for budget in (125, 250, 500):
+            spec = resize_for_budget(BPVEC, budget)
+            assert spec.array_rows * spec.array_cols * spec.lanes == spec.num_macs
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            resize_for_budget(BPVEC, 0)
+
+
+class TestBudgetSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return budget_sweep((125, 250), DDR4)
+
+    def test_point_per_budget(self, points):
+        assert [p.budget_mw for p in points] == [125, 250]
+
+    def test_advantage_holds_at_every_budget(self, points):
+        for p in points:
+            assert p.speedup_vs_baseline > 1.25
+            assert p.energy_vs_baseline > 1.1
+            assert p.bpvec_macs >= 1.85 * p.baseline_macs
+
+    def test_250mw_point_matches_fig5(self, points):
+        """The sweep's 250 mW point is exactly the Fig. 5 configuration."""
+        p250 = points[1]
+        assert p250.baseline_macs == 512
+        assert p250.speedup_vs_baseline == pytest.approx(1.47, abs=0.03)
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ValueError):
+            budget_sweep((), DDR4)

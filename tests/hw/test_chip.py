@@ -1,0 +1,59 @@
+"""Tests for the chip-level area/power accounting."""
+
+import pytest
+
+from repro.hw import (
+    BITFUSION,
+    BPVEC,
+    TPU_LIKE,
+    all_chip_reports,
+    chip_report,
+)
+
+
+class TestChipReport:
+    def test_three_platforms(self):
+        reports = all_chip_reports()
+        assert [r.name for r in reports] == [
+            "TPU-like baseline",
+            "BitFusion",
+            "BPVeC",
+        ]
+
+    def test_bpvec_doubles_macs_in_similar_area(self):
+        """The paper's headline: 2x compute in roughly the same footprint."""
+        base = chip_report(TPU_LIKE)
+        bpvec = chip_report(BPVEC)
+        assert bpvec.num_macs == 2 * base.num_macs
+        assert bpvec.compute_area_mm2 < 1.35 * base.compute_area_mm2
+
+    def test_bpvec_area_per_mac_is_fig4_ratio(self):
+        base = chip_report(TPU_LIKE)
+        bpvec = chip_report(BPVEC)
+        # Fig. 4: CVU area/MAC ~0.62x conventional.
+        assert bpvec.area_per_mac_um2 / base.area_per_mac_um2 == pytest.approx(
+            0.617, rel=0.02
+        )
+
+    def test_bitfusion_pays_area_for_scalar_flexibility(self):
+        base = chip_report(TPU_LIKE)
+        bf = chip_report(BITFUSION)
+        # Fewer MACs yet more area: the 1.4x fusion-unit overhead.
+        assert bf.num_macs < base.num_macs
+        assert bf.compute_area_mm2 > base.compute_area_mm2
+
+    def test_power_budgets_near_250mw(self):
+        for report in all_chip_reports():
+            assert report.compute_power_mw == pytest.approx(250.0, rel=0.06)
+
+    def test_totals_and_str(self):
+        report = chip_report(BPVEC)
+        assert report.total_area_mm2 == pytest.approx(
+            report.compute_area_mm2 + report.sram_area_mm2
+        )
+        assert "BPVeC" in str(report)
+        assert "mm^2" in str(report)
+
+    def test_sram_area_identical_across_platforms(self):
+        areas = {r.sram_area_mm2 for r in all_chip_reports()}
+        assert len(areas) == 1  # all share the 112 KB scratchpad

@@ -1,0 +1,96 @@
+"""Tests for the gate-level component cost models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.components import Components, TechnologyConstants
+
+
+@pytest.fixture
+def comp():
+    return Components()
+
+
+class TestMultiplier:
+    def test_one_bit_is_single_and_gate(self, comp):
+        """Paper: 1-bit slicing multipliers are 'merely AND gates'."""
+        cost = comp.multiplier(1, 1)
+        assert cost.power == pytest.approx(comp.tech.and_power)
+        assert cost.area == pytest.approx(comp.tech.and_area)
+
+    def test_grows_with_operand_width(self, comp):
+        assert comp.multiplier(8, 8).power > comp.multiplier(4, 4).power
+        assert comp.multiplier(8, 8).area > comp.multiplier(2, 2).area
+
+    def test_invalid_width(self, comp):
+        with pytest.raises(ValueError):
+            comp.multiplier(0, 4)
+
+
+class TestAdderTree:
+    def test_single_input_free(self, comp):
+        cost = comp.adder_tree(1, 4)
+        assert cost.power == 0 and cost.area == 0
+
+    def test_two_inputs_one_adder(self, comp):
+        assert comp.adder_tree(2, 4).power == pytest.approx(comp.adder(4).power)
+
+    def test_width_growth_per_level(self, comp):
+        # 4 inputs of 4 bits: two 4-bit adders + one 5-bit adder.
+        expected = 2 * comp.adder(4).power + comp.adder(5).power
+        assert comp.adder_tree(4, 4).power == pytest.approx(expected)
+
+    def test_non_power_of_two_padded_up(self, comp):
+        assert comp.adder_tree(5, 4).power == comp.adder_tree(8, 4).power
+
+    def test_invalid(self, comp):
+        with pytest.raises(ValueError):
+            comp.adder_tree(0, 4)
+        with pytest.raises(ValueError):
+            comp.adder(0)
+
+
+class TestShifter:
+    def test_zero_shift_free(self, comp):
+        assert comp.shifter(8, 0).power == 0
+
+    def test_hardwired_cheaper_than_barrel(self, comp):
+        hard = comp.shifter(8, 12, hardwired=True)
+        barrel = comp.shifter(8, 12, hardwired=False)
+        assert hard.power < barrel.power
+        assert hard.area < barrel.area
+
+    def test_invalid(self, comp):
+        with pytest.raises(ValueError):
+            comp.shifter(0, 4)
+        with pytest.raises(ValueError):
+            comp.shifter(8, -1)
+
+
+class TestRegister:
+    def test_scales_with_bits(self, comp):
+        assert comp.register(24).power == pytest.approx(3 * comp.register(8).power)
+
+    def test_invalid(self, comp):
+        with pytest.raises(ValueError):
+            comp.register(0)
+
+
+def test_cost_addition_and_scaling(comp):
+    c = comp.adder(8) + comp.adder(8)
+    assert c.power == pytest.approx(comp.adder(8).scale(2).power)
+    assert c.area == pytest.approx(comp.adder(8).scale(2).area)
+
+
+def test_custom_technology_constants():
+    cheap_regs = Components(TechnologyConstants(reg_power=0.1))
+    default = Components()
+    assert cheap_regs.register(8).power < default.register(8).power
+
+
+@settings(max_examples=50, deadline=None)
+@given(n=st.integers(2, 256), w=st.integers(1, 32))
+def test_adder_tree_monotone_in_inputs(n, w):
+    comp = Components()
+    assert comp.adder_tree(2 * n, w).power > comp.adder_tree(n, w).power

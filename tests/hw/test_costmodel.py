@@ -1,0 +1,178 @@
+"""Tests for cost models: paper calibration exactness + analytical shape."""
+
+import pytest
+
+from repro.hw import (
+    BASELINE_MAC_COUNT,
+    CONVENTIONAL_MAC_ENERGY_PJ,
+    CONVENTIONAL_MAC_POWER_MW,
+    CORE_POWER_BUDGET_MW,
+    AnalyticalCostModel,
+    PaperCostModel,
+    calibrated_breakdown,
+    calibrated_total,
+    units_under_power_budget,
+)
+
+
+class TestAnchors:
+    def test_conventional_mac_power_from_table2(self):
+        assert CONVENTIONAL_MAC_POWER_MW == pytest.approx(
+            CORE_POWER_BUDGET_MW / BASELINE_MAC_COUNT
+        )
+
+    def test_conventional_mac_energy(self):
+        # 0.488 mW at 500 MHz ~= 0.977 pJ per MAC.
+        assert CONVENTIONAL_MAC_ENERGY_PJ == pytest.approx(0.9766, rel=1e-3)
+
+
+class TestCalibration:
+    def test_optimum_design_point(self):
+        """Paper III-B: 2-bit, L=16 gives 2.0x power and 1.7x area improvement."""
+        assert 1 / calibrated_total(2, 16, "power") == pytest.approx(2.0, rel=0.05)
+        assert 1 / calibrated_total(2, 16, "area") == pytest.approx(1.7, rel=0.07)
+
+    def test_bitfusion_point_area_overhead(self):
+        """Paper III-B(4): BitFusion (2-bit, L=1) has ~40% area overhead."""
+        assert calibrated_total(2, 1, "area") == pytest.approx(1.40, rel=0.02)
+
+    def test_one_bit_slicing_never_beats_conventional(self):
+        """Paper III-B(3): 1-bit slicing provides no benefit at any L."""
+        for lanes in (1, 2, 4, 8, 16):
+            assert calibrated_total(1, lanes, "power") >= 1.0
+            assert calibrated_total(1, lanes, "area") >= 1.0
+
+    def test_power_improvement_from_l1_to_l16(self):
+        """Paper III-B(2): L 1->16 improves ~3x (1-bit) and ~2.5x (2-bit)."""
+        imp_1b = calibrated_total(1, 1, "power") / calibrated_total(1, 16, "power")
+        imp_2b = calibrated_total(2, 1, "power") / calibrated_total(2, 16, "power")
+        assert imp_1b == pytest.approx(3.0, rel=0.1)
+        assert imp_2b == pytest.approx(2.5, rel=0.1)
+
+    def test_addition_dominates_breakdown(self):
+        """Paper III-B(1): the adder tree ranks first in power/area."""
+        for sw in (1, 2):
+            for lanes in (1, 2, 4, 8, 16):
+                b = calibrated_breakdown(sw, lanes, "power")
+                assert b.addition > b.multiplication
+                assert b.addition > b.shifting
+                assert b.addition > b.registering
+
+    def test_unknown_table_rejected(self):
+        with pytest.raises(KeyError):
+            calibrated_breakdown(4, 16, "power")
+        with pytest.raises(KeyError):
+            calibrated_breakdown(2, 3, "power")
+        with pytest.raises(KeyError):
+            calibrated_total(1, 3, "area")
+
+    def test_breakdown_dict(self):
+        d = calibrated_breakdown(2, 16, "power").as_dict()
+        assert set(d) == {"multiplication", "addition", "shifting", "registering"}
+
+
+class TestPaperCostModel:
+    @pytest.fixture
+    def model(self):
+        return PaperCostModel()
+
+    def test_matches_calibration_tables(self, model):
+        for lanes in (1, 2, 4, 8, 16):
+            assert model.total(2, lanes, "power") == pytest.approx(
+                calibrated_total(2, lanes, "power")
+            )
+            assert model.total(1, lanes, "area") == pytest.approx(
+                calibrated_total(1, lanes, "area")
+            )
+
+    def test_bitfusion_vs_bpvec_power_ratio(self, model):
+        """Paper: CVU gives 2.4x power improvement vs Fusion Units."""
+        ratio = model.mac_power_ratio(2, 1) / model.mac_power_ratio(2, 16)
+        assert ratio == pytest.approx(2.4, rel=0.05)
+
+    def test_one_bit_area_breakdown_scaled_to_labels(self, model):
+        b = model.breakdown(1, 16, "area")
+        assert b.total == pytest.approx(1.0, rel=1e-6)
+
+    def test_hybrid_point_interpolates(self, model):
+        """4-bit slicing (not synthesized in the paper) still gets a value."""
+        total = model.total(4, 16, "power")
+        assert 0 < total < 1.0  # cheaper than conventional per MAC
+
+    def test_absolute_energy(self, model):
+        e = model.mac_energy_pj(2, 16)
+        assert e == pytest.approx(
+            CONVENTIONAL_MAC_ENERGY_PJ * calibrated_total(2, 16, "power")
+        )
+
+
+class TestAnalyticalCostModel:
+    @pytest.fixture
+    def model(self):
+        return AnalyticalCostModel()
+
+    @pytest.mark.parametrize("metric", ["power", "area"])
+    @pytest.mark.parametrize("slice_width", [1, 2, 4])
+    def test_monotone_decreasing_in_lanes(self, model, metric, slice_width):
+        totals = [model.total(slice_width, ell, metric) for ell in (1, 2, 4, 8, 16)]
+        assert all(a > b for a, b in zip(totals, totals[1:]))
+
+    @pytest.mark.parametrize("metric", ["power", "area"])
+    def test_two_bit_beats_one_bit(self, model, metric):
+        for lanes in (1, 2, 4, 8, 16):
+            assert model.total(2, lanes, metric) < model.total(1, lanes, metric)
+
+    def test_saturation_beyond_16(self, model):
+        """Paper III-B(2): increasing L past 16 yields little further gain."""
+        gain_1_to_2 = model.total(2, 1, "power") / model.total(2, 2, "power")
+        gain_16_to_32 = model.total(2, 16, "power") / model.total(2, 32, "power")
+        assert gain_16_to_32 < 1.15
+        assert gain_1_to_2 > 1.4
+
+    def test_best_point_beats_conventional(self, model):
+        assert model.total(2, 16, "power") < 1.0
+        assert model.total(2, 16, "area") < 1.0
+
+    def test_bitfusion_point_worse_than_conventional(self, model):
+        assert model.total(2, 1, "power") > 1.0
+        assert model.total(2, 1, "area") > 1.0
+
+    def test_addition_dominates(self, model):
+        for sw in (1, 2):
+            b = model.breakdown(sw, 16, "power")
+            assert b.addition == max(
+                b.addition, b.multiplication, b.shifting, b.registering
+            )
+
+    def test_invalid_arguments(self, model):
+        with pytest.raises(ValueError):
+            model.breakdown(3, 16, "power")
+        with pytest.raises(ValueError):
+            model.breakdown(2, 0, "power")
+        with pytest.raises(ValueError):
+            model.breakdown(2, 16, "energy")
+
+
+class TestUnitDerivation:
+    def test_bpvec_unit_count_matches_table2(self):
+        """250 mW / calibrated CVU MAC power -> 1024 MACs (Table II)."""
+        model = PaperCostModel()
+        units = units_under_power_budget(model.mac_power_mw(2, 16))
+        assert units == 1024
+
+    def test_baseline_unit_count(self):
+        units = units_under_power_budget(CONVENTIONAL_MAC_POWER_MW)
+        assert units == BASELINE_MAC_COUNT
+
+    def test_bitfusion_unit_count_near_table2(self):
+        """448 FUs in Table II; derivation should land within ~15%."""
+        model = PaperCostModel()
+        units = units_under_power_budget(model.mac_power_mw(2, 1), granularity=1)
+        assert abs(units - 448) / 448 < 0.15
+
+    def test_small_budget(self):
+        assert units_under_power_budget(100.0, budget_mw=250.0) == 2
+
+    def test_invalid_power(self):
+        with pytest.raises(ValueError):
+            units_under_power_budget(0.0)

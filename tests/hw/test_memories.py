@@ -1,0 +1,91 @@
+"""Tests for the SRAM scratchpad and DRAM models."""
+
+import pytest
+
+from repro.hw import DDR4, HBM2, MemorySpec, ScratchpadModel, scaled_memory
+
+
+class TestDRAMSpecs:
+    def test_paper_parameters(self):
+        assert DDR4.bandwidth_gb_s == 16.0
+        assert DDR4.energy_pj_per_bit == 15.0
+        assert HBM2.bandwidth_gb_s == 256.0
+        assert HBM2.energy_pj_per_bit == 1.2
+
+    def test_hbm2_is_16x_bandwidth(self):
+        assert HBM2.bandwidth_gb_s / DDR4.bandwidth_gb_s == 16.0
+
+    def test_bytes_per_cycle_at_500mhz(self):
+        assert DDR4.bytes_per_cycle(500e6) == pytest.approx(32.0)
+        assert HBM2.bytes_per_cycle(500e6) == pytest.approx(512.0)
+
+    def test_transfer_time_and_energy(self):
+        mb = 1e6
+        assert DDR4.transfer_seconds(16 * mb) == pytest.approx(1e-3)
+        assert DDR4.transfer_energy_pj(1) == pytest.approx(120.0)
+        assert HBM2.transfer_energy_pj(1) == pytest.approx(9.6)
+
+    def test_efficiency_scales_bandwidth_not_energy(self):
+        derated = MemorySpec("x", 16.0, 15.0, efficiency=0.5)
+        assert derated.effective_bytes_per_second == pytest.approx(8e9)
+        assert derated.transfer_energy_pj(1) == DDR4.transfer_energy_pj(1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemorySpec("x", 0, 1)
+        with pytest.raises(ValueError):
+            MemorySpec("x", 1, -1)
+        with pytest.raises(ValueError):
+            MemorySpec("x", 1, 1, efficiency=0)
+        with pytest.raises(ValueError):
+            DDR4.transfer_seconds(-1)
+        with pytest.raises(ValueError):
+            DDR4.transfer_energy_pj(-1)
+        with pytest.raises(ValueError):
+            DDR4.bytes_per_cycle(0)
+
+    def test_scaled_memory(self):
+        mem = scaled_memory(DDR4, 64.0)
+        assert mem.bandwidth_gb_s == 64.0
+        assert mem.energy_pj_per_bit == DDR4.energy_pj_per_bit
+        assert "64" in mem.name
+
+
+class TestScratchpad:
+    def test_paper_capacity_default(self):
+        assert ScratchpadModel().capacity_bytes == 112 * 1024
+
+    def test_energy_grows_with_capacity(self):
+        small = ScratchpadModel(capacity_bytes=8 * 1024)
+        large = ScratchpadModel(capacity_bytes=128 * 1024)
+        assert large.energy_per_access_pj > small.energy_per_access_pj
+
+    def test_anchor_point(self):
+        anchor = ScratchpadModel(capacity_bytes=8 * 1024, access_bits=64)
+        assert anchor.energy_per_access_pj == pytest.approx(10.0)
+
+    def test_banking_reduces_access_energy(self):
+        flat = ScratchpadModel(capacity_bytes=64 * 1024, banks=1)
+        banked = ScratchpadModel(capacity_bytes=64 * 1024, banks=4)
+        assert banked.energy_per_access_pj < flat.energy_per_access_pj
+
+    def test_per_byte_energy(self):
+        spad = ScratchpadModel(capacity_bytes=8 * 1024, access_bits=64)
+        assert spad.energy_per_byte_pj == pytest.approx(10.0 / 8)
+        assert spad.access_energy_pj(16) == pytest.approx(20.0)
+
+    def test_area_scales_with_capacity(self):
+        assert (
+            ScratchpadModel(capacity_bytes=224 * 1024).area_mm2
+            == pytest.approx(2 * ScratchpadModel().area_mm2)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScratchpadModel(capacity_bytes=0)
+        with pytest.raises(ValueError):
+            ScratchpadModel(access_bits=0)
+        with pytest.raises(ValueError):
+            ScratchpadModel(capacity_bytes=100, banks=3)
+        with pytest.raises(ValueError):
+            ScratchpadModel().access_energy_pj(-1)

@@ -1,0 +1,112 @@
+"""Tests for the Table II platform configurations."""
+
+import pytest
+
+from repro.hw import (
+    ALL_ASIC_PLATFORMS,
+    BITFUSION,
+    BPVEC,
+    TPU_LIKE,
+    AcceleratorSpec,
+    with_units,
+)
+
+
+class TestTable2Specs:
+    def test_mac_counts(self):
+        assert TPU_LIKE.num_macs == 512
+        assert BITFUSION.num_macs == 448
+        assert BPVEC.num_macs == 1024
+
+    def test_shared_parameters(self):
+        for spec in ALL_ASIC_PLATFORMS:
+            assert spec.frequency_hz == 500e6
+            assert spec.onchip_bytes == 112 * 1024
+            assert spec.core_power_mw == 250.0
+            assert spec.technology_nm == 45
+
+    def test_bpvec_has_2x_resources_of_baseline(self):
+        """Paper IV-B1: BPVeC integrates ~2x compute under the same budget."""
+        assert BPVEC.num_macs / TPU_LIKE.num_macs == 2.0
+
+    def test_bpvec_has_2_3x_resources_of_bitfusion(self):
+        """Paper IV-B2: ~2.3x more compute than BitFusion."""
+        assert BPVEC.num_macs / BITFUSION.num_macs == pytest.approx(2.29, rel=0.02)
+
+    def test_array_geometry_consistent(self):
+        for spec in ALL_ASIC_PLATFORMS:
+            assert spec.array_rows * spec.array_cols * spec.lanes == spec.num_macs
+
+
+class TestThroughputScaling:
+    def test_conventional_ignores_bitwidth(self):
+        assert TPU_LIKE.macs_per_cycle(8, 8) == 512
+        assert TPU_LIKE.macs_per_cycle(2, 2) == 512
+
+    def test_bpvec_mode_multipliers(self):
+        assert BPVEC.macs_per_cycle(8, 8) == 1024
+        assert BPVEC.macs_per_cycle(8, 4) == 2048
+        assert BPVEC.macs_per_cycle(8, 2) == 4096
+        assert BPVEC.macs_per_cycle(4, 4) == 4096
+        assert BPVEC.macs_per_cycle(2, 2) == 16384
+
+    def test_bitfusion_same_multipliers_smaller_base(self):
+        assert BITFUSION.macs_per_cycle(8, 8) == 448
+        assert BITFUSION.macs_per_cycle(4, 4) == 1792
+        assert BITFUSION.throughput_multiplier(4, 4) == BPVEC.throughput_multiplier(
+            4, 4
+        )
+
+    def test_peak_ops(self):
+        # 1024 MACs x 2 ops x 500 MHz ~= 1.02 TOPS at 8-bit.
+        assert BPVEC.peak_ops_per_second(8, 8) == pytest.approx(1.024e12)
+
+
+class TestEnergyScaling:
+    def test_bpvec_mac_cheaper_than_conventional(self):
+        """The 2x resource advantage comes from ~2x lower per-MAC power."""
+        ratio = TPU_LIKE.mac_energy_pj(8, 8) / BPVEC.mac_energy_pj(8, 8)
+        assert ratio == pytest.approx(2.03, rel=0.02)
+
+    def test_bitfusion_mac_more_expensive_than_conventional(self):
+        assert BITFUSION.mac_energy_pj(8, 8) > TPU_LIKE.mac_energy_pj(8, 8)
+
+    def test_reduced_bitwidth_divides_energy(self):
+        assert BPVEC.mac_energy_pj(4, 4) == pytest.approx(
+            BPVEC.mac_energy_pj(8, 8) / 4
+        )
+
+    def test_conventional_energy_flat_across_bitwidths(self):
+        assert TPU_LIKE.mac_energy_pj(4, 4) == TPU_LIKE.mac_energy_pj(8, 8)
+
+
+class TestValidationAndUtilities:
+    def test_bad_style(self):
+        with pytest.raises(ValueError):
+            AcceleratorSpec(
+                name="x", style="quantum", num_macs=4, array_rows=2, array_cols=2
+            )
+
+    def test_geometry_mismatch(self):
+        with pytest.raises(ValueError):
+            AcceleratorSpec(
+                name="x", style="conventional", num_macs=5, array_rows=2, array_cols=2
+            )
+
+    def test_with_units_resizes(self):
+        half = with_units(BPVEC, 512)
+        assert half.num_macs == 512
+        assert half.style == "bpvec"
+        assert half.array_rows * half.array_cols * half.lanes == 512
+
+    def test_with_units_invalid(self):
+        with pytest.raises(ValueError):
+            with_units(BPVEC, 0)
+
+    def test_scratchpad_property(self):
+        spad = BPVEC.scratchpad
+        assert spad.capacity_bytes == BPVEC.onchip_bytes
+
+    def test_reduction_lanes(self):
+        assert BPVEC.reduction_lanes == 8 * 16
+        assert TPU_LIKE.reduction_lanes == 16

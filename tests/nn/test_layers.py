@@ -1,0 +1,129 @@
+"""Tests for the layer shape algebra."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Conv2D, Dense, Gemm, LSTMCell, Pool2D, RNNCell
+
+
+class TestGemm:
+    def test_counts(self):
+        g = Gemm(m=4, k=8, n=16, count=2)
+        assert g.macs == 4 * 8 * 16 * 2
+        assert g.weight_elements == 8 * 16
+        assert g.input_elements == 4 * 8 * 2
+        assert g.output_elements == 4 * 16 * 2
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            Gemm(m=0, k=1, n=1)
+        with pytest.raises(ValueError):
+            Gemm(m=1, k=1, n=1, count=0)
+
+
+class TestConv2D:
+    def test_output_size(self):
+        conv = Conv2D("c", 3, 64, kernel=11, in_size=224, stride=4, padding=2)
+        assert conv.out_size == 55
+
+    def test_macs_alexnet_conv1(self):
+        conv = Conv2D("c", 3, 64, kernel=11, in_size=224, stride=4, padding=2)
+        assert conv.macs() == 64 * 3 * 11 * 11 * 55 * 55  # ~70.3M
+
+    def test_weight_count(self):
+        conv = Conv2D("c", 64, 192, kernel=5, in_size=27, padding=2)
+        assert conv.weight_count() == 192 * 64 * 25
+
+    def test_grouped_conv(self):
+        grouped = Conv2D("c", 64, 64, kernel=3, in_size=14, padding=1, groups=2)
+        full = Conv2D("c", 64, 64, kernel=3, in_size=14, padding=1)
+        assert grouped.weight_count() == full.weight_count() // 2
+        assert grouped.macs() == full.macs() // 2
+
+    def test_groups_must_divide(self):
+        with pytest.raises(ValueError):
+            Conv2D("c", 64, 65, kernel=3, in_size=14, groups=2)
+
+    def test_collapsed_output_rejected(self):
+        with pytest.raises(ValueError):
+            Conv2D("c", 3, 8, kernel=7, in_size=3)
+
+    def test_gemm_lowering(self):
+        conv = Conv2D("c", 64, 192, kernel=5, in_size=27, padding=2)
+        (g,) = conv.gemms(batch=2)
+        assert g.m == 2 * 27 * 27
+        assert g.k == 64 * 25
+        assert g.n == 192
+        assert g.macs == conv.macs(batch=2)
+
+    def test_batch_scaling(self):
+        conv = Conv2D("c", 16, 32, kernel=3, in_size=8, padding=1)
+        assert conv.macs(batch=4) == 4 * conv.macs(batch=1)
+        assert conv.input_elements(batch=4) == 4 * conv.input_elements()
+
+
+class TestDense:
+    def test_counts(self):
+        fc = Dense("fc", 9216, 4096)
+        assert fc.weight_count() == 9216 * 4096
+        assert fc.macs(batch=3) == 3 * 9216 * 4096
+
+    def test_gemm(self):
+        (g,) = Dense("fc", 100, 10).gemms(batch=5)
+        assert (g.m, g.k, g.n) == (5, 100, 10)
+
+    def test_bytes_at_reduced_bitwidth(self):
+        fc = Dense("fc", 100, 10)
+        assert fc.weight_bytes(8) == 1000
+        assert fc.weight_bytes(4) == 500
+        assert fc.weight_bytes(2) == 250
+
+
+class TestPool2D:
+    def test_no_macs_no_weights(self):
+        pool = Pool2D("p", 64, kernel=3, in_size=55, stride=2)
+        assert pool.macs() == 0
+        assert pool.weight_count() == 0
+        assert not pool.has_weights
+        assert pool.gemms() == []
+
+    def test_output_size(self):
+        assert Pool2D("p", 64, kernel=3, in_size=55, stride=2).out_size == 27
+
+
+class TestRecurrent:
+    def test_rnn_weight_count(self):
+        rnn = RNNCell("r", input_size=2048, hidden_size=2048, steps=32)
+        assert rnn.weight_count() == 2048 * (2048 + 2048)
+
+    def test_lstm_has_four_gates(self):
+        lstm = LSTMCell("l", input_size=2048, hidden_size=1024, steps=32)
+        assert lstm.weight_count() == 4 * 1024 * (2048 + 1024)
+        assert lstm.gates == 4
+
+    def test_macs_scale_with_steps_and_batch(self):
+        rnn = RNNCell("r", input_size=64, hidden_size=64, steps=10)
+        assert rnn.macs(batch=4) == 4 * 10 * rnn.weight_count()
+
+    def test_gemm_per_step(self):
+        lstm = LSTMCell("l", input_size=2048, hidden_size=1024, steps=32)
+        (g,) = lstm.gemms(batch=16)
+        assert g.m == 16
+        assert g.k == 2048 + 1024
+        assert g.n == 4 * 1024
+        assert g.count == 32
+        assert g.macs == lstm.macs(batch=16)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    in_ch=st.integers(1, 64),
+    out_ch=st.integers(1, 64),
+    kernel=st.sampled_from([1, 3, 5]),
+    in_size=st.integers(7, 56),
+    batch=st.integers(1, 8),
+)
+def test_conv_gemm_macs_match_layer_macs(in_ch, out_ch, kernel, in_size, batch):
+    conv = Conv2D("c", in_ch, out_ch, kernel=kernel, in_size=in_size, padding=kernel // 2)
+    assert sum(g.macs for g in conv.gemms(batch)) == conv.macs(batch)

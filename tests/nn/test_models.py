@@ -1,0 +1,171 @@
+"""Tests that the six workloads reproduce Table I."""
+
+import pytest
+
+from repro.nn import (
+    WORKLOAD_BUILDERS,
+    alexnet,
+    homogeneous_8bit,
+    inception_v1,
+    lstm_workload,
+    paper_heterogeneous,
+    paper_workloads,
+    resnet18,
+    resnet50,
+    rnn_workload,
+)
+
+# Table I targets: (model size MB @ INT8, GOps for the evaluated batch).
+TABLE1 = {
+    "AlexNet": (56.1, 2678),
+    "Inception-v1": (8.6, 1860),
+    "ResNet-18": (11.1, 4269),
+    "ResNet-50": (24.4, 8030),
+    "RNN": (16.0, 17),
+    "LSTM": (12.3, 13),
+}
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return {net.name: net for net in paper_workloads()}
+
+
+class TestTable1:
+    @pytest.mark.parametrize("name", list(TABLE1))
+    def test_model_size_close_to_paper(self, workloads, name):
+        """INT8 model sizes within 25% of Table I (shape variants differ)."""
+        size_mb = workloads[name].model_bytes(bits=8) / 1e6
+        paper_mb = TABLE1[name][0]
+        assert abs(size_mb - paper_mb) / paper_mb < 0.25
+
+    @pytest.mark.parametrize("name", list(TABLE1))
+    def test_gops_close_to_paper(self, workloads, name):
+        """Batch sizes are calibrated so GOps matches Table I within 6%."""
+        gops = workloads[name].total_ops() / 1e9
+        paper_gops = TABLE1[name][1]
+        assert abs(gops - paper_gops) / paper_gops < 0.06
+
+    def test_all_six_present(self, workloads):
+        assert set(workloads) == set(TABLE1)
+
+    def test_kinds(self, workloads):
+        assert workloads["RNN"].kind == "RNN"
+        assert workloads["LSTM"].kind == "RNN"
+        assert workloads["ResNet-50"].kind == "CNN"
+
+
+class TestKnownParameterCounts:
+    def test_alexnet_61m(self):
+        assert sum(l.weight_count() for l in alexnet().layers) == pytest.approx(
+            61.1e6, rel=0.01
+        )
+
+    def test_resnet18_11_7m(self):
+        assert sum(l.weight_count() for l in resnet18().layers) == pytest.approx(
+            11.68e6, rel=0.01
+        )
+
+    def test_resnet50_25_5m(self):
+        assert sum(l.weight_count() for l in resnet50().layers) == pytest.approx(
+            25.5e6, rel=0.01
+        )
+
+    def test_inception_7m(self):
+        assert sum(l.weight_count() for l in inception_v1().layers) == pytest.approx(
+            7.0e6, rel=0.02
+        )
+
+    def test_alexnet_macs_per_image(self):
+        assert alexnet(batch=1).total_macs() == pytest.approx(714e6, rel=0.01)
+
+    def test_resnet18_macs_per_image(self):
+        assert resnet18(batch=1).total_macs() == pytest.approx(1.82e9, rel=0.02)
+
+    def test_resnet50_macs_per_image(self):
+        assert resnet50(batch=1).total_macs() == pytest.approx(4.09e9, rel=0.02)
+
+
+class TestRecurrentShapes:
+    def test_rnn_two_layers(self):
+        net = rnn_workload()
+        assert len(net.layers) == 2
+        assert net.batch == 16
+
+    def test_lstm_single_layer(self):
+        net = lstm_workload()
+        assert len(net.layers) == 1
+
+    def test_custom_steps(self):
+        assert rnn_workload(steps=64).total_macs() == 2 * rnn_workload(
+            steps=32
+        ).total_macs()
+
+
+class TestBitwidthPolicies:
+    def test_homogeneous_all_8bit(self):
+        net = homogeneous_8bit(resnet18())
+        for layer in net.weighted_layers:
+            bw = net.bitwidth(layer.name)
+            assert (bw.activations, bw.weights) == (8, 8)
+        assert not net.is_heterogeneous
+
+    def test_first_last_8bit_policy(self):
+        """Table I: AlexNet keeps first and last layers at 8-bit."""
+        net = paper_heterogeneous(alexnet())
+        weighted = net.weighted_layers
+        assert net.bitwidth(weighted[0].name).weights == 8
+        assert net.bitwidth(weighted[-1].name).weights == 8
+        for layer in weighted[1:-1]:
+            assert net.bitwidth(layer.name).weights == 4
+        assert net.is_heterogeneous
+
+    def test_all_4bit_policy(self):
+        for builder in (resnet50, rnn_workload, lstm_workload):
+            net = paper_heterogeneous(builder())
+            for layer in net.weighted_layers:
+                assert net.bitwidth(layer.name).weights == 4
+            assert not net.is_heterogeneous  # uniform 4-bit
+
+    def test_unknown_model_rejected(self):
+        from repro.nn import Dense, Network
+
+        net = Network("Custom", [Dense("fc", 8, 8)])
+        with pytest.raises(KeyError):
+            paper_heterogeneous(net)
+
+    def test_bitwidth_assignment_validates_names(self):
+        from repro.nn import LayerBitwidth
+
+        net = alexnet()
+        with pytest.raises(KeyError):
+            net.set_bitwidths({"nonexistent": LayerBitwidth(4, 4)})
+
+    def test_layer_bitwidth_range(self):
+        from repro.nn import LayerBitwidth
+
+        with pytest.raises(ValueError):
+            LayerBitwidth(0, 8)
+        with pytest.raises(ValueError):
+            LayerBitwidth(8, 16)
+
+
+class TestNetworkContainer:
+    def test_duplicate_names_rejected(self):
+        from repro.nn import Dense, Network
+
+        with pytest.raises(ValueError):
+            Network("X", [Dense("a", 2, 2), Dense("a", 2, 2)])
+
+    def test_batch_must_be_positive(self):
+        from repro.nn import Dense, Network
+
+        with pytest.raises(ValueError):
+            Network("X", [Dense("a", 2, 2)], batch=0)
+
+    def test_describe_contains_layers(self):
+        text = alexnet().describe()
+        assert "conv1" in text and "fc8" in text
+
+    def test_builders_registry(self):
+        assert set(WORKLOAD_BUILDERS) == set(TABLE1)

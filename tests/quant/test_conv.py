@@ -1,0 +1,139 @@
+"""Tests for quantized convolution and pooling on the composed arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant import QuantizedConv2D, avg_pool2d, im2col, max_pool2d
+
+
+def _reference_conv(x, weight, bias, stride, padding):
+    """Direct-loop NHWC convolution used as the golden reference."""
+    n, h, w, _ = x.shape
+    k, _, _, c_out = weight.shape
+    xp = np.pad(x, ((0, 0), (padding, padding), (padding, padding), (0, 0)))
+    oh = (h + 2 * padding - k) // stride + 1
+    ow = (w + 2 * padding - k) // stride + 1
+    out = np.zeros((n, oh, ow, c_out))
+    for i in range(oh):
+        for j in range(ow):
+            window = xp[:, i * stride : i * stride + k, j * stride : j * stride + k, :]
+            out[:, i, j, :] = np.tensordot(window, weight, axes=([1, 2, 3], [0, 1, 2]))
+    return out + bias
+
+
+class TestIm2col:
+    def test_shape(self):
+        x = np.arange(2 * 5 * 5 * 3).reshape(2, 5, 5, 3)
+        cols = im2col(x, kernel=3, stride=1, padding=0)
+        assert cols.shape == (2 * 3 * 3, 3 * 3 * 3)
+
+    def test_identity_kernel1(self):
+        x = np.arange(1 * 2 * 2 * 4).reshape(1, 2, 2, 4)
+        cols = im2col(x, kernel=1)
+        np.testing.assert_array_equal(cols, x.reshape(4, 4))
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            im2col(np.zeros((2, 2, 2)), kernel=1)
+        with pytest.raises(ValueError):
+            im2col(np.zeros((1, 2, 2, 1)), kernel=3)
+        with pytest.raises(ValueError):
+            im2col(np.zeros((1, 4, 4, 1)), kernel=2, stride=0)
+
+
+class TestQuantizedConv2D:
+    @pytest.fixture
+    def conv(self):
+        rng = np.random.default_rng(0)
+        return QuantizedConv2D(
+            weight=rng.normal(0, 0.5, (3, 3, 4, 8)),
+            bias=rng.normal(0, 0.1, 8),
+            stride=1,
+            padding=1,
+        )
+
+    def test_float_matches_direct_convolution(self, conv):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(2, 6, 6, 4))
+        got = conv.forward(x, backend="float")
+        ref = _reference_conv(x, conv.weight, conv.bias, 1, 1)
+        np.testing.assert_allclose(got, ref, atol=1e-10)
+
+    def test_composed_equals_integer(self, conv):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(1, 6, 6, 4))
+        conv.bits_weights = conv.bits_activations = 4
+        conv._wq = None
+        np.testing.assert_array_equal(
+            conv.forward(x, backend="integer"), conv.forward(x, backend="composed")
+        )
+
+    def test_int8_close_to_float(self, conv):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(1, 6, 6, 4))
+        ref = conv.forward(x, backend="float")
+        got = conv.forward(x, backend="composed")
+        assert np.max(np.abs(ref - got)) < 0.05 * np.max(np.abs(ref))
+
+    def test_strided_output_shape(self):
+        conv = QuantizedConv2D(
+            weight=np.zeros((3, 3, 2, 5)), bias=np.zeros(5), stride=2, padding=1
+        )
+        out = conv.forward(np.zeros((1, 8, 8, 2)), backend="float")
+        assert out.shape == (1, 4, 4, 5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuantizedConv2D(weight=np.zeros((3, 3, 2)), bias=np.zeros(2))
+        with pytest.raises(ValueError):
+            QuantizedConv2D(weight=np.zeros((3, 5, 2, 2)), bias=np.zeros(2))
+        with pytest.raises(ValueError):
+            QuantizedConv2D(weight=np.zeros((3, 3, 2, 2)), bias=np.zeros(3))
+        conv = QuantizedConv2D(weight=np.zeros((1, 1, 1, 1)), bias=np.zeros(1))
+        with pytest.raises(ValueError):
+            conv.forward(np.zeros((1, 2, 2, 1)), backend="tpu")
+
+
+class TestPooling:
+    def test_max_pool(self):
+        x = np.arange(16, dtype=float).reshape(1, 4, 4, 1)
+        out = max_pool2d(x, kernel=2)
+        np.testing.assert_array_equal(out[0, :, :, 0], [[5, 7], [13, 15]])
+
+    def test_avg_pool(self):
+        x = np.arange(16, dtype=float).reshape(1, 4, 4, 1)
+        out = avg_pool2d(x, kernel=2)
+        np.testing.assert_array_equal(out[0, :, :, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_stride_defaults_to_kernel(self):
+        x = np.zeros((1, 6, 6, 2))
+        assert max_pool2d(x, kernel=3).shape == (1, 2, 2, 2)
+
+    def test_bad_input(self):
+        with pytest.raises(ValueError):
+            max_pool2d(np.zeros((4, 4)), kernel=2)
+        with pytest.raises(ValueError):
+            max_pool2d(np.zeros((1, 2, 2, 1)), kernel=4)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    bits=st.integers(2, 8),
+    kernel=st.sampled_from([1, 3]),
+    seed=st.integers(0, 2**31),
+)
+def test_conv_composed_integer_equivalence_property(bits, kernel, seed):
+    rng = np.random.default_rng(seed)
+    conv = QuantizedConv2D(
+        weight=rng.normal(size=(kernel, kernel, 3, 4)),
+        bias=rng.normal(size=4),
+        padding=kernel // 2,
+        bits_weights=bits,
+        bits_activations=bits,
+    )
+    x = rng.normal(size=(1, 5, 5, 3))
+    np.testing.assert_array_equal(
+        conv.forward(x, backend="integer"), conv.forward(x, backend="composed")
+    )

@@ -1,0 +1,116 @@
+"""Tests for quantized inference on the composed (CVU) arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant import MLP, QuantizedLinear, make_two_spirals
+
+
+@pytest.fixture(scope="module")
+def trained():
+    x, y = make_two_spirals(240, seed=3)
+    mlp = MLP([2, 24, 24, 2], seed=4)
+    mlp.train(x, y, epochs=300, lr=0.3)
+    return mlp, x, y
+
+
+class TestQuantizedLinear:
+    def test_float_backend_matches_matmul(self):
+        rng = np.random.default_rng(0)
+        layer = QuantizedLinear(weight=rng.normal(size=(8, 4)), bias=rng.normal(size=4))
+        x = rng.normal(size=(3, 8))
+        np.testing.assert_allclose(
+            layer.forward(x, backend="float"), x @ layer.weight + layer.bias
+        )
+
+    def test_composed_equals_integer_bit_exactly(self):
+        """The core hardware invariant, end to end through a layer."""
+        rng = np.random.default_rng(1)
+        layer = QuantizedLinear(
+            weight=rng.normal(size=(16, 8)),
+            bias=np.zeros(8),
+            bits_weights=4,
+            bits_activations=4,
+        )
+        x = rng.normal(size=(5, 16))
+        np.testing.assert_array_equal(
+            layer.forward(x, backend="integer"), layer.forward(x, backend="composed")
+        )
+
+    def test_int8_close_to_float(self):
+        rng = np.random.default_rng(2)
+        layer = QuantizedLinear(weight=rng.normal(size=(32, 16)), bias=np.zeros(16))
+        x = rng.normal(size=(4, 32))
+        ref = layer.forward(x, backend="float")
+        got = layer.forward(x, backend="composed")
+        assert np.max(np.abs(ref - got)) < 0.05 * np.max(np.abs(ref))
+
+    def test_unknown_backend_rejected(self):
+        layer = QuantizedLinear(weight=np.eye(2), bias=np.zeros(2))
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((1, 2)), backend="fpga")
+
+    def test_weight_quantization_cached(self):
+        layer = QuantizedLinear(weight=np.eye(4), bias=np.zeros(4))
+        assert layer.quantize_weights() is layer.quantize_weights()
+
+
+class TestMLP:
+    def test_training_converges(self, trained):
+        mlp, x, y = trained
+        assert mlp.accuracy(x, y, backend="float") > 0.9
+
+    def test_8bit_preserves_accuracy(self, trained):
+        """The paper's premise: 8-bit quantization is accuracy-neutral."""
+        mlp, x, y = trained
+        fp = mlp.accuracy(x, y, backend="float")
+        q8 = mlp.accuracy(
+            x, y, backend="composed", bits_weights=8, bits_activations=8
+        )
+        assert abs(fp - q8) < 0.02
+
+    def test_4bit_accuracy_degrades_gracefully(self, trained):
+        mlp, x, y = trained
+        q4 = mlp.accuracy(
+            x, y, backend="composed", bits_weights=4, bits_activations=4
+        )
+        assert q4 > 0.8
+
+    def test_composed_and_integer_agree_on_predictions(self, trained):
+        mlp, x, _ = trained
+        a = mlp.forward(x, backend="integer", bits_weights=4, bits_activations=4)
+        b = mlp.forward(x, backend="composed", bits_weights=4, bits_activations=4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_needs_two_sizes(self):
+        with pytest.raises(ValueError):
+            MLP([4])
+
+    def test_spirals_shapes(self):
+        x, y = make_two_spirals(100, seed=0)
+        assert x.shape == (100, 2)
+        assert set(np.unique(y)) == {0, 1}
+        with pytest.raises(ValueError):
+            make_two_spirals(1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    bits_w=st.integers(2, 8),
+    bits_a=st.integers(2, 8),
+    seed=st.integers(0, 2**31),
+)
+def test_layer_composed_integer_equivalence_property(bits_w, bits_a, seed):
+    rng = np.random.default_rng(seed)
+    layer = QuantizedLinear(
+        weight=rng.normal(size=(12, 6)),
+        bias=rng.normal(size=6),
+        bits_weights=bits_w,
+        bits_activations=bits_a,
+    )
+    x = rng.normal(size=(4, 12))
+    np.testing.assert_array_equal(
+        layer.forward(x, backend="integer"), layer.forward(x, backend="composed")
+    )

@@ -1,0 +1,104 @@
+"""Tests for linear quantization and the QTensor container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant import LinearQuantizer, QTensor, quantization_error
+
+
+class TestLinearQuantizer:
+    def test_symmetric_zero_point_is_zero(self):
+        q = LinearQuantizer(bits=8, signed=True, symmetric=True)
+        qt = q(np.array([-1.0, 0.5, 1.0]))
+        assert qt.zero_point == 0
+        assert qt.values.max() == 127
+
+    def test_asymmetric_covers_full_range(self):
+        q = LinearQuantizer(bits=8, signed=False, symmetric=False)
+        qt = q(np.array([0.0, 10.0]))
+        assert qt.values.min() == 0
+        assert qt.values.max() == 255
+
+    def test_roundtrip_error_bounded_by_half_step(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(0, 1, 1000)
+        q = LinearQuantizer(bits=8, signed=True, symmetric=True)
+        qt = q(x)
+        assert np.max(np.abs(x - qt.dequantize())) <= qt.scale / 2 + 1e-12
+
+    def test_lower_bits_higher_error(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(0, 1, 1000)
+        errors = []
+        for bits in (8, 4, 2):
+            qt = LinearQuantizer(bits=bits, signed=True, symmetric=True)(x)
+            errors.append(quantization_error(x, qt))
+        assert errors[0] < errors[1] < errors[2]
+
+    def test_constant_tensor(self):
+        qt = LinearQuantizer(bits=4, signed=False, symmetric=False)(np.full(5, 3.0))
+        assert np.allclose(qt.dequantize(), 3.0, atol=qt.scale)
+
+    def test_all_zero_tensor(self):
+        qt = LinearQuantizer(bits=4, signed=True, symmetric=True)(np.zeros(8))
+        assert np.all(qt.values == 0)
+        np.testing.assert_allclose(qt.dequantize(), 0.0)
+
+    def test_quantize_before_fit_rejected(self):
+        q = LinearQuantizer(bits=8)
+        with pytest.raises(RuntimeError):
+            q.quantize(np.array([1.0]))
+
+    def test_empty_calibration_rejected(self):
+        with pytest.raises(ValueError):
+            LinearQuantizer(bits=8).fit(np.array([]))
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            LinearQuantizer(bits=0)
+        with pytest.raises(ValueError):
+            LinearQuantizer(bits=32)
+
+
+class TestQTensor:
+    def test_codes_fit_declared_bitwidth(self):
+        with pytest.raises(ValueError):
+            QTensor(np.array([300]), scale=1.0, zero_point=0, bits=8, signed=False)
+
+    def test_scale_must_be_positive(self):
+        with pytest.raises(ValueError):
+            QTensor(np.array([0]), scale=0.0, zero_point=0, bits=8, signed=True)
+
+    def test_centered_subtracts_zero_point(self):
+        qt = QTensor(np.array([5, 10]), scale=0.1, zero_point=5, bits=8, signed=False)
+        np.testing.assert_array_equal(qt.centered(), [0, 5])
+        assert not qt.is_symmetric
+
+    def test_storage_bytes_sub_byte(self):
+        qt = QTensor(np.zeros(10, dtype=np.int64), 1.0, 0, bits=4, signed=True)
+        assert qt.storage_bytes() == 5
+
+    def test_dequantize_formula(self):
+        qt = QTensor(np.array([7]), scale=0.5, zero_point=3, bits=8, signed=False)
+        assert qt.dequantize()[0] == pytest.approx((7 - 3) * 0.5)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    bits=st.integers(2, 8),
+    signed=st.booleans(),
+    symmetric=st.booleans(),
+    seed=st.integers(0, 2**31),
+)
+def test_quantizer_codes_always_in_range(bits, signed, symmetric, seed):
+    if symmetric and not signed and bits < 2:
+        return
+    rng = np.random.default_rng(seed)
+    x = rng.normal(0, 10, 200)
+    q = LinearQuantizer(bits=bits, signed=signed, symmetric=symmetric)
+    qt = q(x)
+    lo, hi = q.code_range
+    assert qt.values.min() >= lo
+    assert qt.values.max() <= hi

@@ -1,0 +1,114 @@
+"""Tests for quantization sensitivity analysis and bitwidth search."""
+
+import numpy as np
+import pytest
+
+from repro.quant import (
+    MLP,
+    assign_bitwidths,
+    average_bitwidth,
+    footprint_reduction,
+    layer_sensitivity,
+    make_two_spirals,
+)
+
+
+@pytest.fixture(scope="module")
+def trained():
+    x, y = make_two_spirals(300, seed=11)
+    mlp = MLP([2, 32, 32, 2], seed=12)
+    mlp.train(x, y, epochs=400, lr=0.3)
+    return mlp, x, y
+
+
+class TestPerLayerBitwidths:
+    def test_list_forward_matches_uniform(self, trained):
+        mlp, x, _ = trained
+        uniform = mlp.forward(x, backend="integer", bits_weights=4, bits_activations=4)
+        listed = mlp.forward(
+            x,
+            backend="integer",
+            bits_weights=[4, 4, 4],
+            bits_activations=[4, 4, 4],
+        )
+        np.testing.assert_array_equal(uniform, listed)
+
+    def test_wrong_length_rejected(self, trained):
+        mlp, x, _ = trained
+        with pytest.raises(ValueError):
+            mlp.forward(x, bits_weights=[8, 8])
+
+
+class TestLayerSensitivity:
+    def test_scan_shape(self, trained):
+        mlp, x, y = trained
+        records = layer_sensitivity(mlp, x, y, bits_candidates=(8, 2))
+        assert len(records) == len(mlp.layers) * 2
+        assert {r.layer_index for r in records} == {0, 1, 2}
+
+    def test_8bit_is_accuracy_neutral(self, trained):
+        mlp, x, y = trained
+        for r in layer_sensitivity(mlp, x, y, bits_candidates=(8,)):
+            assert abs(r.accuracy_drop) < 0.03
+
+    def test_2bit_hurts_more_than_8bit(self, trained):
+        mlp, x, y = trained
+        records = layer_sensitivity(mlp, x, y, bits_candidates=(8, 2))
+        drop8 = np.mean([r.accuracy_drop for r in records if r.bits == 8])
+        drop2 = np.mean([r.accuracy_drop for r in records if r.bits == 2])
+        assert drop2 > drop8
+
+    def test_empty_candidates_rejected(self, trained):
+        mlp, x, y = trained
+        with pytest.raises(ValueError):
+            layer_sensitivity(mlp, x, y, bits_candidates=())
+
+
+class TestBitwidthSearch:
+    def test_assignment_respects_accuracy_floor(self, trained):
+        mlp, x, y = trained
+        result = assign_bitwidths(mlp, x, y, max_drop=0.03)
+        assert result.accuracy >= result.float_accuracy - 0.03 - 1e-9
+
+    def test_search_narrows_something(self, trained):
+        """With a generous floor, at least one layer should leave 8-bit."""
+        mlp, x, y = trained
+        result = assign_bitwidths(mlp, x, y, max_drop=0.10)
+        assert any(b < 8 for b in result.bits_per_layer)
+        assert result.steps >= 1
+
+    def test_zero_budget_keeps_everything_wide_or_safe(self, trained):
+        mlp, x, y = trained
+        result = assign_bitwidths(mlp, x, y, max_drop=0.0)
+        assert result.accuracy >= result.float_accuracy - 1e-9
+
+    def test_validation(self, trained):
+        mlp, x, y = trained
+        with pytest.raises(ValueError):
+            assign_bitwidths(mlp, x, y, max_drop=-0.1)
+        with pytest.raises(ValueError):
+            assign_bitwidths(mlp, x, y, ladder=(4, 8))
+        with pytest.raises(ValueError):
+            assign_bitwidths(mlp, x, y, ladder=(8,))
+
+
+class TestMetrics:
+    def test_average_bitwidth_uniform(self, trained):
+        mlp, _, _ = trained
+        assert average_bitwidth(mlp, (8, 8, 8)) == 8.0
+        assert average_bitwidth(mlp, (4, 4, 4)) == 4.0
+
+    def test_average_is_parameter_weighted(self, trained):
+        mlp, _, _ = trained
+        # Middle layer (32x32) dominates the 2-input first layer.
+        avg = average_bitwidth(mlp, (8, 2, 8))
+        assert avg < 6.0
+
+    def test_footprint_reduction(self, trained):
+        mlp, _, _ = trained
+        assert footprint_reduction(mlp, (4, 4, 4)) == pytest.approx(2.0)
+
+    def test_length_validation(self, trained):
+        mlp, _, _ = trained
+        with pytest.raises(ValueError):
+            average_bitwidth(mlp, (8, 8))

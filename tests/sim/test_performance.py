@@ -1,0 +1,144 @@
+"""Tests for the per-layer performance and energy model."""
+
+import pytest
+
+from repro.hw import BITFUSION, BPVEC, DDR4, HBM2, TPU_LIKE
+from repro.nn import Dense, LayerBitwidth, Network, Pool2D, homogeneous_8bit, uniform
+from repro.sim import simulate_layer
+
+
+def _single_layer_net(layer, batch=1, bits=8):
+    net = Network("T", [layer], batch=batch)
+    return uniform(net, bits, bits)
+
+
+class TestComputeCycles:
+    def test_ideal_utilization_layer(self):
+        # K and N exactly match the baseline array: 16 rows x 32 cols.
+        layer = Dense("fc", 16 * 4, 32 * 2)
+        net = _single_layer_net(layer, batch=10)
+        res = simulate_layer(layer, net, TPU_LIKE, DDR4)
+        assert res.compute_cycles == 10 * 4 * 2  # M x K-passes x N-passes
+
+    def test_padding_waste_counted(self):
+        # K=17 on a 16-row array wastes almost half the array.
+        layer = Dense("fc", 17, 32)
+        net = _single_layer_net(layer, batch=1)
+        res = simulate_layer(layer, net, TPU_LIKE, DDR4)
+        assert res.compute_cycles == 2  # ceil(17/16) passes
+
+    def test_bpvec_8bit_is_2x_baseline_at_full_utilization(self):
+        layer = Dense("fc", 1024, 1024)
+        net = _single_layer_net(layer, batch=64)
+        base = simulate_layer(layer, net, TPU_LIKE, HBM2)
+        bpv = simulate_layer(layer, net, BPVEC, HBM2)
+        assert base.compute_cycles / bpv.compute_cycles == pytest.approx(2.0)
+
+    def test_bpvec_4bit_mode_quadruples_throughput(self):
+        layer = Dense("fc", 4096, 1024)
+        net4 = _single_layer_net(layer, batch=64, bits=4)
+        net8 = _single_layer_net(layer, batch=64, bits=8)
+        r8 = simulate_layer(layer, net8, BPVEC, HBM2)
+        r4 = simulate_layer(layer, net4, BPVEC, HBM2)
+        assert r8.compute_cycles / r4.compute_cycles == pytest.approx(4.0)
+
+    def test_conventional_gains_nothing_from_4bit(self):
+        layer = Dense("fc", 4096, 1024)
+        net4 = _single_layer_net(layer, batch=64, bits=4)
+        net8 = _single_layer_net(layer, batch=64, bits=8)
+        r8 = simulate_layer(layer, net8, TPU_LIKE, HBM2)
+        r4 = simulate_layer(layer, net4, TPU_LIKE, HBM2)
+        assert r4.compute_cycles == r8.compute_cycles
+
+    def test_flexible_cluster_arrangement_limits_padding(self):
+        """4-bit clusters map to columns when K is short (Fig. 3-c freedom)."""
+        layer = Dense("fc", 128, 1024)  # K exactly one BPVeC reduction
+        net4 = _single_layer_net(layer, batch=64, bits=4)
+        res = simulate_layer(layer, net4, BPVEC, HBM2)
+        # Best arrangement: keep K at one pass, use x4 on columns.
+        assert res.compute_cycles == 64 * 1 * -(-1024 // (8 * 4))
+
+
+class TestMemoryBoundedness:
+    def test_matvec_is_memory_bound_on_ddr4(self):
+        layer = Dense("fc", 4096, 4096)
+        net = _single_layer_net(layer, batch=1)
+        res = simulate_layer(layer, net, TPU_LIKE, DDR4)
+        assert res.is_memory_bound
+
+    def test_same_layer_compute_bound_on_hbm2(self):
+        layer = Dense("fc", 4096, 4096)
+        net = _single_layer_net(layer, batch=2)
+        res = simulate_layer(layer, net, TPU_LIKE, HBM2)
+        assert not res.is_memory_bound
+
+    def test_cycles_is_max_of_compute_and_memory(self):
+        layer = Dense("fc", 2048, 2048)
+        net = _single_layer_net(layer, batch=4)
+        res = simulate_layer(layer, net, TPU_LIKE, DDR4)
+        assert res.cycles == max(res.compute_cycles, res.memory_cycles)
+
+
+class TestEnergy:
+    def test_all_components_positive(self):
+        layer = Dense("fc", 512, 512)
+        net = _single_layer_net(layer, batch=8)
+        res = simulate_layer(layer, net, BPVEC, DDR4)
+        assert res.compute_energy_pj > 0
+        assert res.sram_energy_pj > 0
+        assert res.dram_energy_pj > 0
+        assert res.uncore_energy_pj > 0
+        assert res.energy_pj == pytest.approx(
+            res.compute_energy_pj
+            + res.sram_energy_pj
+            + res.dram_energy_pj
+            + res.uncore_energy_pj
+        )
+
+    def test_hbm2_cuts_dram_access_energy(self):
+        layer = Dense("fc", 2048, 2048)
+        net = _single_layer_net(layer, batch=8)
+        ddr = simulate_layer(layer, net, TPU_LIKE, DDR4)
+        hbm = simulate_layer(layer, net, TPU_LIKE, HBM2)
+        assert hbm.dram_energy_pj < ddr.dram_energy_pj
+
+    def test_bpvec_mac_energy_half_of_baseline(self):
+        layer = Dense("fc", 1024, 1024)
+        net = _single_layer_net(layer, batch=8)
+        base = simulate_layer(layer, net, TPU_LIKE, DDR4)
+        bpv = simulate_layer(layer, net, BPVEC, DDR4)
+        assert base.compute_energy_pj / bpv.compute_energy_pj == pytest.approx(
+            2.03, rel=0.02
+        )
+
+    def test_bitfusion_mac_energy_above_baseline(self):
+        layer = Dense("fc", 1024, 1024)
+        net = _single_layer_net(layer, batch=8)
+        base = simulate_layer(layer, net, TPU_LIKE, DDR4)
+        bf = simulate_layer(layer, net, BITFUSION, DDR4)
+        assert bf.compute_energy_pj > base.compute_energy_pj
+
+
+class TestEdgeCases:
+    def test_pool_layer_returns_none(self):
+        pool = Pool2D("p", 8, kernel=2, in_size=8)
+        net = Network("T", [pool])
+        assert simulate_layer(pool, net, TPU_LIKE, DDR4) is None
+
+    def test_bitwidths_recorded(self):
+        layer = Dense("fc", 64, 64)
+        net = Network("T", [layer]).set_bitwidths({"fc": LayerBitwidth(8, 4)})
+        res = simulate_layer(layer, net, BPVEC, DDR4)
+        assert (res.bw_act, res.bw_w) == (8, 4)
+
+    def test_macs_match_layer(self):
+        layer = Dense("fc", 123, 45)
+        net = _single_layer_net(layer, batch=7)
+        res = simulate_layer(layer, net, BPVEC, DDR4)
+        assert res.macs == layer.macs(7)
+
+    def test_seconds_helper(self):
+        layer = Dense("fc", 64, 64)
+        net = _single_layer_net(layer)
+        res = simulate_layer(layer, net, TPU_LIKE, DDR4)
+        assert res.seconds(500e6) == pytest.approx(res.cycles / 500e6)

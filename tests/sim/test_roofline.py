@@ -1,0 +1,65 @@
+"""Tests for the roofline analysis."""
+
+import pytest
+
+from repro.hw import BPVEC, DDR4, HBM2, TPU_LIKE
+from repro.nn import homogeneous_8bit, lstm_workload, resnet18
+from repro.sim import ridge_point, roofline_analysis
+
+
+class TestRidgePoint:
+    def test_bpvec_ddr4(self):
+        # 1024 MACs/cycle over 32 bytes/cycle = 32 MACs/byte.
+        assert ridge_point(BPVEC, DDR4) == pytest.approx(32.0)
+
+    def test_hbm2_moves_ridge_left(self):
+        assert ridge_point(BPVEC, HBM2) == pytest.approx(2.0)
+        assert ridge_point(BPVEC, HBM2) < ridge_point(BPVEC, DDR4)
+
+    def test_reduced_bitwidth_moves_ridge_right(self):
+        assert ridge_point(BPVEC, DDR4, 4, 4) > ridge_point(BPVEC, DDR4, 8, 8)
+
+    def test_conventional_platform(self):
+        assert ridge_point(TPU_LIKE, DDR4) == pytest.approx(16.0)
+
+
+class TestRooflineAnalysis:
+    def test_lstm_left_of_ddr4_ridge(self):
+        """The paper's RNN story: recurrent layers sit in the memory region."""
+        net = homogeneous_8bit(lstm_workload())
+        points = roofline_analysis(net, BPVEC, DDR4)
+        ridge = ridge_point(BPVEC, DDR4)
+        for p in points:
+            assert p.operational_intensity < ridge
+            assert p.memory_bound
+
+    def test_resnet_convs_right_of_ridge(self):
+        net = homogeneous_8bit(resnet18(batch=8))
+        points = roofline_analysis(net, BPVEC, DDR4)
+        ridge = ridge_point(BPVEC, DDR4)
+        convs = [p for p in points if p.layer_name.endswith("conv2")]
+        assert convs
+        for p in convs:
+            assert p.operational_intensity > ridge
+            assert not p.memory_bound
+
+    def test_attained_below_roof(self):
+        net = homogeneous_8bit(resnet18(batch=2))
+        for p in roofline_analysis(net, BPVEC, DDR4):
+            assert 0 < p.attained_macs_per_cycle <= p.peak_macs_per_cycle
+            assert 0 < p.roof_fraction <= 1.0
+
+    def test_memory_bound_consistent_with_intensity(self):
+        """Memory-bound <=> intensity below the ridge (up to rounding)."""
+        net = homogeneous_8bit(lstm_workload())
+        ridge = ridge_point(BPVEC, HBM2)
+        for p in roofline_analysis(net, BPVEC, HBM2):
+            if p.memory_bound:
+                assert p.operational_intensity <= ridge * 1.05
+
+    def test_empty_network_rejected(self):
+        from repro.nn import Network, Pool2D
+
+        net = Network("p", [Pool2D("p", 2, kernel=2, in_size=4)])
+        with pytest.raises(ValueError):
+            roofline_analysis(net, BPVEC, DDR4)

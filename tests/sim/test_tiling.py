@@ -1,0 +1,106 @@
+"""Tests for the tiling / DRAM-traffic planner."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import BPVEC, TPU_LIKE
+from repro.nn import Gemm
+from repro.sim import BufferSplit, plan_traffic
+
+
+class TestBufferSplit:
+    def test_default_sums_to_one(self):
+        BufferSplit()  # must not raise
+
+    def test_bad_sum_rejected(self):
+        with pytest.raises(ValueError):
+            BufferSplit(0.5, 0.5, 0.5)
+
+    def test_zero_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            BufferSplit(1.0, 0.0, 0.0)
+
+
+class TestSmallGemm:
+    def test_everything_fits_compulsory_traffic(self):
+        """A tiny GEMM moves each operand exactly once."""
+        g = Gemm(m=8, k=64, n=16)
+        plan = plan_traffic(g, 8, 8, TPU_LIKE)
+        assert plan.weight_traffic == 64 * 16
+        assert plan.input_traffic == 8 * 64
+        assert plan.output_traffic == 8 * 16
+
+    def test_reduced_bitwidth_shrinks_traffic(self):
+        g = Gemm(m=8, k=64, n=16)
+        full = plan_traffic(g, 8, 8, TPU_LIKE)
+        quarter = plan_traffic(g, 4, 4, TPU_LIKE)
+        assert quarter.weight_traffic == full.weight_traffic // 2
+        assert quarter.input_traffic == full.input_traffic // 2
+        # outputs are written at 8-bit regardless
+        assert quarter.output_traffic == full.output_traffic
+
+
+class TestRecurrentReuse:
+    def test_resident_weights_loaded_once_across_steps(self):
+        """Weights that fit on chip amortize over repeated GEMMs."""
+        g = Gemm(m=4, k=128, n=64, count=10)  # 8 KB of weights fits
+        plan = plan_traffic(g, 8, 8, TPU_LIKE)
+        assert plan.weight_traffic == 128 * 64  # once, not x10
+
+    def test_oversized_weights_reloaded_every_step(self):
+        """The RNN regime: 16 MB of weights >> 112 KB scratchpad."""
+        g = Gemm(m=16, k=2048, n=4096, count=32)
+        plan = plan_traffic(g, 8, 8, TPU_LIKE)
+        assert plan.weight_traffic >= 2048 * 4096 * 32
+
+
+class TestScheduleSelection:
+    def test_big_weights_small_acts_streams_weights(self):
+        # FC layer, small batch: activations resident, weights streamed once.
+        g = Gemm(m=4, k=9216, n=4096)
+        plan = plan_traffic(g, 8, 8, TPU_LIKE)
+        assert plan.weight_traffic == 9216 * 4096
+        assert plan.schedule == "activation-stationary"
+
+    def test_conv_uses_unique_input_footprint(self):
+        g = Gemm(m=3136, k=576, n=64)
+        with_unique = plan_traffic(
+            g, 8, 8, TPU_LIKE, input_unique_elements=64 * 58 * 58
+        )
+        without = plan_traffic(g, 8, 8, TPU_LIKE)
+        assert with_unique.input_traffic < without.input_traffic
+
+    def test_total_is_sum_of_parts(self):
+        g = Gemm(m=128, k=512, n=512)
+        plan = plan_traffic(g, 8, 8, BPVEC)
+        assert plan.total_traffic == (
+            plan.weight_traffic + plan.input_traffic + plan.output_traffic
+        )
+
+    def test_invalid_bitwidths(self):
+        g = Gemm(m=1, k=1, n=1)
+        with pytest.raises(ValueError):
+            plan_traffic(g, 0, 8, TPU_LIKE)
+        with pytest.raises(ValueError):
+            plan_traffic(g, 8, 9, TPU_LIKE)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    m=st.integers(1, 4096),
+    k=st.integers(1, 4096),
+    n=st.integers(1, 4096),
+    count=st.integers(1, 8),
+    bw=st.sampled_from([2, 4, 8]),
+)
+def test_traffic_at_least_compulsory(m, k, n, count, bw):
+    """Traffic is never below the compulsory minimum (one pass per tensor)."""
+    g = Gemm(m=m, k=k, n=n, count=count)
+    plan = plan_traffic(g, bw, bw, TPU_LIKE)
+    compulsory_w = -(-k * n * bw // 8)
+    compulsory_a = -(-m * k * bw // 8)
+    compulsory_o = m * n
+    assert plan.weight_traffic >= compulsory_w
+    assert plan.input_traffic >= compulsory_a * count
+    assert plan.output_traffic == compulsory_o * count

@@ -1,0 +1,99 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    assert code == 0
+    return capsys.readouterr().out
+
+
+class TestPaperCommands:
+    def test_table1(self, capsys):
+        out = run(capsys, "table1")
+        assert "AlexNet" in out and "LSTM" in out
+
+    def test_table2(self, capsys):
+        out = run(capsys, "table2")
+        assert "BPVeC" in out and "RTX 2080 TI" in out
+
+    def test_fig4(self, capsys):
+        out = run(capsys, "fig4")
+        assert "2-bit" in out and "1-bit" in out
+
+    def test_fig5(self, capsys):
+        out = run(capsys, "fig5")
+        assert "GEOMEAN" in out
+
+    def test_fig9(self, capsys):
+        out = run(capsys, "fig9")
+        assert "homogeneous" in out and "heterogeneous" in out
+
+    def test_chips(self, capsys):
+        out = run(capsys, "chips")
+        assert "mm^2" in out
+
+
+class TestSimulateCommand:
+    def test_simulate_basic(self, capsys):
+        out = run(capsys, "simulate", "--model", "LSTM")
+        assert "LSTM on BPVeC" in out
+        assert "lstm1" in out
+
+    def test_simulate_platform_memory_flags(self, capsys):
+        out = run(
+            capsys,
+            "simulate",
+            "--model",
+            "resnet-18",  # case-insensitive
+            "--platform",
+            "tpu",
+            "--memory",
+            "hbm2",
+            "--batch",
+            "1",
+        )
+        assert "TPU-like" in out and "HBM2" in out
+
+    def test_simulate_heterogeneous(self, capsys):
+        out = run(capsys, "simulate", "--model", "AlexNet", "--batch", "1",
+                  "--heterogeneous")
+        assert "4x4" in out and "8x8" in out
+
+    def test_unknown_model(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--model", "VGG-99"])
+
+
+class TestRooflineCommand:
+    def test_roofline_output(self, capsys):
+        out = run(capsys, "roofline", "--model", "LSTM", "--memory", "ddr4")
+        assert "ridge point" in out
+        assert "MACs/byte" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_platform(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--model", "LSTM", "--platform", "gpu"])
+
+
+class TestReportCommand:
+    def test_report_to_stdout(self, capsys):
+        out = run(capsys, "report")
+        assert "# BPVeC reproduction report" in out
+        assert "Figure 9" in out and "GEOMEAN" in out
+
+    def test_report_to_file(self, capsys, tmp_path):
+        target = tmp_path / "report.md"
+        out = run(capsys, "report", "--output", str(target))
+        assert "wrote" in out
+        text = target.read_text()
+        assert text.count("## ") == 9
