@@ -1,79 +1,92 @@
-"""Design-space exploration of the CVU (paper Fig. 4 and beyond).
+"""Design-space exploration on the batched, cached DSE engine.
 
-Sweeps bit-slicing granularity and NBVE vector length L, printing
-power/area per 8-bit MAC (normalized to a conventional MAC) with the
-component breakdown, under both cost models:
+The paper's evaluation is one slice of a much larger design space.  This
+example drives the `repro.dse` engine through that space end to end:
 
-* the paper-calibrated model (exact Fig. 4 bars),
-* the first-principles analytical model (same shape, no paper data).
-
-Also extends the sweep beyond the paper: 4-bit slicing and L up to 64,
-demonstrating the saturation the paper describes.
+1. declare a grid sweep (platform x memory x bitwidth policy x workload
+   x batch) -- hundreds of points from a few lines of spec;
+2. evaluate it cold, persisting records to a JSONL result store;
+3. re-run the identical sweep warm to show the store makes it near-free;
+4. query the records: Pareto frontier, top-k, geomean speedups;
+5. reproduce the paper's Fig. 4 cost-model headline from the same grid
+   machinery.
 
 Run:  python examples/design_space_exploration.py
 """
 
-from repro.hw import AnalyticalCostModel, PaperCostModel
-from repro.sim import format_table
+import tempfile
+import time
+from pathlib import Path
 
-
-def bar(value: float, scale: float = 20.0) -> str:
-    return "#" * max(1, int(value * scale))
-
-
-def sweep(model, slice_widths, lanes_sweep, metric: str) -> None:
-    print(f"\n--- {metric} per 8b MAC, {model.name} model "
-          f"(normalized to conventional MAC) ---")
-    rows = []
-    for sw in slice_widths:
-        for lanes in lanes_sweep:
-            b = model.breakdown(sw, lanes, metric)
-            rows.append(
-                (
-                    f"{sw}-bit",
-                    lanes,
-                    b.multiplication,
-                    b.addition,
-                    b.shifting,
-                    b.registering,
-                    b.total,
-                    bar(b.total),
-                )
-            )
-    print(
-        format_table(
-            ["Slicing", "L", "Mult", "Add", "Shift", "Reg", "Total", ""],
-            rows,
-        )
-    )
+from repro.dse import (
+    SweepSpec,
+    clear_memo,
+    geomean_speedup,
+    pareto_frontier,
+    render_records,
+    run_sweep,
+    top_k,
+)
+from repro.hw import PaperCostModel
 
 
 def main() -> None:
-    paper = PaperCostModel()
-    analytical = AnalyticalCostModel()
+    spec = SweepSpec.grid(
+        workloads=["AlexNet", "ResNet-18", "ResNet-50", "RNN", "LSTM"],
+        platforms=("tpu", "bitfusion", "bpvec"),
+        memories=("ddr4", "hbm2"),
+        policies=("homogeneous-8bit", "paper-heterogeneous", "uniform-2x2"),
+        batches=(1, 8),
+    )
+    print(f"sweep: {len(spec)} design points")
 
-    # The paper's sweep (Fig. 4).
-    for metric in ("power", "area"):
-        sweep(paper, (1, 2), (1, 2, 4, 8, 16), metric)
+    with tempfile.TemporaryDirectory() as tmp:
+        store = Path(tmp) / "dse-results.jsonl"
 
-    # Key design points called out in Section III-B.
-    print("\n--- Headline design points ---")
-    p_opt = paper.total(2, 16, "power")
-    a_opt = paper.total(2, 16, "area")
-    print(f"optimum (2-bit, L=16): {1/p_opt:.1f}x power and "
-          f"{1/a_opt:.1f}x area improvement over a conventional MAC")
-    p_bf = paper.total(2, 1, "power")
-    a_bf = paper.total(2, 1, "area")
-    print(f"BitFusion point (2-bit, L=1): {a_bf:.2f}x area "
-          f"(the paper's 40% overhead), {p_bf/p_opt:.1f}x more power than a CVU")
+        t0 = time.perf_counter()
+        cold = run_sweep(spec, store=store)
+        cold_s = time.perf_counter() - t0
+        print(f"cold run:  {cold.summary()}  [{cold_s * 1e3:.0f} ms]")
 
-    # Extension beyond the paper: 4-bit slicing and longer vectors show
-    # saturation -- gains flatten past L=16 (Section III-B observation 2).
-    sweep(analytical, (1, 2, 4), (1, 4, 16, 32, 64), "power")
-    l16 = analytical.total(2, 16, "power")
-    l64 = analytical.total(2, 64, "power")
-    print(f"\nL=16 -> L=64 improves only {l16/l64:.2f}x: the adder-tree "
-          f"amortization has saturated, as the paper reports.")
+        clear_memo()  # forget the in-process cache; only the store remains
+        t0 = time.perf_counter()
+        warm = run_sweep(spec, store=store)
+        warm_s = time.perf_counter() - t0
+        print(f"warm run:  {warm.summary()}  [{warm_s * 1e3:.0f} ms, "
+              f"{cold_s / warm_s:.0f}x faster]")
+        assert warm.records == cold.records
+
+        records = cold.records
+
+    # -- queries -------------------------------------------------------
+    print("\n--- Pareto frontier (time vs energy) ---")
+    frontier = pareto_frontier(records)
+    print(render_records(frontier))
+
+    print("\n--- Top 5 by performance per watt ---")
+    print(render_records(top_k(records, "perf_per_watt", k=5, sense="max")))
+
+    print("\n--- Geomean speedups over the TPU-like baseline (DDR4) ---")
+    baseline = {"platform": "TPU-like baseline", "memory": "DDR4"}
+    for candidate in (
+        {"platform": "BPVeC", "memory": "DDR4"},
+        {"platform": "BPVeC", "memory": "HBM2"},
+        {"platform": "BitFusion", "memory": "DDR4"},
+    ):
+        speedup = geomean_speedup(records, baseline, candidate)
+        print(f"{candidate['platform']:>10} + {candidate['memory']}: "
+              f"{speedup:.2f}x")
+
+    # -- the paper's Fig. 4 headline from the cost model ---------------
+    print("\n--- Headline CVU design points (paper Fig. 4) ---")
+    costs = PaperCostModel()
+    p_opt = costs.total(2, 16, "power")
+    a_opt = costs.total(2, 16, "area")
+    print(f"optimum (2-bit, L=16): {1 / p_opt:.1f}x power and "
+          f"{1 / a_opt:.1f}x area improvement over a conventional MAC")
+    p_bf = costs.total(2, 1, "power")
+    print(f"BitFusion point (2-bit, L=1): {p_bf / p_opt:.1f}x more power "
+          f"than a CVU")
 
 
 if __name__ == "__main__":

@@ -18,8 +18,13 @@ sim:
     Tiled systolic-accelerator performance/energy simulator.
 baselines:
     TPU-like, BitFusion, and RTX 2080 Ti comparison models.
+dse:
+    Batched, cached design-space exploration: declarative sweep specs,
+    a memoized evaluation layer with a persistent JSONL result store,
+    multiprocessing fan-out, and Pareto/top-k/geomean queries.
 experiments:
-    Drivers that regenerate every figure and table of the evaluation.
+    Drivers that regenerate every figure and table of the evaluation
+    (running on the DSE engine).
 """
 
 __version__ = "1.0.0"

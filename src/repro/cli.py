@@ -8,14 +8,26 @@ Examples
     python -m repro fig5
     python -m repro simulate --model ResNet-18 --platform bpvec --memory hbm2
     python -m repro roofline --model LSTM --platform bpvec --memory ddr4
+    python -m repro dse --workload LSTM --workload RNN --store results.jsonl
+    python -m repro dse --spec sweep.json --workers 4 --format jsonl
     python -m repro chips
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
+from .dse import (
+    MEMORY_NAMES,
+    PLATFORM_NAMES,
+    SweepSpec,
+    pareto_frontier,
+    render_records,
+    run_sweep,
+    top_k,
+)
 from .experiments import (
     fig4_design_space,
     fig5_homogeneous_ddr4,
@@ -80,7 +92,73 @@ def build_parser() -> argparse.ArgumentParser:
     roof.add_argument("--memory", choices=sorted(_MEMORIES), default="ddr4")
     roof.add_argument("--heterogeneous", action="store_true")
     roof.add_argument("--batch", type=int, default=None)
+
+    dse = sub.add_parser(
+        "dse", help="batched design-space sweep on the cached DSE engine"
+    )
+    dse.add_argument("--spec", default=None, help="JSON sweep-spec file")
+    dse.add_argument("--workload", action="append", dest="workloads", default=None)
+    dse.add_argument(
+        "--platform",
+        action="append",
+        dest="platforms",
+        choices=PLATFORM_NAMES,
+        default=None,
+    )
+    dse.add_argument(
+        "--memory",
+        action="append",
+        dest="memories",
+        choices=MEMORY_NAMES,
+        default=None,
+    )
+    dse.add_argument("--policy", action="append", dest="policies", default=None)
+    dse.add_argument(
+        "--batch", action="append", dest="batches", type=int, default=None
+    )
+    dse.add_argument("--store", default=None, help="JSONL result store path")
+    dse.add_argument("--workers", type=int, default=1)
+    dse.add_argument("--format", choices=("table", "jsonl"), default="table")
+    dse.add_argument(
+        "--pareto", action="store_true", help="print only the Pareto frontier"
+    )
+    dse.add_argument("--top-k", type=int, default=None, dest="top_k")
+    dse.add_argument("--objective", default="total_seconds")
+    dse.add_argument("--sense", choices=("min", "max"), default="min")
     return parser
+
+
+def _dse_spec(args) -> SweepSpec:
+    if args.spec:
+        with open(args.spec) as handle:
+            return SweepSpec.from_dict(json.load(handle))
+    return SweepSpec.grid(
+        workloads=args.workloads or list(WORKLOAD_BUILDERS),
+        platforms=args.platforms or PLATFORM_NAMES,
+        memories=args.memories or MEMORY_NAMES,
+        policies=args.policies or ("homogeneous-8bit",),
+        batches=args.batches or (None,),
+    )
+
+
+def _run_dse(args) -> None:
+    try:
+        spec = _dse_spec(args)
+        result = run_sweep(spec, store=args.store, workers=args.workers)
+        records = result.records
+        if args.pareto:
+            records = pareto_frontier(records)
+        if args.top_k is not None:
+            records = top_k(records, args.objective, k=args.top_k, sense=args.sense)
+    except (KeyError, TypeError, ValueError, OSError) as error:
+        raise SystemExit(f"dse: {error}")
+    if args.format == "jsonl":
+        for record in records:
+            print(json.dumps(record, sort_keys=True))
+    else:
+        print(render_records(records))
+        print()
+        print(result.summary())
 
 
 def _run_figure(command: str) -> str:
@@ -134,6 +212,8 @@ def main(argv: list[str] | None = None) -> int:
     elif command == "chips":
         for report in all_chip_reports():
             print(report)
+    elif command == "dse":
+        _run_dse(args)
     elif command == "simulate":
         net = _workload(args.model, args.heterogeneous, args.batch)
         result = simulate_network(

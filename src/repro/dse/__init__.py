@@ -1,0 +1,76 @@
+"""Batched, cached design-space exploration.
+
+The paper's evaluation is a sweep: every figure fixes a bitwidth policy
+and normalizes candidate (platform, memory) pairs against a reference
+across the six workloads.  This package turns that pattern into a
+reusable engine:
+
+* :mod:`~repro.dse.spec` -- declarative sweep specs (grids or explicit
+  point lists) that canonicalize to stable config hashes;
+* :mod:`~repro.dse.evaluate` -- one-point evaluation producing flat,
+  JSON-able records, memoized per process;
+* :mod:`~repro.dse.store` -- an append-only JSONL result store keyed by
+  config hash, so repeated sweeps skip finished points;
+* :mod:`~repro.dse.engine` -- ``run_sweep``: memo -> store -> simulate
+  resolution with optional multiprocessing fan-out;
+* :mod:`~repro.dse.queries` -- Pareto frontier, top-k, geomean-speedup
+  and rendering over record sets.
+
+Every figure driver (:mod:`repro.experiments.figures`), the scaling
+study, and the ``repro dse`` CLI subcommand run on this engine.
+"""
+
+from .engine import DSEEngine, SweepResult, run_sweep
+from .evaluate import EVAL_VERSION, clear_memo, evaluate_cached, evaluate_point
+from .queries import (
+    geomean_speedup,
+    metric,
+    pareto_frontier,
+    render_records,
+    top_k,
+)
+from .spec import (
+    GPU_NAMES,
+    MEMORY_NAMES,
+    PLATFORM_NAMES,
+    POLICY_NAMES,
+    SweepPoint,
+    SweepSpec,
+    build_network,
+    expand_grid,
+    resolve_gpu,
+    resolve_memory,
+    resolve_platform,
+    resolve_policy,
+    resolve_workload,
+)
+from .store import ResultStore
+
+__all__ = [
+    "DSEEngine",
+    "SweepResult",
+    "run_sweep",
+    "EVAL_VERSION",
+    "clear_memo",
+    "evaluate_cached",
+    "evaluate_point",
+    "geomean_speedup",
+    "metric",
+    "pareto_frontier",
+    "render_records",
+    "top_k",
+    "GPU_NAMES",
+    "MEMORY_NAMES",
+    "PLATFORM_NAMES",
+    "POLICY_NAMES",
+    "SweepPoint",
+    "SweepSpec",
+    "build_network",
+    "expand_grid",
+    "resolve_gpu",
+    "resolve_memory",
+    "resolve_platform",
+    "resolve_policy",
+    "resolve_workload",
+    "ResultStore",
+]

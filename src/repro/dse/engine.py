@@ -1,0 +1,139 @@
+"""The batched design-space-exploration engine.
+
+``run_sweep`` takes a sweep (a :class:`~repro.dse.spec.SweepSpec` or any
+iterable of points), resolves every point against three cache tiers --
+the per-process memo, an optional persistent JSONL store, and finally a
+cold evaluation -- and returns the records in point order.  Cold
+evaluations are deduplicated by config hash and can fan out across a
+``multiprocessing`` pool in chunked batches; new records are appended to
+the store so a repeated sweep is near-free.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .evaluate import _MEMO, EVAL_VERSION, evaluate_point
+from .spec import SweepPoint, SweepSpec
+from .store import ResultStore
+
+__all__ = ["SweepResult", "DSEEngine", "run_sweep"]
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one engine run."""
+
+    records: list[dict] = field(repr=False)
+    evaluated: int  # unique points simulated cold this run
+    from_store: int  # unique points served from the persistent store
+    from_memo: int  # unique points served from the in-process memo
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def unique_points(self) -> int:
+        return self.evaluated + self.from_store + self.from_memo
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.records)} points ({self.unique_points} unique): "
+            f"{self.evaluated} evaluated, {self.from_store} store hits, "
+            f"{self.from_memo} memo hits"
+        )
+
+
+def _pool_context():
+    # fork shares the already-imported simulator with workers; fall back
+    # to the platform default (spawn) where fork is unavailable.
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def run_sweep(
+    sweep: SweepSpec | Iterable[SweepPoint],
+    store: ResultStore | str | os.PathLike | None = None,
+    workers: int = 1,
+    chunk_size: int = 32,
+) -> SweepResult:
+    """Evaluate a sweep through the memo -> store -> simulate tiers."""
+    points = list(sweep.points) if isinstance(sweep, SweepSpec) else list(sweep)
+    if not points:
+        raise ValueError("empty sweep")
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    hashes = [point.config_hash() for point in points]
+
+    if store is not None and not isinstance(store, ResultStore):
+        store = ResultStore(store)
+    stored: dict[str, dict] = {}
+    if store is not None:
+        stored = {
+            key: record
+            for key, record in store.load().items()
+            if record.get("version") == EVAL_VERSION
+        }
+
+    resolved: dict[str, dict] = {}
+    pending: list[SweepPoint] = []
+    memo_only: list[dict] = []  # memo hits the store has not seen yet
+    from_memo = from_store = 0
+    for point, key in zip(points, hashes):
+        if key in resolved:
+            continue
+        if key in _MEMO:
+            resolved[key] = _MEMO[key]
+            from_memo += 1
+            if store is not None and key not in stored:
+                memo_only.append(_MEMO[key])
+        elif key in stored:
+            resolved[key] = stored[key]
+            from_store += 1
+        else:
+            resolved[key] = {}  # placeholder: claims the hash for dedup
+            pending.append(point)
+
+    if pending:
+        if workers > 1 and len(pending) > 1:
+            chunk = max(1, min(chunk_size, math.ceil(len(pending) / workers)))
+            with _pool_context().Pool(workers) as pool:
+                fresh = pool.map(evaluate_point, pending, chunksize=chunk)
+        else:
+            fresh = [evaluate_point(point) for point in pending]
+        for record in fresh:
+            resolved[record["hash"]] = record
+            _MEMO[record["hash"]] = record
+    else:
+        fresh = []
+    if store is not None and (fresh or memo_only):
+        store.append(fresh + memo_only)
+
+    return SweepResult(
+        records=[resolved[key] for key in hashes],
+        evaluated=len(pending),
+        from_store=from_store,
+        from_memo=from_memo,
+    )
+
+
+@dataclass
+class DSEEngine:
+    """Reusable engine configuration: store + parallelism settings."""
+
+    store: ResultStore | str | os.PathLike | None = None
+    workers: int = 1
+    chunk_size: int = 32
+
+    def run(self, sweep: SweepSpec | Iterable[SweepPoint]) -> SweepResult:
+        return run_sweep(
+            sweep,
+            store=self.store,
+            workers=self.workers,
+            chunk_size=self.chunk_size,
+        )

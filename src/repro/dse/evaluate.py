@@ -1,0 +1,88 @@
+"""Point evaluation for the DSE engine.
+
+``evaluate_point`` turns one :class:`~repro.dse.spec.SweepPoint` into a
+flat, JSON-able *record*: the point's identity (hash + human-readable
+keys) plus every aggregate metric the simulator produces.  Records are
+what the engine memoizes, the store persists, and the queries consume.
+
+The metrics are read off :class:`~repro.sim.simulator.NetworkResult`
+(or :class:`~repro.baselines.gpu.GPUResult`) verbatim, so a record is
+float-for-float identical to a direct simulation -- and because JSON
+serialization of floats round-trips exactly, a record reloaded from the
+store is bit-identical to the cold evaluation that produced it.
+"""
+
+from __future__ import annotations
+
+from ..baselines.gpu import simulate_gpu
+from ..sim.simulator import simulate_network
+from .spec import SweepPoint, build_network, resolve_policy
+
+__all__ = ["EVAL_VERSION", "evaluate_point", "evaluate_cached", "clear_memo"]
+
+#: Bump whenever simulator or cost-model semantics change: stored records
+#: carry the version and the engine ignores (and re-evaluates) stale ones.
+EVAL_VERSION = 1
+
+# Per-process memo of evaluated records, keyed by config hash.
+_MEMO: dict[str, dict] = {}
+
+
+def clear_memo() -> None:
+    """Drop the in-process evaluation cache (tests and benchmarks)."""
+    _MEMO.clear()
+
+
+def evaluate_point(point: SweepPoint) -> dict:
+    """Simulate one design point and return its record (no caching)."""
+    network = build_network(point.workload, point.batch)
+    resolve_policy(point.policy)(network)
+    if point.kind == "gpu":
+        result = simulate_gpu(network, point.gpu, precision=point.gpu_precision)
+        metrics = {
+            "total_seconds": result.total_seconds,
+            "total_ops": result.total_ops,
+            "ops_per_second": result.ops_per_second,
+            "average_power_w": result.average_power_w,
+            "total_energy_j": result.average_power_w * result.total_seconds,
+            "perf_per_watt": result.perf_per_watt,
+        }
+    else:
+        result = simulate_network(network, point.platform, point.memory)
+        metrics = {
+            "total_cycles": result.total_cycles,
+            "total_seconds": result.total_seconds,
+            "total_macs": result.total_macs,
+            "total_traffic_bytes": result.total_traffic_bytes,
+            "compute_energy_pj": result.compute_energy_pj,
+            "sram_energy_pj": result.sram_energy_pj,
+            "dram_energy_pj": result.dram_energy_pj,
+            "uncore_energy_pj": result.uncore_energy_pj,
+            "total_energy_pj": result.total_energy_pj,
+            "total_energy_j": result.total_energy_j,
+            "ops_per_second": result.ops_per_second,
+            "average_power_w": result.average_power_w,
+            "perf_per_watt": result.perf_per_watt,
+            "memory_bound_fraction": result.memory_bound_fraction,
+        }
+    return {
+        "hash": point.config_hash(),
+        "version": EVAL_VERSION,
+        "kind": point.kind,
+        "workload": point.workload,
+        "platform": point.target_name,
+        "memory": point.memory.name if point.memory is not None else None,
+        "policy": point.policy.lower(),
+        "batch": point.batch,
+        "metrics": metrics,
+    }
+
+
+def evaluate_cached(point: SweepPoint) -> dict:
+    """Evaluate through the per-process memo."""
+    key = point.config_hash()
+    record = _MEMO.get(key)
+    if record is None:
+        record = evaluate_point(point)
+        _MEMO[key] = record
+    return record

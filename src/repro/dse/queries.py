@@ -1,0 +1,155 @@
+"""Queries over DSE records: Pareto frontiers, rankings, speedups."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from ..sim.report import format_table, geomean
+
+__all__ = [
+    "metric",
+    "pareto_frontier",
+    "top_k",
+    "geomean_speedup",
+    "render_records",
+]
+
+DEFAULT_OBJECTIVES = ("total_seconds", "total_energy_j")
+
+
+def metric(record: Mapping, name: str) -> float:
+    """Read one metric off a record, with a helpful error."""
+    try:
+        return record["metrics"][name]
+    except KeyError:
+        have = sorted(record.get("metrics", {}))
+        raise KeyError(f"record has no metric {name!r}; available: {have}")
+
+
+def _signed(record: Mapping, objectives: Sequence[str], senses: Sequence[str]):
+    """Objective vector with every component flipped to 'smaller is better'."""
+    return tuple(
+        metric(record, name) if sense == "min" else -metric(record, name)
+        for name, sense in zip(objectives, senses)
+    )
+
+
+def _check_senses(
+    objectives: Sequence[str], senses: Sequence[str] | None
+) -> Sequence[str]:
+    if senses is None:
+        senses = ("min",) * len(objectives)
+    if len(senses) != len(objectives):
+        raise ValueError("need one sense per objective")
+    for sense in senses:
+        if sense not in ("min", "max"):
+            raise ValueError(f"sense must be 'min' or 'max', got {sense!r}")
+    return senses
+
+
+def pareto_frontier(
+    records: Iterable[Mapping],
+    objectives: Sequence[str] = DEFAULT_OBJECTIVES,
+    senses: Sequence[str] | None = None,
+) -> list[Mapping]:
+    """The non-dominated subset of ``records``.
+
+    A record is dominated when another is no worse on every objective and
+    strictly better on at least one.  Ties (identical vectors) all stay
+    on the frontier.  Input order is preserved.
+    """
+    senses = _check_senses(objectives, senses)
+    entries = [(record, _signed(record, objectives, senses)) for record in records]
+    frontier = []
+    for record, vec in entries:
+        dominated = any(
+            all(o <= v for o, v in zip(other, vec))
+            and any(o < v for o, v in zip(other, vec))
+            for _, other in entries
+        )
+        if not dominated:
+            frontier.append(record)
+    return frontier
+
+
+def top_k(
+    records: Iterable[Mapping], objective: str, k: int = 10, sense: str = "min"
+) -> list[Mapping]:
+    """The ``k`` best records by one metric."""
+    (sense,) = _check_senses((objective,), (sense,))
+    ordered = sorted(records, key=lambda r: _signed(r, (objective,), (sense,)))
+    return ordered[: max(0, k)]
+
+
+def _matches(record: Mapping, where: Mapping) -> bool:
+    return all(record.get(key) == value for key, value in where.items())
+
+
+def geomean_speedup(
+    records: Iterable[Mapping],
+    baseline: Mapping,
+    candidate: Mapping,
+    objective: str = "total_seconds",
+) -> float:
+    """Geomean of per-workload baseline/candidate ratios.
+
+    ``baseline`` and ``candidate`` are field filters, e.g.
+    ``{"platform": "BPVeC", "memory": "DDR4"}``; records are paired by
+    (workload, policy, batch).  For time-like metrics the ratio
+    baseline/candidate > 1 means the candidate is faster.
+    """
+    records = list(records)
+
+    def select(where: Mapping) -> dict:
+        picked: dict = {}
+        for record in records:
+            if not _matches(record, where):
+                continue
+            key = (record["workload"], record["policy"], record["batch"])
+            if key in picked and picked[key] is not record:
+                raise ValueError(
+                    f"filter {dict(where)!r} is ambiguous for workload key {key}"
+                )
+            picked[key] = record
+        return picked
+
+    base, cand = select(baseline), select(candidate)
+    common = [key for key in base if key in cand]
+    if not common:
+        raise ValueError("no common workloads between baseline and candidate")
+    return geomean(
+        metric(base[key], objective) / metric(cand[key], objective)
+        for key in common
+    )
+
+
+def render_records(records: Sequence[Mapping]) -> str:
+    """Plain-text table of records (the ``repro dse`` default output)."""
+    rows = []
+    for record in records:
+        metrics = record["metrics"]
+        rows.append(
+            (
+                record["workload"],
+                record["platform"],
+                record["memory"] or "-",
+                record["policy"],
+                record["batch"] if record["batch"] is not None else "-",
+                metrics["total_seconds"] * 1e3,
+                metrics["total_energy_j"] * 1e3,
+                metrics["perf_per_watt"] / 1e9,
+            )
+        )
+    return format_table(
+        [
+            "Workload",
+            "Platform",
+            "Memory",
+            "Policy",
+            "Batch",
+            "Time (ms)",
+            "Energy (mJ)",
+            "GOPS/W",
+        ],
+        rows,
+    )

@@ -1,0 +1,305 @@
+"""Declarative sweep specifications for the design-space-exploration engine.
+
+A sweep is a list of :class:`SweepPoint` -- one fully-resolved
+(workload, bitwidth policy, platform + memory | GPU, batch) configuration.
+Points are either given explicitly or expanded from a grid over named
+axes.  Every point canonicalizes to a JSON config and a stable SHA-256
+hash; the hash is the key under which the engine memoizes evaluations and
+the result store persists records, so the same configuration -- whether
+referenced by registry name or spelled out as a custom spec -- is never
+evaluated twice.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import re
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from ..baselines.gpu import RTX_2080_TI, GPUSpec
+from ..hw.dram import DDR4, HBM2, MemorySpec
+from ..hw.platforms import BITFUSION, BPVEC, TPU_LIKE, AcceleratorSpec
+from ..nn.bitwidths import homogeneous_8bit, paper_heterogeneous, uniform
+from ..nn.graph import Network
+from ..nn.models import WORKLOAD_BUILDERS
+
+__all__ = [
+    "SweepPoint",
+    "SweepSpec",
+    "expand_grid",
+    "build_network",
+    "resolve_platform",
+    "resolve_memory",
+    "resolve_gpu",
+    "resolve_policy",
+    "resolve_workload",
+    "PLATFORM_NAMES",
+    "MEMORY_NAMES",
+    "POLICY_NAMES",
+    "GPU_NAMES",
+]
+
+# ----------------------------------------------------------------------
+# Registries: short names -> hardware / policy objects
+# ----------------------------------------------------------------------
+_PLATFORMS: dict[str, AcceleratorSpec] = {
+    "tpu": TPU_LIKE,
+    "tpu-like": TPU_LIKE,
+    "bitfusion": BITFUSION,
+    "bpvec": BPVEC,
+}
+_MEMORIES: dict[str, MemorySpec] = {"ddr4": DDR4, "hbm2": HBM2}
+_GPUS: dict[str, GPUSpec] = {"rtx-2080-ti": RTX_2080_TI}
+_POLICIES: dict[str, Callable[[Network], Network]] = {
+    "homogeneous-8bit": homogeneous_8bit,
+    "paper-heterogeneous": paper_heterogeneous,
+}
+_UNIFORM_POLICY = re.compile(r"uniform-(\d+)x(\d+)")
+
+PLATFORM_NAMES = ("tpu", "bitfusion", "bpvec")
+MEMORY_NAMES = tuple(sorted(_MEMORIES))
+GPU_NAMES = tuple(sorted(_GPUS))
+POLICY_NAMES = tuple(sorted(_POLICIES)) + ("uniform-AxW (e.g. uniform-4x8)",)
+
+_WORKLOAD_KEYS = {name.lower(): name for name in WORKLOAD_BUILDERS}
+
+
+def resolve_workload(name: str) -> str:
+    """Canonicalize a workload name (case-insensitive)."""
+    key = _WORKLOAD_KEYS.get(str(name).lower())
+    if key is None:
+        raise KeyError(
+            f"unknown workload {name!r}; choose from {sorted(WORKLOAD_BUILDERS)}"
+        )
+    return key
+
+
+def build_network(workload: str, batch: int | None = None) -> Network:
+    """Instantiate a registered workload (``batch=None`` = builder default)."""
+    builder = WORKLOAD_BUILDERS[resolve_workload(workload)]
+    return builder() if batch is None else builder(batch=batch)
+
+
+def resolve_platform(ref: str | AcceleratorSpec | Mapping) -> AcceleratorSpec:
+    """Accept a registry name, a spec, or a dict of ``AcceleratorSpec`` fields."""
+    if isinstance(ref, AcceleratorSpec):
+        return ref
+    if isinstance(ref, Mapping):
+        return AcceleratorSpec(**ref)
+    spec = _PLATFORMS.get(str(ref).lower())
+    if spec is None:
+        raise KeyError(f"unknown platform {ref!r}; choose from {PLATFORM_NAMES}")
+    return spec
+
+
+def resolve_memory(ref: str | MemorySpec | Mapping) -> MemorySpec:
+    if isinstance(ref, MemorySpec):
+        return ref
+    if isinstance(ref, Mapping):
+        return MemorySpec(**ref)
+    spec = _MEMORIES.get(str(ref).lower())
+    if spec is None:
+        raise KeyError(f"unknown memory {ref!r}; choose from {MEMORY_NAMES}")
+    return spec
+
+
+def resolve_gpu(ref: str | GPUSpec | Mapping) -> GPUSpec:
+    if isinstance(ref, GPUSpec):
+        return ref
+    if isinstance(ref, Mapping):
+        return GPUSpec(**ref)
+    spec = _GPUS.get(str(ref).lower())
+    if spec is None:
+        raise KeyError(f"unknown GPU {ref!r}; choose from {GPU_NAMES}")
+    return spec
+
+
+def resolve_policy(name: str) -> Callable[[Network], Network]:
+    """Look up a bitwidth policy by name.
+
+    Policies travel across process boundaries as names, never as
+    callables, so ad-hoc ``uniform-AxW`` policies stay picklable.
+    """
+    key = str(name).lower()
+    if key in _POLICIES:
+        return _POLICIES[key]
+    match = _UNIFORM_POLICY.fullmatch(key)
+    if match:
+        act, wgt = int(match.group(1)), int(match.group(2))
+        if not (1 <= act <= 8 and 1 <= wgt <= 8):
+            raise KeyError(f"uniform policy bitwidths out of range: {name!r}")
+        return lambda net: uniform(net, act, wgt)
+    raise KeyError(f"unknown policy {name!r}; choose from {POLICY_NAMES}")
+
+
+def expand_grid(axes: Mapping[str, Sequence]) -> list[dict]:
+    """Cartesian product of named axes, preserving axis and value order.
+
+    The last axis varies fastest, matching the equivalent nested loops.
+    """
+    keys = list(axes)
+    return [
+        dict(zip(keys, combo))
+        for combo in itertools.product(*(axes[k] for k in keys))
+    ]
+
+
+# ----------------------------------------------------------------------
+# Sweep points and specs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepPoint:
+    """One fully-resolved design point.
+
+    Either an ASIC point (``platform`` + ``memory``) or a GPU point
+    (``gpu`` + ``gpu_precision``); exactly one of the two.
+    """
+
+    workload: str
+    policy: str = "homogeneous-8bit"
+    platform: AcceleratorSpec | None = None
+    memory: MemorySpec | None = None
+    gpu: GPUSpec | None = None
+    gpu_precision: int = 8
+    batch: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "workload", resolve_workload(self.workload))
+        resolve_policy(self.policy)  # validate eagerly
+        if self.gpu is not None:
+            if self.platform is not None or self.memory is not None:
+                raise ValueError("a point is either a GPU or an ASIC, not both")
+            if self.gpu_precision not in (4, 8):
+                raise ValueError("GPU tensor precision must be 4 or 8")
+        else:
+            if self.platform is None or self.memory is None:
+                raise ValueError("ASIC points need both a platform and a memory")
+        if self.batch is not None and self.batch < 1:
+            raise ValueError("batch must be >= 1")
+
+    @property
+    def kind(self) -> str:
+        return "gpu" if self.gpu is not None else "asic"
+
+    @property
+    def target_name(self) -> str:
+        """Display name of the hardware the point runs on."""
+        return self.gpu.name if self.gpu is not None else self.platform.name
+
+    def config(self) -> dict:
+        """Canonical JSON-able description; the identity of this point."""
+        cfg: dict = {
+            "kind": self.kind,
+            "workload": self.workload,
+            "policy": self.policy.lower(),
+            "batch": self.batch,
+        }
+        if self.gpu is not None:
+            cfg["gpu"] = asdict(self.gpu)
+            cfg["precision"] = self.gpu_precision
+        else:
+            cfg["platform"] = asdict(self.platform)
+            cfg["memory"] = asdict(self.memory)
+        return cfg
+
+    def config_hash(self) -> str:
+        blob = json.dumps(self.config(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """An ordered collection of sweep points."""
+
+    points: tuple[SweepPoint, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ValueError("a sweep needs at least one point")
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    @classmethod
+    def grid(
+        cls,
+        workloads: Sequence[str],
+        platforms: Sequence = PLATFORM_NAMES,
+        memories: Sequence = MEMORY_NAMES,
+        policies: Sequence[str] = ("homogeneous-8bit",),
+        batches: Sequence[int | None] = (None,),
+        gpus: Sequence = (),
+        gpu_precisions: Sequence[int] = (8,),
+    ) -> "SweepSpec":
+        """Expand a grid over the named axes into explicit points."""
+        points = []
+        for cell in expand_grid(
+            {
+                "workload": list(workloads),
+                "policy": list(policies),
+                "batch": list(batches),
+            }
+        ):
+            for plat in platforms:
+                for mem in memories:
+                    points.append(
+                        SweepPoint(
+                            platform=resolve_platform(plat),
+                            memory=resolve_memory(mem),
+                            **cell,
+                        )
+                    )
+            for gpu in gpus:
+                for precision in gpu_precisions:
+                    points.append(
+                        SweepPoint(
+                            gpu=resolve_gpu(gpu), gpu_precision=precision, **cell
+                        )
+                    )
+        return cls(points=tuple(points))
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SweepSpec":
+        """Parse the JSON sweep-spec format (see README, "Sweep specs").
+
+        Either ``{"grid": {...axes...}}`` or ``{"points": [{...}, ...]}``.
+        """
+        if "points" in data:
+            return cls(
+                points=tuple(cls._point_from_dict(p) for p in data["points"])
+            )
+        if "grid" in data:
+            grid = dict(data["grid"])
+            if "workloads" not in grid:
+                raise ValueError('sweep grid needs a "workloads" axis')
+            return cls.grid(
+                workloads=grid["workloads"],
+                platforms=grid.get("platforms", PLATFORM_NAMES if not grid.get("gpus") else ()),
+                memories=grid.get("memories", MEMORY_NAMES),
+                policies=grid.get("policies", ("homogeneous-8bit",)),
+                batches=grid.get("batches", (None,)),
+                gpus=grid.get("gpus", ()),
+                gpu_precisions=grid.get("gpu_precisions", (8,)),
+            )
+        raise ValueError('sweep spec needs either a "grid" or a "points" key')
+
+    @staticmethod
+    def _point_from_dict(data: Mapping) -> SweepPoint:
+        kwargs: dict = {
+            "workload": data["workload"],
+            "policy": data.get("policy", "homogeneous-8bit"),
+            "batch": data.get("batch"),
+        }
+        if "gpu" in data:
+            kwargs["gpu"] = resolve_gpu(data["gpu"])
+            kwargs["gpu_precision"] = data.get("precision", 8)
+        else:
+            kwargs["platform"] = resolve_platform(data["platform"])
+            kwargs["memory"] = resolve_memory(data["memory"])
+        return SweepPoint(**kwargs)

@@ -1,0 +1,60 @@
+"""Append-only JSONL result store for DSE records.
+
+One JSON record per line, keyed by the point's config hash.  Appends are
+crash-safe in the usual JSONL sense: a torn final line is ignored on
+load, and re-appending the same hash is harmless (last record wins).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterable
+
+__all__ = ["ResultStore"]
+
+
+class ResultStore:
+    """Persistent cache of evaluated design points."""
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def load(self) -> dict[str, dict]:
+        """All stored records as ``{config_hash: record}`` (last wins)."""
+        records: dict[str, dict] = {}
+        if not self.path.exists():
+            return records
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn write at the tail of a crashed run
+                key = record.get("hash")
+                if key:
+                    records[key] = record
+        return records
+
+    def append(self, records: Iterable[dict]) -> int:
+        """Append records; returns how many lines were written."""
+        count = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+                count += 1
+        return count
+
+    def __len__(self) -> int:
+        return len(self.load())
+
+    def __contains__(self, config_hash: str) -> bool:
+        return config_hash in self.load()

@@ -4,23 +4,31 @@ Each ``fig*`` function returns structured result rows (and can render the
 same table the paper plots), so the benchmark harness, the tests, and the
 examples all share one implementation.  Paper-vs-measured numbers for every
 experiment live in EXPERIMENTS.md.
+
+All network simulations run on the batched DSE engine
+(:mod:`repro.dse`): the drivers declare their sweep points, the engine
+resolves them through its memo (so e.g. the reference platform is
+simulated once per workload no matter how many figures need it), and the
+rows are assembled from the returned records.  The numbers are
+float-for-float identical to direct ``simulate_network`` calls, pinned
+by the golden regression tests.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Sequence
 
-from ..baselines.gpu import GPUSpec, RTX_2080_TI, simulate_gpu
+from ..baselines.gpu import GPUSpec, RTX_2080_TI
+from ..dse.engine import run_sweep
+from ..dse.queries import metric
+from ..dse.spec import SweepPoint, expand_grid
 from ..hw.calibration import SWEEP_LENGTHS
 from ..hw.costmodel import AnalyticalCostModel, CostModel, PaperCostModel
 from ..hw.dram import DDR4, HBM2, MemorySpec
 from ..hw.platforms import BITFUSION, BPVEC, TPU_LIKE, AcceleratorSpec
-from ..nn.bitwidths import homogeneous_8bit, paper_heterogeneous
-from ..nn.graph import Network
-from ..nn.models import evaluation_workloads
-from ..sim.report import compare, format_table, geomean
-from ..sim.simulator import simulate_network
+from ..nn.models import EVALUATION_CNN_BATCH, WORKLOAD_BUILDERS
+from ..sim.report import format_table, geomean
 
 __all__ = [
     "DSEPoint",
@@ -36,6 +44,22 @@ __all__ = [
 ]
 
 GEOMEAN = "GEOMEAN"
+
+HOMOGENEOUS = "homogeneous-8bit"
+HETEROGENEOUS = "paper-heterogeneous"
+
+#: Workloads that ignore the figure-level CNN batch (recurrent models run
+#: at their Table I configuration).
+_RECURRENT = ("RNN", "LSTM")
+
+
+def _evaluation_batches(cnn_batch: int | None) -> dict[str, int | None]:
+    """Per-workload batch mirroring ``evaluation_workloads``."""
+    batch = EVALUATION_CNN_BATCH if cnn_batch is None else cnn_batch
+    return {
+        name: (None if name in _RECURRENT else batch)
+        for name in WORKLOAD_BUILDERS
+    }
 
 
 # ----------------------------------------------------------------------
@@ -66,21 +90,25 @@ def fig4_design_space(
     """Power and area sweeps over slicing and NBVE vector length."""
     model = model or PaperCostModel()
     points = []
-    for metric in ("power", "area"):
-        for sw in slice_widths:
-            for lanes in lanes_sweep:
-                b = model.breakdown(sw, lanes, metric)
-                points.append(
-                    DSEPoint(
-                        slice_width=sw,
-                        lanes=lanes,
-                        metric=metric,
-                        multiplication=b.multiplication,
-                        addition=b.addition,
-                        shifting=b.shifting,
-                        registering=b.registering,
-                    )
-                )
+    for cell in expand_grid(
+        {
+            "metric": ("power", "area"),
+            "slice_width": tuple(slice_widths),
+            "lanes": tuple(lanes_sweep),
+        }
+    ):
+        b = model.breakdown(cell["slice_width"], cell["lanes"], cell["metric"])
+        points.append(
+            DSEPoint(
+                slice_width=cell["slice_width"],
+                lanes=cell["lanes"],
+                metric=cell["metric"],
+                multiplication=b.multiplication,
+                addition=b.addition,
+                shifting=b.shifting,
+                registering=b.registering,
+            )
+        )
     return points
 
 
@@ -107,30 +135,35 @@ class SpeedupRow:
 
 
 def _speedup_study(
-    policy: Callable[[Network], Network],
+    policy: str,
     reference: tuple[AcceleratorSpec, MemorySpec],
     candidates: Sequence[tuple[AcceleratorSpec, MemorySpec]],
     cnn_batch: int | None = None,
 ) -> list[SpeedupRow]:
     """Normalize ``candidates`` to ``reference`` over the six workloads."""
-    workloads = (
-        evaluation_workloads()
-        if cnn_batch is None
-        else evaluation_workloads(cnn_batch=cnn_batch)
-    )
+    batches = _evaluation_batches(cnn_batch)
+    points = [
+        SweepPoint(
+            workload=name, policy=policy, platform=spec, memory=memory, batch=batch
+        )
+        for name, batch in batches.items()
+        for spec, memory in (reference, *candidates)
+    ]
+    records = iter(run_sweep(points).records)
+
     rows: list[SpeedupRow] = []
     per_candidate: dict[int, list[SpeedupRow]] = {i: [] for i in range(len(candidates))}
-    for net in workloads:
-        policy(net)
-        ref_result = simulate_network(net, reference[0], reference[1])
+    for name in batches:
+        ref = next(records)
         for i, (spec, memory) in enumerate(candidates):
-            c = compare(ref_result, simulate_network(net, spec, memory))
+            cand = next(records)
             row = SpeedupRow(
-                workload=net.name,
+                workload=name,
                 platform=spec.name,
                 memory=memory.name,
-                speedup=c.speedup,
-                energy_reduction=c.energy_reduction,
+                speedup=metric(ref, "total_seconds") / metric(cand, "total_seconds"),
+                energy_reduction=metric(ref, "total_energy_pj")
+                / metric(cand, "total_energy_pj"),
             )
             rows.append(row)
             per_candidate[i].append(row)
@@ -151,7 +184,7 @@ def _speedup_study(
 def fig5_homogeneous_ddr4(cnn_batch: int | None = None) -> list[SpeedupRow]:
     """BPVeC vs the TPU-like baseline; DDR4; homogeneous 8-bit."""
     return _speedup_study(
-        homogeneous_8bit,
+        HOMOGENEOUS,
         reference=(TPU_LIKE, DDR4),
         candidates=[(BPVEC, DDR4)],
         cnn_batch=cnn_batch,
@@ -161,7 +194,7 @@ def fig5_homogeneous_ddr4(cnn_batch: int | None = None) -> list[SpeedupRow]:
 def fig6_homogeneous_hbm2(cnn_batch: int | None = None) -> list[SpeedupRow]:
     """Baseline+HBM2 and BPVeC+HBM2, normalized to baseline+DDR4."""
     return _speedup_study(
-        homogeneous_8bit,
+        HOMOGENEOUS,
         reference=(TPU_LIKE, DDR4),
         candidates=[(TPU_LIKE, HBM2), (BPVEC, HBM2)],
         cnn_batch=cnn_batch,
@@ -171,7 +204,7 @@ def fig6_homogeneous_hbm2(cnn_batch: int | None = None) -> list[SpeedupRow]:
 def fig7_heterogeneous_ddr4(cnn_batch: int | None = None) -> list[SpeedupRow]:
     """BPVeC vs BitFusion; DDR4; heterogeneous quantized bitwidths."""
     return _speedup_study(
-        paper_heterogeneous,
+        HETEROGENEOUS,
         reference=(BITFUSION, DDR4),
         candidates=[(BPVEC, DDR4)],
         cnn_batch=cnn_batch,
@@ -181,7 +214,7 @@ def fig7_heterogeneous_ddr4(cnn_batch: int | None = None) -> list[SpeedupRow]:
 def fig8_heterogeneous_hbm2(cnn_batch: int | None = None) -> list[SpeedupRow]:
     """BitFusion+HBM2 and BPVeC+HBM2, normalized to BitFusion+DDR4."""
     return _speedup_study(
-        paper_heterogeneous,
+        HETEROGENEOUS,
         reference=(BITFUSION, DDR4),
         candidates=[(BITFUSION, HBM2), (BPVEC, HBM2)],
         cnn_batch=cnn_batch,
@@ -217,25 +250,40 @@ def fig9_gpu_comparison(
     """Both panels of Fig. 9 (homogeneous INT8 and heterogeneous INT4)."""
     rows: list[PerfPerWattRow] = []
     for regime, policy, precision in (
-        ("homogeneous", homogeneous_8bit, 8),
-        ("heterogeneous", paper_heterogeneous, 4),
+        ("homogeneous", HOMOGENEOUS, 8),
+        ("heterogeneous", HETEROGENEOUS, 4),
     ):
+        batches = _evaluation_batches(cnn_batch)
+        points = []
+        for name, batch in batches.items():
+            points.append(
+                SweepPoint(
+                    workload=name,
+                    policy=policy,
+                    gpu=gpu,
+                    gpu_precision=precision,
+                    batch=batch,
+                )
+            )
+            for memory in (DDR4, HBM2):
+                points.append(
+                    SweepPoint(
+                        workload=name,
+                        policy=policy,
+                        platform=BPVEC,
+                        memory=memory,
+                        batch=batch,
+                    )
+                )
+        records = iter(run_sweep(points).records)
         ddr4_ratios, hbm2_ratios = [], []
-        workloads = (
-            evaluation_workloads()
-            if cnn_batch is None
-            else evaluation_workloads(cnn_batch=cnn_batch)
-        )
-        for net in workloads:
-            policy(net)
-            gpu_result = simulate_gpu(net, gpu, precision=precision)
-            ddr4 = simulate_network(net, BPVEC, DDR4).perf_per_watt
-            hbm2 = simulate_network(net, BPVEC, HBM2).perf_per_watt
-            ddr4_ratios.append(ddr4 / gpu_result.perf_per_watt)
-            hbm2_ratios.append(hbm2 / gpu_result.perf_per_watt)
+        for name in batches:
+            gpu_ppw = metric(next(records), "perf_per_watt")
+            ddr4_ratios.append(metric(next(records), "perf_per_watt") / gpu_ppw)
+            hbm2_ratios.append(metric(next(records), "perf_per_watt") / gpu_ppw)
             rows.append(
                 PerfPerWattRow(
-                    workload=net.name,
+                    workload=name,
                     regime=regime,
                     ddr4_ratio=ddr4_ratios[-1],
                     hbm2_ratio=hbm2_ratios[-1],

@@ -13,13 +13,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from ..dse.engine import run_sweep
+from ..dse.queries import geomean_speedup
+from ..dse.spec import SweepPoint
 from ..hw.costmodel import CONVENTIONAL_MAC_POWER_MW, PaperCostModel, units_under_power_budget
 from ..hw.dram import MemorySpec
 from ..hw.platforms import BITFUSION, BPVEC, TPU_LIKE, AcceleratorSpec, with_units
-from ..nn.bitwidths import homogeneous_8bit
-from ..nn.models import evaluation_workloads
-from ..sim.report import geomean
-from ..sim.simulator import simulate_network
+from .figures import HOMOGENEOUS, _evaluation_batches
 
 __all__ = ["BudgetPoint", "budget_sweep", "resize_for_budget"]
 
@@ -58,26 +58,37 @@ def budget_sweep(
     """Fig. 5-style geomeans across core power budgets."""
     if not budgets_mw:
         raise ValueError("need at least one budget")
+    batches = _evaluation_batches(cnn_batch=None)
     points = []
     for budget in budgets_mw:
         baseline = resize_for_budget(TPU_LIKE, budget)
         bpvec = resize_for_budget(BPVEC, budget)
         bitfusion = resize_for_budget(BITFUSION, budget)
-        speedups, energies = [], []
-        for net in evaluation_workloads():
-            homogeneous_8bit(net)
-            base = simulate_network(net, baseline, memory)
-            ours = simulate_network(net, bpvec, memory)
-            speedups.append(base.total_seconds / ours.total_seconds)
-            energies.append(base.total_energy_pj / ours.total_energy_pj)
+        sweep = [
+            SweepPoint(
+                workload=name,
+                policy=HOMOGENEOUS,
+                platform=platform,
+                memory=memory,
+                batch=batch,
+            )
+            for name, batch in batches.items()
+            for platform in (baseline, bpvec)
+        ]
+        records = run_sweep(sweep).records
+        base, ours = {"platform": baseline.name}, {"platform": bpvec.name}
         points.append(
             BudgetPoint(
                 budget_mw=budget,
                 baseline_macs=baseline.num_macs,
                 bpvec_macs=bpvec.num_macs,
                 bitfusion_macs=bitfusion.num_macs,
-                speedup_vs_baseline=geomean(speedups),
-                energy_vs_baseline=geomean(energies),
+                speedup_vs_baseline=geomean_speedup(
+                    records, base, ours, objective="total_seconds"
+                ),
+                energy_vs_baseline=geomean_speedup(
+                    records, base, ours, objective="total_energy_pj"
+                ),
             )
         )
     return points

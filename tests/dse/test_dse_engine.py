@@ -1,0 +1,182 @@
+"""Tests for the sweep engine: caching tiers, dedup, multiprocessing."""
+
+import pytest
+
+from repro.dse import (
+    EVAL_VERSION,
+    DSEEngine,
+    ResultStore,
+    SweepPoint,
+    SweepSpec,
+    clear_memo,
+    evaluate_point,
+    run_sweep,
+)
+from repro.hw import BPVEC, DDR4, HBM2, TPU_LIKE
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    clear_memo()
+    yield
+    clear_memo()
+
+
+def _points(*workloads, platform=BPVEC, memory=DDR4, batch=1):
+    return [
+        SweepPoint(workload=w, platform=platform, memory=memory, batch=batch)
+        for w in workloads
+    ]
+
+
+class TestRunSweep:
+    def test_records_in_point_order(self):
+        points = _points("LSTM", "RNN") + _points("LSTM", memory=HBM2)
+        result = run_sweep(points)
+        assert [r["workload"] for r in result.records] == ["LSTM", "RNN", "LSTM"]
+        assert [r["memory"] for r in result.records] == ["DDR4", "DDR4", "HBM2"]
+
+    def test_accepts_spec_and_iterable(self):
+        spec = SweepSpec.grid(
+            workloads=("LSTM",), platforms=("bpvec",), memories=("ddr4",)
+        )
+        assert run_sweep(spec).records == run_sweep(list(spec.points)).records
+
+    def test_duplicates_evaluated_once(self):
+        points = _points("LSTM", "LSTM", "LSTM")
+        result = run_sweep(points)
+        assert result.evaluated == 1
+        assert len(result.records) == 3
+        assert result.records[0] is result.records[1] is result.records[2]
+
+    def test_memo_hit_on_second_run(self):
+        points = _points("LSTM")
+        first = run_sweep(points)
+        second = run_sweep(points)
+        assert first.evaluated == 1
+        assert (second.evaluated, second.from_memo) == (0, 1)
+        assert second.records == first.records
+
+    def test_store_warm_skip(self, tmp_path):
+        store = tmp_path / "s.jsonl"
+        points = _points("LSTM", "RNN")
+        cold = run_sweep(points, store=store)
+        clear_memo()
+        warm = run_sweep(points, store=store)
+        assert cold.evaluated == 2
+        assert (warm.evaluated, warm.from_store) == (0, 2)
+        assert warm.records == cold.records  # bit-identical through JSON
+
+    def test_memo_hits_still_persisted_to_store(self, tmp_path):
+        """A sweep warmed by the memo must still fill a fresh store."""
+        points = _points("LSTM")
+        run_sweep(points)  # memo only, no store
+        store = ResultStore(tmp_path / "s.jsonl")
+        result = run_sweep(points, store=store)
+        assert result.from_memo == 1
+        assert len(store) == 1
+        clear_memo()
+        warm = run_sweep(points, store=store)
+        assert (warm.evaluated, warm.from_store) == (0, 1)
+
+    def test_store_extends_incrementally(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        run_sweep(_points("LSTM"), store=store)
+        clear_memo()
+        result = run_sweep(_points("LSTM", "RNN"), store=store)
+        assert result.evaluated == 1
+        assert result.from_store == 1
+        assert len(store) == 2
+
+    def test_stale_version_reevaluated(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        (point,) = _points("LSTM")
+        record = dict(evaluate_point(point), version=EVAL_VERSION - 1)
+        store.append([record])
+        result = run_sweep([point], store=store)
+        assert result.evaluated == 1
+        assert store.load()[point.config_hash()]["version"] == EVAL_VERSION
+
+    def test_multiprocessing_matches_serial(self, tmp_path):
+        spec = SweepSpec.grid(
+            workloads=("LSTM", "RNN", "AlexNet"),
+            platforms=("tpu", "bpvec"),
+            memories=("ddr4", "hbm2"),
+            batches=(1,),
+        )
+        serial = run_sweep(spec)
+        clear_memo()
+        parallel = run_sweep(spec, workers=2)
+        assert parallel.records == serial.records
+        assert parallel.evaluated == len(spec)
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ValueError):
+            run_sweep([])
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            run_sweep(_points("LSTM"), workers=0)
+
+    def test_summary_mentions_tiers(self):
+        result = run_sweep(_points("LSTM"))
+        text = result.summary()
+        assert "evaluated" in text and "store" in text and "memo" in text
+        assert result.unique_points == 1
+
+
+class TestRecords:
+    def test_asic_record_shape(self):
+        (record,) = run_sweep(_points("LSTM")).records
+        assert record["kind"] == "asic"
+        assert record["platform"] == "BPVeC"
+        assert record["memory"] == "DDR4"
+        assert record["version"] == EVAL_VERSION
+        for key in (
+            "total_cycles",
+            "total_seconds",
+            "total_energy_pj",
+            "total_energy_j",
+            "perf_per_watt",
+            "memory_bound_fraction",
+        ):
+            assert key in record["metrics"]
+
+    def test_gpu_record_shape(self):
+        from repro.baselines.gpu import RTX_2080_TI
+
+        point = SweepPoint(
+            workload="LSTM", gpu=RTX_2080_TI, gpu_precision=4, batch=1
+        )
+        (record,) = run_sweep([point]).records
+        assert record["kind"] == "gpu"
+        assert record["platform"] == "RTX 2080 TI"
+        assert record["memory"] is None
+        for key in ("total_seconds", "total_energy_j", "perf_per_watt"):
+            assert key in record["metrics"]
+
+    def test_record_matches_direct_simulation(self):
+        from repro.dse import build_network, resolve_policy
+        from repro.sim import simulate_network
+
+        (record,) = run_sweep(_points("RNN", batch=4)).records
+        net = build_network("RNN", batch=4)
+        resolve_policy("homogeneous-8bit")(net)
+        direct = simulate_network(net, BPVEC, DDR4)
+        assert record["metrics"]["total_seconds"] == direct.total_seconds
+        assert record["metrics"]["total_energy_pj"] == direct.total_energy_pj
+        assert record["metrics"]["perf_per_watt"] == direct.perf_per_watt
+
+
+class TestDSEEngine:
+    def test_engine_wraps_run_sweep(self, tmp_path):
+        engine = DSEEngine(store=tmp_path / "s.jsonl", workers=1)
+        spec = SweepSpec.grid(
+            workloads=("LSTM",), platforms=("bpvec",), memories=("ddr4",)
+        )
+        cold = engine.run(spec)
+        clear_memo()
+        warm = engine.run(spec)
+        assert cold.evaluated == 1
+        assert warm.from_store == 1
+        assert warm.records == cold.records

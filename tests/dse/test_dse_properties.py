@@ -1,0 +1,150 @@
+"""Property-based tests for the DSE engine and core simulator invariants.
+
+Three invariants the issue pins down:
+
+* a cache hit (memo or JSON store round-trip) is bit-identical to the
+  cold evaluation that produced it;
+* a Pareto frontier contains no dominated point, and every excluded
+  point is dominated by some frontier point;
+* ``simulate_layer`` cycles are monotone non-increasing as the array
+  grows (more columns can only help or tie, never hurt).
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dse import (
+    ResultStore,
+    SweepPoint,
+    clear_memo,
+    evaluate_point,
+    pareto_frontier,
+    run_sweep,
+)
+from repro.hw import BITFUSION, BPVEC, DDR4, HBM2, TPU_LIKE, with_units
+from repro.nn.models import WORKLOAD_BUILDERS
+from repro.sim.performance import simulate_layer
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+_platforms = st.sampled_from([TPU_LIKE, BITFUSION, BPVEC])
+_memories = st.sampled_from([DDR4, HBM2])
+# Small batches keep a single example in the low milliseconds.
+_points = st.builds(
+    SweepPoint,
+    workload=st.sampled_from(sorted(WORKLOAD_BUILDERS)),
+    policy=st.sampled_from(
+        ["homogeneous-8bit", "paper-heterogeneous", "uniform-4x4", "uniform-2x6"]
+    ),
+    platform=_platforms,
+    memory=_memories,
+    batch=st.one_of(st.none(), st.integers(min_value=1, max_value=4)),
+)
+
+_metric_vectors = st.lists(
+    st.tuples(
+        st.floats(min_value=1e-6, max_value=1e6, allow_nan=False),
+        st.floats(min_value=1e-6, max_value=1e6, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+# ----------------------------------------------------------------------
+# Invariant 1: warm results are bit-identical to cold evaluation
+# ----------------------------------------------------------------------
+@settings(max_examples=15, deadline=None)
+@given(point=_points)
+def test_cache_hit_bit_identical_to_cold(point, tmp_path_factory):
+    cold = evaluate_point(point)
+
+    # JSON store round-trip preserves every float bit-for-bit.
+    store = ResultStore(
+        tmp_path_factory.mktemp("dse") / f"{point.config_hash()[:12]}.jsonl"
+    )
+    store.append([cold])
+    warm = store.load()[point.config_hash()]
+    assert warm == cold
+
+    # The engine's memo tier returns the identical record too.
+    clear_memo()
+    first = run_sweep([point]).records[0]
+    second = run_sweep([point]).records[0]
+    assert first == cold
+    assert second is first
+
+    # And a raw JSON text round-trip agrees (belt and braces).
+    assert json.loads(json.dumps(cold)) == cold
+
+
+# ----------------------------------------------------------------------
+# Invariant 2: Pareto frontiers are dominated-point-free and complete
+# ----------------------------------------------------------------------
+def _dominates(a, b):
+    return all(x <= y for x, y in zip(a, b)) and any(x < y for x, y in zip(a, b))
+
+
+@settings(max_examples=200, deadline=None)
+@given(vectors=_metric_vectors)
+def test_pareto_frontier_dominated_point_free(vectors):
+    records = [
+        {
+            "hash": str(i),
+            "metrics": {"total_seconds": s, "total_energy_j": e},
+        }
+        for i, (s, e) in enumerate(vectors)
+    ]
+    frontier = pareto_frontier(records)
+    vec = {
+        r["hash"]: (r["metrics"]["total_seconds"], r["metrics"]["total_energy_j"])
+        for r in records
+    }
+
+    assert frontier, "a non-empty record set always has a frontier"
+    frontier_keys = {r["hash"] for r in frontier}
+    # No frontier point is dominated by any record.
+    for f in frontier:
+        assert not any(
+            _dominates(vec[r["hash"]], vec[f["hash"]]) for r in records
+        )
+    # Every excluded point is dominated by some frontier point.
+    for r in records:
+        if r["hash"] not in frontier_keys:
+            assert any(_dominates(vec[k], vec[r["hash"]]) for k in frontier_keys)
+
+
+# ----------------------------------------------------------------------
+# Invariant 3: more array never means more cycles
+# ----------------------------------------------------------------------
+@settings(max_examples=20, deadline=None)
+@given(
+    base=_platforms,
+    memory=_memories,
+    workload=st.sampled_from(["AlexNet", "ResNet-18", "RNN", "LSTM"]),
+    policy=st.sampled_from(["homogeneous-8bit", "paper-heterogeneous"]),
+    layer_index=st.integers(min_value=0, max_value=30),
+)
+def test_layer_cycles_monotone_in_array_size(
+    base, memory, workload, policy, layer_index
+):
+    from repro.dse import build_network, resolve_policy
+
+    network = build_network(workload, batch=2)
+    resolve_policy(policy)(network)
+    weighted = network.weighted_layers
+    layer = weighted[layer_index % len(weighted)]
+
+    previous = None
+    for scale in (1, 2, 4, 8):
+        spec = with_units(base, base.num_macs * scale)
+        result = simulate_layer(layer, network, spec, memory)
+        assert result is not None
+        if previous is not None:
+            assert result.cycles <= previous.cycles
+            assert result.compute_cycles <= previous.compute_cycles
+        previous = result

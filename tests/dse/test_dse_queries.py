@@ -1,0 +1,147 @@
+"""Tests for Pareto / top-k / geomean queries over DSE records."""
+
+import math
+
+import pytest
+
+from repro.dse import (
+    SweepSpec,
+    clear_memo,
+    geomean_speedup,
+    metric,
+    pareto_frontier,
+    render_records,
+    run_sweep,
+    top_k,
+)
+
+
+def _rec(key, seconds, energy, workload="W", platform="P", memory="M"):
+    return {
+        "hash": key,
+        "workload": workload,
+        "platform": platform,
+        "memory": memory,
+        "policy": "homogeneous-8bit",
+        "batch": 1,
+        "metrics": {
+            "total_seconds": seconds,
+            "total_energy_j": energy,
+            "perf_per_watt": 1.0 / (seconds * energy),
+        },
+    }
+
+
+class TestMetric:
+    def test_reads_value(self):
+        assert metric(_rec("a", 2.0, 3.0), "total_seconds") == 2.0
+
+    def test_unknown_metric_lists_available(self):
+        with pytest.raises(KeyError, match="total_seconds"):
+            metric(_rec("a", 2.0, 3.0), "latency_ns")
+
+
+class TestParetoFrontier:
+    def test_dominated_points_removed(self):
+        records = [
+            _rec("a", 1.0, 4.0),
+            _rec("b", 2.0, 2.0),
+            _rec("c", 4.0, 1.0),
+            _rec("d", 3.0, 3.0),  # dominated by b
+            _rec("e", 2.0, 2.5),  # dominated by b
+        ]
+        frontier = pareto_frontier(records)
+        assert [r["hash"] for r in frontier] == ["a", "b", "c"]
+
+    def test_ties_all_kept(self):
+        records = [_rec("a", 1.0, 1.0), _rec("b", 1.0, 1.0)]
+        assert len(pareto_frontier(records)) == 2
+
+    def test_max_sense(self):
+        records = [_rec("a", 1.0, 2.0), _rec("b", 2.0, 2.0), _rec("c", 3.0, 3.0)]
+        frontier = pareto_frontier(
+            records, objectives=("perf_per_watt",), senses=("max",)
+        )
+        assert [r["hash"] for r in frontier] == ["a"]
+
+    def test_sense_validation(self):
+        with pytest.raises(ValueError):
+            pareto_frontier([_rec("a", 1, 1)], senses=("min",))
+        with pytest.raises(ValueError):
+            pareto_frontier(
+                [_rec("a", 1, 1)],
+                objectives=("total_seconds",),
+                senses=("down",),
+            )
+
+
+class TestTopK:
+    def test_min_sense(self):
+        records = [_rec("a", 3.0, 1.0), _rec("b", 1.0, 1.0), _rec("c", 2.0, 1.0)]
+        best = top_k(records, "total_seconds", k=2)
+        assert [r["hash"] for r in best] == ["b", "c"]
+
+    def test_max_sense(self):
+        records = [_rec("a", 3.0, 1.0), _rec("b", 1.0, 1.0)]
+        best = top_k(records, "perf_per_watt", k=1, sense="max")
+        assert [r["hash"] for r in best] == ["b"]
+
+    def test_k_larger_than_set(self):
+        records = [_rec("a", 1.0, 1.0)]
+        assert len(top_k(records, "total_seconds", k=10)) == 1
+
+
+class TestGeomeanSpeedup:
+    def _records(self):
+        out = []
+        for workload, base_s, cand_s in (("A", 4.0, 2.0), ("B", 9.0, 1.0)):
+            out.append(_rec(f"b{workload}", base_s, 1.0, workload, "Base", "M"))
+            out.append(_rec(f"c{workload}", cand_s, 1.0, workload, "Cand", "M"))
+        return out
+
+    def test_pairs_by_workload(self):
+        speedup = geomean_speedup(
+            self._records(), {"platform": "Base"}, {"platform": "Cand"}
+        )
+        assert speedup == pytest.approx(math.sqrt(2.0 * 9.0))
+
+    def test_no_overlap_raises(self):
+        with pytest.raises(ValueError):
+            geomean_speedup(
+                self._records(), {"platform": "Base"}, {"platform": "Nope"}
+            )
+
+    def test_ambiguous_filter_raises(self):
+        records = self._records() + [_rec("dup", 5.0, 1.0, "A", "Base", "M2")]
+        with pytest.raises(ValueError):
+            geomean_speedup(records, {"platform": "Base"}, {"platform": "Cand"})
+
+    def test_on_real_sweep(self):
+        clear_memo()
+        spec = SweepSpec.grid(
+            workloads=("LSTM", "RNN"),
+            platforms=("tpu", "bpvec"),
+            memories=("ddr4",),
+            batches=(1,),
+        )
+        records = run_sweep(spec).records
+        speedup = geomean_speedup(
+            records,
+            baseline={"platform": "TPU-like baseline"},
+            candidate={"platform": "BPVeC"},
+        )
+        assert speedup > 0.5  # well-defined, positive
+
+
+class TestRenderRecords:
+    def test_table_shape(self):
+        text = render_records([_rec("a", 0.001, 0.002)])
+        lines = text.splitlines()
+        assert lines[0].startswith("Workload")
+        assert len(lines) == 3  # header, rule, one row
+
+    def test_gpu_record_renders_dash_memory(self):
+        record = _rec("a", 0.001, 0.002)
+        record["memory"] = None
+        record["batch"] = None
+        assert "-" in render_records([record])

@@ -1,0 +1,185 @@
+"""Tests for sweep specs, registries, and config hashing."""
+
+import pytest
+
+from repro.dse import (
+    SweepPoint,
+    SweepSpec,
+    build_network,
+    expand_grid,
+    resolve_memory,
+    resolve_platform,
+    resolve_policy,
+    resolve_workload,
+)
+from repro.hw import BPVEC, DDR4, HBM2, TPU_LIKE
+
+
+class TestRegistries:
+    def test_workload_case_insensitive(self):
+        assert resolve_workload("lstm") == "LSTM"
+        assert resolve_workload("ALEXNET") == "AlexNet"
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            resolve_workload("VGG-99")
+
+    def test_platform_by_name_and_spec(self):
+        assert resolve_platform("bpvec") is BPVEC
+        assert resolve_platform("tpu") is TPU_LIKE
+        assert resolve_platform(BPVEC) is BPVEC
+
+    def test_platform_from_dict_roundtrip(self):
+        from dataclasses import asdict
+
+        rebuilt = resolve_platform(asdict(BPVEC))
+        assert rebuilt == BPVEC
+
+    def test_memory_resolution(self):
+        assert resolve_memory("hbm2") is HBM2
+        with pytest.raises(KeyError):
+            resolve_memory("gddr7")
+
+    def test_named_policies(self):
+        net = build_network("LSTM")
+        resolve_policy("homogeneous-8bit")(net)
+        assert net.bitwidth("lstm1").activations == 8
+
+    def test_uniform_policy_parsing(self):
+        net = build_network("RNN")
+        resolve_policy("uniform-3x5")(net)
+        bw = net.bitwidth("rnn1")
+        assert (bw.activations, bw.weights) == (3, 5)
+
+    def test_uniform_policy_out_of_range(self):
+        with pytest.raises(KeyError):
+            resolve_policy("uniform-9x2")
+
+    def test_unknown_policy(self):
+        with pytest.raises(KeyError):
+            resolve_policy("int3-magic")
+
+    def test_build_network_batch(self):
+        assert build_network("AlexNet", batch=4).batch == 4
+        assert build_network("RNN").batch == 16  # builder default
+
+
+class TestExpandGrid:
+    def test_order_last_axis_fastest(self):
+        cells = expand_grid({"a": (1, 2), "b": ("x", "y")})
+        assert cells == [
+            {"a": 1, "b": "x"},
+            {"a": 1, "b": "y"},
+            {"a": 2, "b": "x"},
+            {"a": 2, "b": "y"},
+        ]
+
+    def test_counts(self):
+        assert len(expand_grid({"a": range(3), "b": range(4), "c": range(5)})) == 60
+
+
+class TestSweepPoint:
+    def test_asic_point_requires_platform_and_memory(self):
+        with pytest.raises(ValueError):
+            SweepPoint(workload="LSTM", platform=BPVEC)
+
+    def test_gpu_and_asic_mutually_exclusive(self):
+        from repro.baselines.gpu import RTX_2080_TI
+
+        with pytest.raises(ValueError):
+            SweepPoint(
+                workload="LSTM", gpu=RTX_2080_TI, platform=BPVEC, memory=DDR4
+            )
+
+    def test_gpu_precision_validated(self):
+        from repro.baselines.gpu import RTX_2080_TI
+
+        with pytest.raises(ValueError):
+            SweepPoint(workload="LSTM", gpu=RTX_2080_TI, gpu_precision=6)
+
+    def test_workload_canonicalized(self):
+        point = SweepPoint(workload="lstm", platform=BPVEC, memory=DDR4)
+        assert point.workload == "LSTM"
+
+    def test_hash_stable_and_name_insensitive(self):
+        a = SweepPoint(workload="lstm", platform=BPVEC, memory=DDR4)
+        b = SweepPoint(workload="LSTM", platform=resolve_platform("bpvec"), memory=DDR4)
+        assert a.config_hash() == b.config_hash()
+
+    def test_hash_differs_across_configs(self):
+        base = SweepPoint(workload="LSTM", platform=BPVEC, memory=DDR4)
+        variants = [
+            SweepPoint(workload="RNN", platform=BPVEC, memory=DDR4),
+            SweepPoint(workload="LSTM", platform=TPU_LIKE, memory=DDR4),
+            SweepPoint(workload="LSTM", platform=BPVEC, memory=HBM2),
+            SweepPoint(workload="LSTM", platform=BPVEC, memory=DDR4, batch=4),
+            SweepPoint(
+                workload="LSTM",
+                platform=BPVEC,
+                memory=DDR4,
+                policy="paper-heterogeneous",
+            ),
+        ]
+        hashes = {p.config_hash() for p in (base, *variants)}
+        assert len(hashes) == len(variants) + 1
+
+    def test_invalid_batch(self):
+        with pytest.raises(ValueError):
+            SweepPoint(workload="LSTM", platform=BPVEC, memory=DDR4, batch=0)
+
+
+class TestSweepSpec:
+    def test_grid_count_and_order(self):
+        spec = SweepSpec.grid(
+            workloads=("LSTM", "RNN"),
+            platforms=("tpu", "bpvec"),
+            memories=("ddr4",),
+            batches=(1, 2),
+        )
+        assert len(spec) == 2 * 2 * 1 * 2
+        first = spec.points[0]
+        assert (first.workload, first.batch, first.platform.name) == (
+            "LSTM",
+            1,
+            "TPU-like baseline",
+        )
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ValueError):
+            SweepSpec(points=())
+
+    def test_from_dict_grid(self):
+        spec = SweepSpec.from_dict(
+            {
+                "grid": {
+                    "workloads": ["LSTM"],
+                    "platforms": ["bpvec"],
+                    "memories": ["ddr4", "hbm2"],
+                    "policies": ["uniform-4x4"],
+                    "batches": [1, 8],
+                }
+            }
+        )
+        assert len(spec) == 4
+        assert all(p.policy == "uniform-4x4" for p in spec)
+
+    def test_from_dict_points(self):
+        spec = SweepSpec.from_dict(
+            {
+                "points": [
+                    {"workload": "LSTM", "platform": "bpvec", "memory": "ddr4"},
+                    {"workload": "RNN", "gpu": "rtx-2080-ti", "precision": 4},
+                ]
+            }
+        )
+        assert spec.points[0].kind == "asic"
+        assert spec.points[1].kind == "gpu"
+        assert spec.points[1].gpu_precision == 4
+
+    def test_from_dict_requires_grid_or_points(self):
+        with pytest.raises(ValueError):
+            SweepSpec.from_dict({"sweep": []})
+
+    def test_grid_requires_workloads(self):
+        with pytest.raises(ValueError):
+            SweepSpec.from_dict({"grid": {"platforms": ["bpvec"]}})

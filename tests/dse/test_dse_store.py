@@ -1,0 +1,57 @@
+"""Tests for the append-only JSONL result store."""
+
+import json
+
+from repro.dse import ResultStore
+
+
+def _record(key, value=1.0):
+    return {"hash": key, "version": 1, "metrics": {"total_seconds": value}}
+
+
+class TestResultStore:
+    def test_missing_file_loads_empty(self, tmp_path):
+        store = ResultStore(tmp_path / "absent.jsonl")
+        assert store.load() == {}
+        assert not store.exists()
+        assert len(store) == 0
+
+    def test_append_and_load(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        written = store.append([_record("a"), _record("b")])
+        assert written == 2
+        loaded = store.load()
+        assert set(loaded) == {"a", "b"}
+        assert "a" in store
+
+    def test_append_creates_parent_dirs(self, tmp_path):
+        store = ResultStore(tmp_path / "deep" / "nested" / "s.jsonl")
+        store.append([_record("a")])
+        assert store.exists()
+
+    def test_last_record_wins(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        store.append([_record("a", 1.0)])
+        store.append([_record("a", 2.0)])
+        assert store.load()["a"]["metrics"]["total_seconds"] == 2.0
+
+    def test_torn_trailing_line_ignored(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        store = ResultStore(path)
+        store.append([_record("a"), _record("b")])
+        with path.open("a") as handle:
+            handle.write('{"hash": "c", "metr')  # crashed mid-write
+        assert set(store.load()) == {"a", "b"}
+
+    def test_blank_lines_and_keyless_records_skipped(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text(
+            "\n" + json.dumps({"no_hash": True}) + "\n" + json.dumps(_record("a")) + "\n"
+        )
+        assert set(ResultStore(path).load()) == {"a"}
+
+    def test_float_roundtrip_is_exact(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        value = 0.1234567890123456789 / 3.0
+        store.append([_record("a", value)])
+        assert store.load()["a"]["metrics"]["total_seconds"] == value

@@ -1,0 +1,111 @@
+"""Golden-value regression tests for the figure drivers.
+
+``golden_values.json`` pins the per-workload speedups, energy reductions
+and Perf/Watt ratios of fig4-fig9 -- captured from the drivers *before*
+they were rewired onto the DSE engine -- plus SHA-256 hashes of the
+rendered tables.  Any refactor that silently changes a reproduction
+number (or even its formatting) fails here.
+
+The simulators are deterministic, so the tolerance is tight; it exists
+only to absorb a future change in floating-point summation order, which
+would be a deliberate, golden-regenerating event anyway.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import _run_figure
+from repro.experiments import (
+    fig4_design_space,
+    fig5_homogeneous_ddr4,
+    fig6_homogeneous_hbm2,
+    fig7_heterogeneous_ddr4,
+    fig8_heterogeneous_hbm2,
+    fig9_gpu_comparison,
+    render_speedup_rows,
+)
+from repro.sim import format_table
+
+GOLDEN = json.loads(
+    (Path(__file__).parent / "golden_values.json").read_text()
+)
+REL_TOL = 1e-9
+
+SPEEDUP_DRIVERS = {
+    "fig5": fig5_homogeneous_ddr4,
+    "fig6": fig6_homogeneous_hbm2,
+    "fig7": fig7_heterogeneous_ddr4,
+    "fig8": fig8_heterogeneous_hbm2,
+}
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+@pytest.fixture(scope="module")
+def speedup_rows():
+    return {name: driver() for name, driver in SPEEDUP_DRIVERS.items()}
+
+
+@pytest.mark.parametrize("figure", sorted(SPEEDUP_DRIVERS))
+def test_speedup_values_pinned(figure, speedup_rows):
+    rows = speedup_rows[figure]
+    golden = GOLDEN["figures"][figure]
+    assert len(rows) == len(golden)
+    for row, want in zip(rows, golden):
+        assert (row.workload, row.platform, row.memory) == (
+            want["workload"],
+            want["platform"],
+            want["memory"],
+        )
+        assert row.speedup == pytest.approx(want["speedup"], rel=REL_TOL)
+        assert row.energy_reduction == pytest.approx(
+            want["energy_reduction"], rel=REL_TOL
+        )
+
+
+@pytest.mark.parametrize("figure", sorted(SPEEDUP_DRIVERS))
+def test_speedup_tables_byte_identical(figure, speedup_rows):
+    table = render_speedup_rows(speedup_rows[figure])
+    assert _sha256(table) == GOLDEN["tables_sha256"][figure]
+
+
+def test_fig9_values_pinned():
+    rows = fig9_gpu_comparison()
+    golden = GOLDEN["figures"]["fig9"]
+    assert len(rows) == len(golden)
+    for row, want in zip(rows, golden):
+        assert (row.workload, row.regime) == (want["workload"], want["regime"])
+        assert row.ddr4_ratio == pytest.approx(want["ddr4_ratio"], rel=REL_TOL)
+        assert row.hbm2_ratio == pytest.approx(want["hbm2_ratio"], rel=REL_TOL)
+
+
+def test_fig9_table_byte_identical():
+    rows = fig9_gpu_comparison()
+    table = format_table(
+        ["Workload", "Regime", "vs GPU (DDR4)", "vs GPU (HBM2)"],
+        [(r.workload, r.regime, r.ddr4_ratio, r.hbm2_ratio) for r in rows],
+        precision=1,
+    )
+    assert _sha256(table) == GOLDEN["tables_sha256"]["fig9"]
+
+
+def test_fig4_values_pinned():
+    points = fig4_design_space()
+    golden = GOLDEN["figures"]["fig4"]
+    assert len(points) == len(golden)
+    for point, want in zip(points, golden):
+        assert (point.metric, point.slice_width, point.lanes) == (
+            want["metric"],
+            want["slice_width"],
+            want["lanes"],
+        )
+        assert point.total == pytest.approx(want["total"], rel=REL_TOL)
+
+
+def test_fig4_table_byte_identical():
+    assert _sha256(_run_figure("fig4")) == GOLDEN["tables_sha256"]["fig4"]

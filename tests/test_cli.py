@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.dse import clear_memo
 
 
 def run(capsys, *argv):
@@ -83,6 +86,122 @@ class TestParser:
     def test_rejects_unknown_platform(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["simulate", "--model", "LSTM", "--platform", "gpu"])
+
+
+class TestDseCommand:
+    def test_default_table_output(self, capsys):
+        out = run(capsys, "dse", "--workload", "LSTM", "--workload", "RNN")
+        lines = out.strip().splitlines()
+        assert lines[0].split() == [
+            "Workload", "Platform", "Memory", "Policy", "Batch",
+            "Time", "(ms)", "Energy", "(mJ)", "GOPS/W",
+        ]
+        # 2 workloads x 3 platforms x 2 memories, plus header/rule/summary.
+        assert sum("LSTM" in line or "RNN" in line for line in lines) == 12
+        assert "12 points" in lines[-1]
+
+    def test_jsonl_output_parses(self, capsys):
+        out = run(
+            capsys, "dse", "--workload", "LSTM", "--platform", "bpvec",
+            "--memory", "ddr4", "--format", "jsonl",
+        )
+        records = [json.loads(line) for line in out.strip().splitlines()]
+        assert len(records) == 1
+        assert records[0]["workload"] == "LSTM"
+        assert "total_seconds" in records[0]["metrics"]
+
+    def test_store_warm_rerun(self, capsys, tmp_path):
+        store = tmp_path / "results.jsonl"
+        argv = ("dse", "--workload", "RNN", "--platform", "tpu",
+                "--memory", "hbm2", "--store", str(store))
+        clear_memo()
+        cold = run(capsys, *argv)
+        assert "1 evaluated" in cold
+        clear_memo()
+        warm = run(capsys, *argv)
+        assert "0 evaluated" in warm and "1 store hits" in warm
+        assert store.exists()
+
+    def test_spec_file(self, capsys, tmp_path):
+        spec = tmp_path / "sweep.json"
+        spec.write_text(json.dumps({
+            "grid": {
+                "workloads": ["LSTM"],
+                "platforms": ["bpvec"],
+                "memories": ["ddr4", "hbm2"],
+                "policies": ["uniform-4x4"],
+            }
+        }))
+        out = run(capsys, "dse", "--spec", str(spec), "--format", "jsonl")
+        records = [json.loads(line) for line in out.strip().splitlines()]
+        assert {r["memory"] for r in records} == {"DDR4", "HBM2"}
+        assert all(r["policy"] == "uniform-4x4" for r in records)
+
+    def test_pareto_filter(self, capsys):
+        out = run(capsys, "dse", "--workload", "LSTM", "--pareto",
+                  "--format", "jsonl")
+        records = [json.loads(line) for line in out.strip().splitlines()]
+        assert 1 <= len(records) <= 6
+
+    def test_top_k(self, capsys):
+        out = run(capsys, "dse", "--workload", "LSTM", "--top-k", "2",
+                  "--objective", "perf_per_watt", "--sense", "max",
+                  "--format", "jsonl")
+        records = [json.loads(line) for line in out.strip().splitlines()]
+        assert len(records) == 2
+        assert (records[0]["metrics"]["perf_per_watt"]
+                >= records[1]["metrics"]["perf_per_watt"])
+
+    def test_unknown_workload_exits_nonzero(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["dse", "--workload", "VGG-99"])
+        assert exc.value.code != 0
+
+    def test_missing_spec_file_exits_nonzero(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(["dse", "--spec", str(tmp_path / "absent.json")])
+        assert exc.value.code != 0
+
+    @pytest.mark.parametrize(
+        "content",
+        [
+            "not json",
+            '"grid"',
+            json.dumps({"points": [{"workload": "LSTM",
+                                    "platform": {"bogus": 1},
+                                    "memory": "ddr4"}]}),
+        ],
+        ids=["malformed", "non-object", "bad-platform-fields"],
+    )
+    def test_bad_spec_contents_exit_cleanly(self, tmp_path, content):
+        spec = tmp_path / "bad.json"
+        spec.write_text(content)
+        with pytest.raises(SystemExit) as exc:
+            main(["dse", "--spec", str(spec)])
+        assert exc.value.code != 0
+
+    def test_rejects_unknown_platform_choice(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dse", "--platform", "gpu"])
+
+
+class TestExitCodes:
+    """Every covered subcommand returns 0 on success."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ("report",),
+            ("simulate", "--model", "LSTM"),
+            ("roofline", "--model", "LSTM"),
+            ("dse", "--workload", "LSTM", "--platform", "bpvec",
+             "--memory", "ddr4"),
+        ],
+        ids=["report", "simulate", "roofline", "dse"],
+    )
+    def test_returns_zero(self, capsys, argv):
+        assert main(list(argv)) == 0
+        assert capsys.readouterr().out
 
 
 class TestReportCommand:
