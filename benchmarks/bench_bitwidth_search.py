@@ -8,8 +8,6 @@ a heterogeneous assignment with a real footprint reduction -- the input
 the bit-flexible hardware monetizes.
 """
 
-import pytest
-
 from repro.quant import (
     MLP,
     assign_bitwidths,

@@ -30,8 +30,14 @@ def test_budget_scaling(benchmark, show):
     show(
         "Scaling: Fig. 5 geomeans vs core power budget (DDR4)",
         format_table(
-            ["Budget", "Baseline MACs", "BitFusion MACs", "BPVeC MACs",
-             "Speedup", "Energy"],
+            [
+                "Budget",
+                "Baseline MACs",
+                "BitFusion MACs",
+                "BPVeC MACs",
+                "Speedup",
+                "Energy",
+            ],
             rows,
         ),
     )

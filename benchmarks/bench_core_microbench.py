@@ -7,7 +7,6 @@ timings; correctness is asserted on every run.
 """
 
 import numpy as np
-import pytest
 
 from repro.core import CVU, composed_matmul, reference_matmul
 

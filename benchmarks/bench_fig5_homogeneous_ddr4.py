@@ -13,8 +13,10 @@ from repro.experiments import fig5_homogeneous_ddr4, render_speedup_rows
 
 def test_fig5(benchmark, show):
     rows = benchmark(fig5_homogeneous_ddr4)
-    show("Figure 5: homogeneous 8-bit, DDR4 (vs TPU-like baseline)",
-         render_speedup_rows(rows))
+    show(
+        "Figure 5: homogeneous 8-bit, DDR4 (vs TPU-like baseline)",
+        render_speedup_rows(rows),
+    )
 
     geo = geo_row(rows)
     # Paper: ~40% speedup and energy reduction.

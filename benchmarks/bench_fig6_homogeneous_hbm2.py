@@ -13,8 +13,10 @@ from repro.experiments import fig6_homogeneous_hbm2, render_speedup_rows
 
 def test_fig6(benchmark, show):
     rows = benchmark(fig6_homogeneous_hbm2)
-    show("Figure 6: homogeneous 8-bit, HBM2 (normalized to baseline+DDR4)",
-         render_speedup_rows(rows))
+    show(
+        "Figure 6: homogeneous 8-bit, HBM2 (normalized to baseline+DDR4)",
+        render_speedup_rows(rows),
+    )
 
     base_geo = geo_row(rows, platform="TPU-like baseline")
     bpv_geo = geo_row(rows, platform="BPVeC")

@@ -13,8 +13,10 @@ from repro.experiments import fig7_heterogeneous_ddr4, render_speedup_rows
 
 def test_fig7(benchmark, show):
     rows = benchmark(fig7_heterogeneous_ddr4)
-    show("Figure 7: heterogeneous bitwidths, DDR4 (vs BitFusion)",
-         render_speedup_rows(rows))
+    show(
+        "Figure 7: heterogeneous bitwidths, DDR4 (vs BitFusion)",
+        render_speedup_rows(rows),
+    )
 
     geo = geo_row(rows)
     # Paper: ~50% speedup, ~10% energy reduction (we land slightly higher

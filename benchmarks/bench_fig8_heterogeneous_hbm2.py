@@ -13,8 +13,10 @@ from repro.experiments import fig8_heterogeneous_hbm2, render_speedup_rows
 
 def test_fig8(benchmark, show):
     rows = benchmark(fig8_heterogeneous_hbm2)
-    show("Figure 8: heterogeneous bitwidths, HBM2 (normalized to BitFusion+DDR4)",
-         render_speedup_rows(rows))
+    show(
+        "Figure 8: heterogeneous bitwidths, HBM2 (normalized to BitFusion+DDR4)",
+        render_speedup_rows(rows),
+    )
 
     bf_geo = geo_row(rows, platform="BitFusion")
     bpv_geo = geo_row(rows, platform="BPVeC")

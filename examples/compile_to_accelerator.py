@@ -31,8 +31,10 @@ def main() -> None:
         (i.bw_act, i.bw_w) for i in program if isinstance(i, SetMode)
     ]
     print(f"\nmode switches along the layer sequence: {modes}")
-    print("(first/last layers run 8x8; the quantized middle runs 4x4 at 4x "
-          "the throughput)")
+    print(
+        "(first/last layers run 8x8; the quantized middle runs 4x4 at 4x "
+        "the throughput)"
+    )
 
     result = Executor(BPVEC, DDR4).run(program)
     sim = simulate_network(net, BPVEC, DDR4)
@@ -47,8 +49,10 @@ def main() -> None:
 
     gemms = sum(isinstance(i, GemmTile) for i in program)
     checked = functional_check(program, max_elements=512)
-    print(f"\nfunctional sign-off: {checked}/{gemms} GEMMs verified "
-          f"(composed bit-parallel arithmetic == integer reference)")
+    print(
+        f"\nfunctional sign-off: {checked}/{gemms} GEMMs verified "
+        f"(composed bit-parallel arithmetic == integer reference)"
+    )
 
 
 if __name__ == "__main__":

@@ -1,14 +1,20 @@
-"""Design-space exploration on the batched, cached DSE engine.
+"""Design-space exploration: sharded, streamed, merged, compacted.
 
 The paper's evaluation is one slice of a much larger design space.  This
-example drives the `repro.dse` engine through that space end to end:
+example drives the `repro.dse` engine through that space the way a
+distributed deployment would:
 
 1. declare a grid sweep (platform x memory x bitwidth policy x workload
    x batch) -- hundreds of points from a few lines of spec;
-2. evaluate it cold, persisting records to a JSONL result store;
-3. re-run the identical sweep warm to show the store makes it near-free;
-4. query the records: Pareto frontier, top-k, geomean speedups;
-5. reproduce the paper's Fig. 4 cost-model headline from the same grid
+2. split it into two hash-range shards and evaluate each into its own
+   JSONL store, as if on two machines (`SweepSpec.shard`);
+3. merge the per-shard stores into one (`ResultStore.merge`) and verify
+   the union matches an unsharded run record-for-record;
+4. stream the sweep (`iter_sweep`), maintaining a partial Pareto
+   frontier that a UI could render while points are still evaluating;
+5. compact the merged store (`ResultStore.compact`) and query it:
+   Pareto frontier, top-k, geomean speedups;
+6. reproduce the paper's Fig. 4 cost-model headline from the same grid
    machinery.
 
 Run:  python examples/design_space_exploration.py
@@ -19,9 +25,12 @@ import time
 from pathlib import Path
 
 from repro.dse import (
+    ParetoTracker,
+    ResultStore,
     SweepSpec,
     clear_memo,
     geomean_speedup,
+    iter_sweep,
     pareto_frontier,
     render_records,
     run_sweep,
@@ -41,22 +50,64 @@ def main() -> None:
     print(f"sweep: {len(spec)} design points")
 
     with tempfile.TemporaryDirectory() as tmp:
-        store = Path(tmp) / "dse-results.jsonl"
+        tmp = Path(tmp)
 
+        # -- sharded execution: two "machines", two stores ---------------
+        shard_paths = []
         t0 = time.perf_counter()
-        cold = run_sweep(spec, store=store)
-        cold_s = time.perf_counter() - t0
-        print(f"cold run:  {cold.summary()}  [{cold_s * 1e3:.0f} ms]")
+        for index in range(2):
+            clear_memo()  # each shard is its own process in real life
+            shard = spec.shard(index, 2)
+            path = tmp / f"shard{index}.jsonl"
+            result = run_sweep(shard, store=path)
+            shard_paths.append(path)
+            print(f"shard {index}/2: {result.summary()}")
+        sharded_s = time.perf_counter() - t0
 
-        clear_memo()  # forget the in-process cache; only the store remains
+        merged = ResultStore(tmp / "merged.jsonl")
+        total = merged.merge(shard_paths)
+        print(
+            f"merged {len(shard_paths)} shard stores: {total} records "
+            f"[{sharded_s * 1e3:.0f} ms total]"
+        )
+
+        # -- the union is exactly the unsharded run ----------------------
+        clear_memo()
+        single = run_sweep(spec, store=tmp / "single.jsonl")
+        by_hash = {r["hash"]: r for r in single.records}
+        assert merged.load() == by_hash
+        print("merged union == unsharded run, record-for-record")
+
+        # -- streaming: partial frontier while the sweep runs ------------
+        clear_memo()
+        tracker = ParetoTracker()
+        for sweep_record in iter_sweep(spec.shard(0, 2)):
+            tracker.add(sweep_record.record)
+        print(
+            f"streamed shard 0/2: partial frontier has {len(tracker)} of "
+            f"{tracker.seen} records before shard 1 even starts"
+        )
+
+        # -- warm reuse + compaction -------------------------------------
+        clear_memo()
         t0 = time.perf_counter()
-        warm = run_sweep(spec, store=store)
+        warm = run_sweep(spec, store=merged)
         warm_s = time.perf_counter() - t0
-        print(f"warm run:  {warm.summary()}  [{warm_s * 1e3:.0f} ms, "
-              f"{cold_s / warm_s:.0f}x faster]")
-        assert warm.records == cold.records
+        print(
+            f"warm run:  {warm.summary()}  [{warm_s * 1e3:.0f} ms, "
+            f"{sharded_s / warm_s:.0f}x faster than evaluating]"
+        )
+        assert warm.records == single.records
 
-        records = cold.records
+        before = merged.path.stat().st_size
+        kept, dropped = merged.compact(gzip=True)
+        print(
+            f"compacted store: {kept} records kept, {dropped} lines "
+            f"dropped, {before} -> {merged.path.stat().st_size} bytes "
+            f"(gzipped)"
+        )
+
+        records = warm.records
 
     # -- queries -------------------------------------------------------
     print("\n--- Pareto frontier (time vs energy) ---")
@@ -74,19 +125,19 @@ def main() -> None:
         {"platform": "BitFusion", "memory": "DDR4"},
     ):
         speedup = geomean_speedup(records, baseline, candidate)
-        print(f"{candidate['platform']:>10} + {candidate['memory']}: "
-              f"{speedup:.2f}x")
+        print(f"{candidate['platform']:>10} + {candidate['memory']}: {speedup:.2f}x")
 
     # -- the paper's Fig. 4 headline from the cost model ---------------
     print("\n--- Headline CVU design points (paper Fig. 4) ---")
     costs = PaperCostModel()
     p_opt = costs.total(2, 16, "power")
     a_opt = costs.total(2, 16, "area")
-    print(f"optimum (2-bit, L=16): {1 / p_opt:.1f}x power and "
-          f"{1 / a_opt:.1f}x area improvement over a conventional MAC")
+    print(
+        f"optimum (2-bit, L=16): {1 / p_opt:.1f}x power and "
+        f"{1 / a_opt:.1f}x area improvement over a conventional MAC"
+    )
     p_bf = costs.total(2, 1, "power")
-    print(f"BitFusion point (2-bit, L=1): {p_bf / p_opt:.1f}x more power "
-          f"than a CVU")
+    print(f"BitFusion point (2-bit, L=1): {p_bf / p_opt:.1f}x more power than a CVU")
 
 
 if __name__ == "__main__":

@@ -34,7 +34,11 @@ def sweep(policy, label: str) -> None:
     print(format_table(["Bandwidth", "TPU-like", "BitFusion", "BPVeC"], rows))
     for name in ("TPU-like baseline", "BitFusion", "BPVeC"):
         bw = crossovers.get(name)
-        note = f"becomes compute-bound at ~{bw} GB/s" if bw else "memory-bound throughout"
+        note = (
+            f"becomes compute-bound at ~{bw} GB/s"
+            if bw
+            else "memory-bound throughout"
+        )
         print(f"  {name:<18} {note}")
 
 
@@ -45,12 +49,16 @@ def headline() -> None:
     bpv_ddr4 = simulate_network(net, BPVEC, DDR4)
     bpv_hbm2 = simulate_network(net, BPVEC, scaled_memory(DDR4, 256))
     print(f"baseline + DDR4 : {base_ddr4.total_seconds*1e3:7.2f} ms")
-    print(f"BPVeC    + DDR4 : {bpv_ddr4.total_seconds*1e3:7.2f} ms "
-          f"({base_ddr4.total_seconds/bpv_ddr4.total_seconds:.2f}x -- compute is idle, "
-          f"bandwidth is the wall)")
-    print(f"BPVeC    + HBM2 : {bpv_hbm2.total_seconds*1e3:7.2f} ms "
-          f"({base_ddr4.total_seconds/bpv_hbm2.total_seconds:.2f}x -- the doubled "
-          f"compute finally pays off)")
+    print(
+        f"BPVeC    + DDR4 : {bpv_ddr4.total_seconds*1e3:7.2f} ms "
+        f"({base_ddr4.total_seconds/bpv_ddr4.total_seconds:.2f}x -- compute is "
+        f"idle, bandwidth is the wall)"
+    )
+    print(
+        f"BPVeC    + HBM2 : {bpv_hbm2.total_seconds*1e3:7.2f} ms "
+        f"({base_ddr4.total_seconds/bpv_hbm2.total_seconds:.2f}x -- the doubled "
+        f"compute finally pays off)"
+    )
 
 
 if __name__ == "__main__":

@@ -48,19 +48,25 @@ def demo_cvu() -> None:
     x = rng.integers(-128, 128, size=100)
     w = rng.integers(-128, 128, size=100)
     res = cvu.dot_product(x, w, bw_x=8, bw_w=8)
-    print(f"homogeneous 8-bit: dot of 100 elements -> {res.value} "
-          f"in {res.cycles} cycles (exact: {res.value == np.dot(x, w)})")
+    print(
+        f"homogeneous 8-bit: dot of 100 elements -> {res.value} "
+        f"in {res.cycles} cycles (exact: {res.value == np.dot(x, w)})"
+    )
 
     # Bit-flexible mode: 8-bit x 2-bit -> 4 independent dot-product lanes.
     xs = [rng.integers(-128, 128, size=32) for _ in range(4)]
     ws = [rng.integers(-2, 2, size=32) for _ in range(4)]
     res = cvu.grouped_dot_products(xs, ws, bw_x=8, bw_w=2)
     ok = all(v == np.dot(a, b) for v, a, b in zip(res.values, xs, ws))
-    print(f"bit-flexible 8x2-bit: 4 concurrent dot products in "
-          f"{res.cycles} cycles (all exact: {ok})")
+    print(
+        f"bit-flexible 8x2-bit: 4 concurrent dot products in "
+        f"{res.cycles} cycles (all exact: {ok})"
+    )
     for bw in ((8, 8), (8, 4), (4, 4), (2, 2)):
-        print(f"  effective MACs/cycle at {bw[0]}b x {bw[1]}b: "
-              f"{cvu.effective_macs_per_cycle(*bw)}")
+        print(
+            f"  effective MACs/cycle at {bw[0]}b x {bw[1]}b: "
+            f"{cvu.effective_macs_per_cycle(*bw)}"
+        )
 
 
 def demo_simulation() -> None:
@@ -74,8 +80,10 @@ def demo_simulation() -> None:
     print(baseline.summary())
     print(bpvec.summary())
     c = compare(baseline, bpvec)
-    print(f"-> {c.speedup:.2f}x speedup, {c.energy_reduction:.2f}x energy "
-          f"reduction (paper Fig. 5: ~1.7x / ~1.7x for ResNet-18)")
+    print(
+        f"-> {c.speedup:.2f}x speedup, {c.energy_reduction:.2f}x energy "
+        f"reduction (paper Fig. 5: ~1.7x / ~1.7x for ResNet-18)"
+    )
 
 
 if __name__ == "__main__":

@@ -73,9 +73,11 @@ def per_layer_drilldown() -> None:
         )
     )
     slowest = max(result.layers, key=lambda l: l.cycles)
-    print(f"\nSlowest layer: {slowest.layer_name} "
-          f"({slowest.cycles} cycles, "
-          f"{'memory' if slowest.is_memory_bound else 'compute'}-bound)")
+    print(
+        f"\nSlowest layer: {slowest.layer_name} "
+        f"({slowest.cycles} cycles, "
+        f"{'memory' if slowest.is_memory_bound else 'compute'}-bound)"
+    )
     print(result.summary())
 
 

@@ -29,10 +29,16 @@ def roofline_demo() -> None:
     print("1. Roofline: why DDR4 walls recurrent layers")
     print("=" * 72)
     for memory in (DDR4, HBM2):
-        print(f"\nBPVeC + {memory.name}: ridge point = "
-              f"{ridge_point(BPVEC, memory):.1f} MACs/byte")
+        print(
+            f"\nBPVeC + {memory.name}: ridge point = "
+            f"{ridge_point(BPVEC, memory):.1f} MACs/byte"
+        )
         rows = []
-        for net in (homogeneous_8bit(resnet18(batch=8)), homogeneous_8bit(lstm_workload())):
+        networks = (
+            homogeneous_8bit(resnet18(batch=8)),
+            homogeneous_8bit(lstm_workload()),
+        )
+        for net in networks:
             for p in roofline_analysis(net, BPVEC, memory)[:3]:
                 rows.append(
                     (
@@ -43,9 +49,13 @@ def roofline_demo() -> None:
                         "memory" if p.memory_bound else "compute",
                     )
                 )
-        print(format_table(
-            ["Network", "Layer", "MACs/byte", "MACs/cycle", "Bound"], rows, precision=1
-        ))
+        print(
+            format_table(
+                ["Network", "Layer", "MACs/byte", "MACs/cycle", "Bound"],
+                rows,
+                precision=1,
+            )
+        )
 
 
 def sensitivity_demo() -> None:
@@ -60,13 +70,19 @@ def sensitivity_demo() -> None:
     print(f"float accuracy: {mlp.accuracy(x_val, y_val, backend='float'):.3f}")
 
     result = assign_bitwidths(mlp, x_val, y_val, max_drop=0.03)
-    print(f"assignment: {result.bits_per_layer} "
-          f"(accuracy {result.accuracy:.3f}, {result.steps} greedy steps)")
-    print(f"average bitwidth: {average_bitwidth(mlp, result.bits_per_layer):.2f} "
-          f"-> {footprint_reduction(mlp, result.bits_per_layer):.2f}x smaller model")
-    print("\nOn BPVeC, every narrowed layer also runs proportionally faster "
-          "(4-bit: 4x, 2-bit: 16x) -- Table I's assignments play the same "
-          "role for the six paper workloads.")
+    print(
+        f"assignment: {result.bits_per_layer} "
+        f"(accuracy {result.accuracy:.3f}, {result.steps} greedy steps)"
+    )
+    print(
+        f"average bitwidth: {average_bitwidth(mlp, result.bits_per_layer):.2f} "
+        f"-> {footprint_reduction(mlp, result.bits_per_layer):.2f}x smaller model"
+    )
+    print(
+        "\nOn BPVeC, every narrowed layer also runs proportionally faster "
+        "(4-bit: 4x, 2-bit: 16x) -- Table I's assignments play the same "
+        "role for the six paper workloads."
+    )
 
 
 if __name__ == "__main__":

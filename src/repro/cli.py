@@ -10,6 +10,9 @@ Examples
     python -m repro roofline --model LSTM --platform bpvec --memory ddr4
     python -m repro dse --workload LSTM --workload RNN --store results.jsonl
     python -m repro dse --spec sweep.json --workers 4 --format jsonl
+    python -m repro dse --shard 0/2 --store shard0.jsonl --stream
+    python -m repro dse-merge merged.jsonl shard0.jsonl shard1.jsonl
+    python -m repro dse-compact merged.jsonl --gzip
     python -m repro chips
 """
 
@@ -17,12 +20,15 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 
 from .dse import (
     MEMORY_NAMES,
     PLATFORM_NAMES,
+    ResultStore,
     SweepSpec,
+    iter_sweep,
     pareto_frontier,
     render_records,
     run_sweep,
@@ -73,11 +79,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    for name in ("table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "chips"):
+    for name in (
+        "table1",
+        "table2",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "chips",
+    ):
         sub.add_parser(name, help=f"regenerate {name}")
 
     report = sub.add_parser("report", help="full reproduction report (markdown)")
-    report.add_argument("--output", default=None, help="write to file instead of stdout")
+    report.add_argument(
+        "--output", default=None, help="write to file instead of stdout"
+    )
 
     sim = sub.add_parser("simulate", help="simulate one workload on one platform")
     sim.add_argument("--model", required=True)
@@ -118,6 +136,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dse.add_argument("--store", default=None, help="JSONL result store path")
     dse.add_argument("--workers", type=int, default=1)
+    dse.add_argument(
+        "--shard",
+        default=None,
+        metavar="I/N",
+        help="evaluate only hash-range shard I of N (0-based), e.g. 0/2",
+    )
+    dse.add_argument(
+        "--stream",
+        action="store_true",
+        help="print records as JSONL the moment each completes",
+    )
     dse.add_argument("--format", choices=("table", "jsonl"), default="table")
     dse.add_argument(
         "--pareto", action="store_true", help="print only the Pareto frontier"
@@ -125,6 +154,28 @@ def build_parser() -> argparse.ArgumentParser:
     dse.add_argument("--top-k", type=int, default=None, dest="top_k")
     dse.add_argument("--objective", default="total_seconds")
     dse.add_argument("--sense", choices=("min", "max"), default="min")
+
+    merge = sub.add_parser(
+        "dse-merge", help="union per-shard result stores into one"
+    )
+    merge.add_argument("dest", help="destination store (created or extended)")
+    merge.add_argument("sources", nargs="+", help="per-shard JSONL stores")
+    merge.add_argument(
+        "--gzip", action="store_true", help="write the merged store gzipped"
+    )
+
+    compact = sub.add_parser(
+        "dse-compact", help="drop superseded/stale lines from a result store"
+    )
+    compact.add_argument("store", help="JSONL result store path")
+    compact.add_argument(
+        "--gzip", action="store_true", help="gzip-compress the compacted store"
+    )
+    compact.add_argument(
+        "--keep-stale",
+        action="store_true",
+        help="keep records from older EVAL_VERSIONs",
+    )
     return parser
 
 
@@ -141,9 +192,33 @@ def _dse_spec(args) -> SweepSpec:
     )
 
 
+def _parse_shard(text: str) -> tuple[int, int]:
+    match = re.fullmatch(r"(\d+)/(\d+)", text.strip())
+    if not match:
+        raise ValueError(f"--shard wants I/N (e.g. 0/2), got {text!r}")
+    return int(match.group(1)), int(match.group(2))
+
+
 def _run_dse(args) -> None:
+    if args.stream and (args.pareto or args.top_k is not None):
+        raise SystemExit("dse: --stream cannot be combined with --pareto/--top-k")
     try:
         spec = _dse_spec(args)
+        if args.shard is not None:
+            index, count = _parse_shard(args.shard)
+            spec = spec.shard(index, count)
+            if len(spec) == 0:
+                print(
+                    f"dse: shard {index}/{count} owns no points of this sweep",
+                    file=sys.stderr,
+                )
+                return
+        if args.stream:
+            for sweep_record in iter_sweep(
+                spec, store=args.store, workers=args.workers
+            ):
+                print(json.dumps(sweep_record.record, sort_keys=True), flush=True)
+            return
         result = run_sweep(spec, store=args.store, workers=args.workers)
         records = result.records
         if args.pareto:
@@ -159,6 +234,33 @@ def _run_dse(args) -> None:
         print(render_records(records))
         print()
         print(result.summary())
+
+
+def _run_dse_merge(args) -> None:
+    try:
+        dest = ResultStore(args.dest)
+        total = dest.merge(args.sources, gzip=True if args.gzip else None)
+    except (TypeError, ValueError, OSError) as error:
+        raise SystemExit(f"dse-merge: {error}")
+    print(f"merged {len(args.sources)} stores into {args.dest}: {total} records")
+
+
+def _run_dse_compact(args) -> None:
+    store = ResultStore(args.store)
+    if not store.exists():
+        raise SystemExit(f"dse-compact: no such store: {args.store}")
+    try:
+        before = store.path.stat().st_size
+        kept, dropped = store.compact(
+            gzip=True if args.gzip else None, drop_stale=not args.keep_stale
+        )
+        after = store.path.stat().st_size
+    except (TypeError, ValueError, OSError) as error:
+        raise SystemExit(f"dse-compact: {error}")
+    print(
+        f"compacted {args.store}: kept {kept} records, dropped {dropped} "
+        f"superseded lines ({before} -> {after} bytes)"
+    )
 
 
 def _run_figure(command: str) -> str:
@@ -214,6 +316,10 @@ def main(argv: list[str] | None = None) -> int:
             print(report)
     elif command == "dse":
         _run_dse(args)
+    elif command == "dse-merge":
+        _run_dse_merge(args)
+    elif command == "dse-compact":
+        _run_dse_compact(args)
     elif command == "simulate":
         net = _workload(args.model, args.heterogeneous, args.batch)
         result = simulate_network(

@@ -40,7 +40,9 @@ def int_to_bits(value: int, width: int, signed: bool = False) -> Bits:
     lo = -(1 << (width - 1)) if signed else 0
     hi = (1 << (width - 1)) - 1 if signed else (1 << width) - 1
     if not lo <= value <= hi:
-        raise ValueError(f"{value} does not fit {'signed' if signed else 'unsigned'} {width}-bit")
+        raise ValueError(
+            f"{value} does not fit {'signed' if signed else 'unsigned'} {width}-bit"
+        )
     image = value & ((1 << width) - 1)
     return [(image >> i) & 1 for i in range(width)]
 

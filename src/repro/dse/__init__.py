@@ -10,19 +10,27 @@ reusable engine:
 * :mod:`~repro.dse.evaluate` -- one-point evaluation producing flat,
   JSON-able records, memoized per process;
 * :mod:`~repro.dse.store` -- an append-only JSONL result store keyed by
-  config hash, so repeated sweeps skip finished points;
-* :mod:`~repro.dse.engine` -- ``run_sweep``: memo -> store -> simulate
-  resolution with optional multiprocessing fan-out;
-* :mod:`~repro.dse.queries` -- Pareto frontier, top-k, geomean-speedup
-  and rendering over record sets.
+  config hash, so repeated sweeps skip finished points; per-shard
+  stores merge into one (``ResultStore.merge``) and long-lived stores
+  stay small (``ResultStore.compact``, optionally gzipped);
+* :mod:`~repro.dse.engine` -- ``iter_sweep``: memo -> store -> simulate
+  resolution streamed in completion order with optional
+  multiprocessing fan-out, and ``run_sweep``, the batch API on top;
+* :mod:`~repro.dse.queries` -- Pareto frontier (batch and incremental),
+  top-k, geomean-speedup and rendering over record sets.
+
+Sweeps partition across machines by hash range (``SweepSpec.shard``):
+every process owns a disjoint slice of config hashes, evaluates it into
+its own store, and the merged union is identical to the unsharded run.
 
 Every figure driver (:mod:`repro.experiments.figures`), the scaling
 study, and the ``repro dse`` CLI subcommand run on this engine.
 """
 
-from .engine import DSEEngine, SweepResult, run_sweep
+from .engine import DSEEngine, SweepRecord, SweepResult, iter_sweep, run_sweep
 from .evaluate import EVAL_VERSION, clear_memo, evaluate_cached, evaluate_point
 from .queries import (
+    ParetoTracker,
     geomean_speedup,
     metric,
     pareto_frontier,
@@ -43,17 +51,21 @@ from .spec import (
     resolve_platform,
     resolve_policy,
     resolve_workload,
+    shard_index,
 )
 from .store import ResultStore
 
 __all__ = [
     "DSEEngine",
+    "SweepRecord",
     "SweepResult",
+    "iter_sweep",
     "run_sweep",
     "EVAL_VERSION",
     "clear_memo",
     "evaluate_cached",
     "evaluate_point",
+    "ParetoTracker",
     "geomean_speedup",
     "metric",
     "pareto_frontier",
@@ -72,5 +84,6 @@ __all__ = [
     "resolve_platform",
     "resolve_policy",
     "resolve_workload",
+    "shard_index",
     "ResultStore",
 ]

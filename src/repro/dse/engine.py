@@ -1,27 +1,49 @@
-"""The batched design-space-exploration engine.
+"""The streaming, batched design-space-exploration engine.
 
-``run_sweep`` takes a sweep (a :class:`~repro.dse.spec.SweepSpec` or any
-iterable of points), resolves every point against three cache tiers --
-the per-process memo, an optional persistent JSONL store, and finally a
-cold evaluation -- and returns the records in point order.  Cold
-evaluations are deduplicated by config hash and can fan out across a
-``multiprocessing`` pool in chunked batches; new records are appended to
-the store so a repeated sweep is near-free.
+``iter_sweep`` is the primitive: it resolves every unique point of a
+sweep against three cache tiers -- the per-process memo, an optional
+persistent JSONL store, and finally a cold evaluation -- and yields a
+:class:`SweepRecord` per unique config *as it completes*.  Cache hits
+stream out immediately; cold evaluations follow in completion order
+(``imap_unordered`` over a ``multiprocessing`` pool when ``workers >
+1``), each appended to the store the moment it lands so an interrupted
+run keeps its partial results.  Callers can render partial Pareto
+frontiers or pipe records downstream without waiting for the sweep to
+finish.
+
+``run_sweep`` is the batch API, reimplemented on top of the stream: it
+drains the generator and returns records in point order plus per-tier
+hit counts.
 """
 
 from __future__ import annotations
 
+import contextlib
 import math
 import multiprocessing
 import os
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Iterator
 
 from .evaluate import _MEMO, EVAL_VERSION, evaluate_point
 from .spec import SweepPoint, SweepSpec
 from .store import ResultStore
 
-__all__ = ["SweepResult", "DSEEngine", "run_sweep"]
+__all__ = ["SweepRecord", "SweepResult", "DSEEngine", "iter_sweep", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One streamed result: a unique config resolved through some tier."""
+
+    index: int  # position of the first point with this hash in the sweep
+    point: SweepPoint
+    record: dict = field(repr=False)
+    source: str  # "memo" | "store" | "evaluated"
+
+    @property
+    def hash(self) -> str:
+        return self.record["hash"]
 
 
 @dataclass
@@ -56,19 +78,24 @@ def _pool_context():
     return multiprocessing.get_context()
 
 
-def run_sweep(
+def iter_sweep(
     sweep: SweepSpec | Iterable[SweepPoint],
     store: ResultStore | str | os.PathLike | None = None,
     workers: int = 1,
     chunk_size: int = 32,
-) -> SweepResult:
-    """Evaluate a sweep through the memo -> store -> simulate tiers."""
+) -> Iterator[SweepRecord]:
+    """Stream a sweep's records in completion order, one per unique config.
+
+    Memo and store hits yield first (they are already complete); cold
+    evaluations follow as the serial loop or the worker pool finishes
+    them.  Fresh records -- and memo hits the store has not seen -- are
+    appended to the store as they are yielded, so a consumer that stops
+    early (or crashes) leaves a store warm up to that point.  An empty
+    sweep, e.g. an empty shard of a fine partition, yields nothing.
+    """
     points = list(sweep.points) if isinstance(sweep, SweepSpec) else list(sweep)
-    if not points:
-        raise ValueError("empty sweep")
     if workers < 1:
         raise ValueError("workers must be >= 1")
-    hashes = [point.config_hash() for point in points]
 
     if store is not None and not isinstance(store, ResultStore):
         store = ResultStore(store)
@@ -80,45 +107,77 @@ def run_sweep(
             if record.get("version") == EVAL_VERSION
         }
 
-    resolved: dict[str, dict] = {}
-    pending: list[SweepPoint] = []
-    memo_only: list[dict] = []  # memo hits the store has not seen yet
-    from_memo = from_store = 0
-    for point, key in zip(points, hashes):
-        if key in resolved:
-            continue
-        if key in _MEMO:
-            resolved[key] = _MEMO[key]
-            from_memo += 1
-            if store is not None and key not in stored:
-                memo_only.append(_MEMO[key])
-        elif key in stored:
-            resolved[key] = stored[key]
-            from_store += 1
-        else:
-            resolved[key] = {}  # placeholder: claims the hash for dedup
-            pending.append(point)
+    # One held-open append handle for the whole stream: each completed
+    # record is flushed to disk without a file open (or, on gzipped
+    # stores, a fresh gzip member) per record.
+    sink = store.appender() if store is not None else contextlib.nullcontext()
+    with sink as persist:
+        seen: set[str] = set()
+        pending: list[tuple[int, SweepPoint]] = []
+        for index, point in enumerate(points):
+            key = point.config_hash()
+            if key in seen:
+                continue
+            seen.add(key)
+            if key in _MEMO:
+                if persist is not None and key not in stored:
+                    persist(_MEMO[key])
+                yield SweepRecord(index, point, _MEMO[key], "memo")
+            elif key in stored:
+                yield SweepRecord(index, point, stored[key], "store")
+            else:
+                pending.append((index, point))
 
-    if pending:
+        if not pending:
+            return
+        by_hash = {point.config_hash(): (index, point) for index, point in pending}
+
+        def _emit(record: dict) -> SweepRecord:
+            _MEMO[record["hash"]] = record
+            if persist is not None:
+                persist(record)
+            index, point = by_hash[record["hash"]]
+            return SweepRecord(index, point, record, "evaluated")
+
         if workers > 1 and len(pending) > 1:
             chunk = max(1, min(chunk_size, math.ceil(len(pending) / workers)))
             with _pool_context().Pool(workers) as pool:
-                fresh = pool.map(evaluate_point, pending, chunksize=chunk)
+                results = pool.imap_unordered(
+                    evaluate_point,
+                    [point for _, point in pending],
+                    chunksize=chunk,
+                )
+                for record in results:
+                    yield _emit(record)
         else:
-            fresh = [evaluate_point(point) for point in pending]
-        for record in fresh:
-            resolved[record["hash"]] = record
-            _MEMO[record["hash"]] = record
-    else:
-        fresh = []
-    if store is not None and (fresh or memo_only):
-        store.append(fresh + memo_only)
+            for _, point in pending:
+                yield _emit(evaluate_point(point))
+
+
+def run_sweep(
+    sweep: SweepSpec | Iterable[SweepPoint],
+    store: ResultStore | str | os.PathLike | None = None,
+    workers: int = 1,
+    chunk_size: int = 32,
+) -> SweepResult:
+    """Evaluate a sweep through the memo -> store -> simulate tiers."""
+    points = list(sweep.points) if isinstance(sweep, SweepSpec) else list(sweep)
+    if not points:
+        raise ValueError("empty sweep")
+    hashes = [point.config_hash() for point in points]
+
+    resolved: dict[str, dict] = {}
+    counts = {"memo": 0, "store": 0, "evaluated": 0}
+    stream = iter_sweep(points, store=store, workers=workers, chunk_size=chunk_size)
+    for sweep_record in stream:
+        resolved[sweep_record.hash] = sweep_record.record
+        counts[sweep_record.source] += 1
 
     return SweepResult(
         records=[resolved[key] for key in hashes],
-        evaluated=len(pending),
-        from_store=from_store,
-        from_memo=from_memo,
+        evaluated=counts["evaluated"],
+        from_store=counts["store"],
+        from_memo=counts["memo"],
     )
 
 
@@ -132,6 +191,16 @@ class DSEEngine:
 
     def run(self, sweep: SweepSpec | Iterable[SweepPoint]) -> SweepResult:
         return run_sweep(
+            sweep,
+            store=self.store,
+            workers=self.workers,
+            chunk_size=self.chunk_size,
+        )
+
+    def iter_sweep(
+        self, sweep: SweepSpec | Iterable[SweepPoint]
+    ) -> Iterator[SweepRecord]:
+        return iter_sweep(
             sweep,
             store=self.store,
             workers=self.workers,

@@ -9,6 +9,7 @@ from ..sim.report import format_table, geomean
 __all__ = [
     "metric",
     "pareto_frontier",
+    "ParetoTracker",
     "top_k",
     "geomean_speedup",
     "render_records",
@@ -70,6 +71,55 @@ def pareto_frontier(
         if not dominated:
             frontier.append(record)
     return frontier
+
+
+class ParetoTracker:
+    """Incrementally maintained Pareto frontier over streamed records.
+
+    Feed records as they arrive (e.g. from ``iter_sweep``) and read
+    :attr:`frontier` at any time for the frontier of everything seen so
+    far.  After all records are fed, the frontier equals
+    ``pareto_frontier(records)`` on the same input order: survivors
+    keep their arrival order, and ties (identical objective vectors)
+    all stay.
+    """
+
+    def __init__(
+        self,
+        objectives: Sequence[str] = DEFAULT_OBJECTIVES,
+        senses: Sequence[str] | None = None,
+    ):
+        self.objectives = tuple(objectives)
+        self.senses = tuple(_check_senses(self.objectives, senses))
+        self._entries: list[tuple[Mapping, tuple]] = []
+        self.seen = 0
+
+    def add(self, record: Mapping) -> bool:
+        """Offer one record; returns whether it joined the frontier."""
+        self.seen += 1
+        vec = _signed(record, self.objectives, self.senses)
+        for _, other in self._entries:
+            if all(o <= v for o, v in zip(other, vec)) and any(
+                o < v for o, v in zip(other, vec)
+            ):
+                return False  # dominated by a current frontier member
+        self._entries = [
+            (rec, other)
+            for rec, other in self._entries
+            if not (
+                all(v <= o for v, o in zip(vec, other))
+                and any(v < o for v, o in zip(vec, other))
+            )
+        ]
+        self._entries.append((record, vec))
+        return True
+
+    @property
+    def frontier(self) -> list[Mapping]:
+        return [record for record, _ in self._entries]
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
 
 def top_k(

@@ -30,6 +30,7 @@ __all__ = [
     "SweepPoint",
     "SweepSpec",
     "expand_grid",
+    "shard_index",
     "build_network",
     "resolve_platform",
     "resolve_memory",
@@ -147,6 +148,23 @@ def expand_grid(axes: Mapping[str, Sequence]) -> list[dict]:
     ]
 
 
+_HASH_BITS = 256  # SHA-256 config hashes
+
+
+def shard_index(config_hash: str, count: int) -> int:
+    """Which of ``count`` equal hash-range shards owns this config hash.
+
+    The 256-bit hash space is split into ``count`` contiguous ranges;
+    shard ``i`` owns ``[i * 2**256 / count, (i+1) * 2**256 / count)``.
+    The mapping depends only on the hash, so independent processes agree
+    on the partition without coordination, and a store merged from all
+    shards of one spec contains each config exactly once.
+    """
+    if count < 1:
+        raise ValueError("shard count must be >= 1")
+    return int(config_hash, 16) * count >> _HASH_BITS
+
+
 # ----------------------------------------------------------------------
 # Sweep points and specs
 # ----------------------------------------------------------------------
@@ -212,19 +230,43 @@ class SweepPoint:
 
 @dataclass(frozen=True)
 class SweepSpec:
-    """An ordered collection of sweep points."""
+    """An ordered collection of sweep points.
+
+    A spec may be empty: a fine-grained :meth:`shard` partition can
+    leave a shard with no points, and such shards must still be
+    representable (the engine's batch API rejects running them, the
+    streaming API yields nothing).
+    """
 
     points: tuple[SweepPoint, ...] = field(default_factory=tuple)
-
-    def __post_init__(self) -> None:
-        if not self.points:
-            raise ValueError("a sweep needs at least one point")
 
     def __len__(self) -> int:
         return len(self.points)
 
     def __iter__(self):
         return iter(self.points)
+
+    def shard(self, index: int, count: int) -> "SweepSpec":
+        """The sub-spec owned by hash-range shard ``index`` of ``count``.
+
+        Points are partitioned by :func:`shard_index` over their config
+        hashes: shards are disjoint, their union is the spec, and the
+        assignment is stable across processes and machines -- run each
+        shard wherever you like, then :meth:`ResultStore.merge
+        <repro.dse.store.ResultStore.merge>` the per-shard stores.
+        Relative point order is preserved within a shard.
+        """
+        if count < 1:
+            raise ValueError("shard count must be >= 1")
+        if not 0 <= index < count:
+            raise ValueError(f"shard index must be in [0, {count}), got {index}")
+        return SweepSpec(
+            points=tuple(
+                point
+                for point in self.points
+                if shard_index(point.config_hash(), count) == index
+            )
+        )
 
     @classmethod
     def grid(
@@ -280,7 +322,9 @@ class SweepSpec:
                 raise ValueError('sweep grid needs a "workloads" axis')
             return cls.grid(
                 workloads=grid["workloads"],
-                platforms=grid.get("platforms", PLATFORM_NAMES if not grid.get("gpus") else ()),
+                platforms=grid.get(
+                    "platforms", PLATFORM_NAMES if not grid.get("gpus") else ()
+                ),
                 memories=grid.get("memories", MEMORY_NAMES),
                 policies=grid.get("policies", ("homogeneous-8bit",)),
                 batches=grid.get("batches", (None,)),

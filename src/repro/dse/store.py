@@ -2,17 +2,39 @@
 
 One JSON record per line, keyed by the point's config hash.  Appends are
 crash-safe in the usual JSONL sense: a torn final line is ignored on
-load, and re-appending the same hash is harmless (last record wins).
+load, and re-appending the same hash is harmless -- on load, duplicate
+hashes resolve *version-aware last-write-wins*: a line only supersedes
+an earlier line for the same hash when its ``version`` is at least as
+new, so a stale re-append can never shadow a current record.
+
+Long-lived stores grow one line per append; :meth:`ResultStore.compact`
+rewrites the file keeping only the surviving record per hash (optionally
+gzip-compressed), and :meth:`ResultStore.merge` unions per-shard stores
+produced by a partitioned sweep (see :meth:`SweepSpec.shard
+<repro.dse.spec.SweepSpec.shard>`) into one store under the same
+resolution rules.  Gzipped stores are detected by magic bytes, so every
+operation -- load, append, merge, compact -- is transparent to whether
+the file is compressed; appends to a gzipped store add a new gzip
+member, which the multi-member reader handles natively.
 """
 
 from __future__ import annotations
 
+import gzip as gzip_module
 import json
 import os
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Iterable
+from typing import IO, Callable, Iterable, Iterator
 
 __all__ = ["ResultStore"]
+
+_GZIP_MAGIC = b"\x1f\x8b"
+
+
+def _supersedes(new: dict, old: dict) -> bool:
+    """Version-aware last-write-wins: newer-or-equal version replaces."""
+    return new.get("version", 0) >= old.get("version", 0)
 
 
 class ResultStore:
@@ -24,34 +46,166 @@ class ResultStore:
     def exists(self) -> bool:
         return self.path.exists()
 
-    def load(self) -> dict[str, dict]:
-        """All stored records as ``{config_hash: record}`` (last wins)."""
-        records: dict[str, dict] = {}
+    def is_gzipped(self) -> bool:
+        """Whether the store file is gzip-compressed (magic-byte sniff)."""
         if not self.path.exists():
-            return records
-        with self.path.open("r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    continue  # torn write at the tail of a crashed run
-                key = record.get("hash")
-                if key:
-                    records[key] = record
+            return False
+        with self.path.open("rb") as handle:
+            return handle.read(2) == _GZIP_MAGIC
+
+    def _open_read(self) -> IO[str]:
+        if self.is_gzipped():
+            return gzip_module.open(self.path, "rt", encoding="utf-8")
+        return self.path.open("r", encoding="utf-8")
+
+    def _open_append(self) -> IO[str]:
+        if self.is_gzipped():
+            # A new gzip member; readers treat members as one stream.
+            return gzip_module.open(self.path, "at", encoding="utf-8")
+        return self.path.open("a", encoding="utf-8")
+
+    def iter_lines(self) -> Iterator[dict]:
+        """Every parseable record line in file order (no dedup)."""
+        if not self.path.exists():
+            return
+        try:
+            with self._open_read() as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue  # torn write at the tail of a crashed run
+                    if isinstance(record, dict) and record.get("hash"):
+                        yield record
+        except (EOFError, gzip_module.BadGzipFile):
+            return  # torn gzip member at the tail; keep what parsed
+
+    def load(self) -> dict[str, dict]:
+        """All stored records as ``{config_hash: record}``.
+
+        Duplicate hashes resolve version-aware last-write-wins: among
+        lines for one hash, the last line whose ``version`` ties or
+        beats every earlier line survives, so a stale-``EVAL_VERSION``
+        re-append never shadows a current record.
+        """
+        records: dict[str, dict] = {}
+        for record in self.iter_lines():
+            key = record["hash"]
+            if key not in records or _supersedes(record, records[key]):
+                records[key] = record
         return records
 
     def append(self, records: Iterable[dict]) -> int:
         """Append records; returns how many lines were written."""
         count = 0
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a", encoding="utf-8") as handle:
+        with self._open_append() as handle:
             for record in records:
                 handle.write(json.dumps(record, sort_keys=True) + "\n")
                 count += 1
         return count
+
+    @contextmanager
+    def appender(self) -> Iterator[Callable[[dict], None]]:
+        """One held-open append handle for streaming writers.
+
+        The yielded callable writes and flushes one record, so every
+        completed record is on disk for crash recovery (gzip flushes
+        with a sync point) without paying a file open per record -- and
+        a gzipped store gains one member per run, not one per record.
+        The file is only created once something is written.
+        """
+        handle: IO[str] | None = None
+        try:
+
+            def write(record: dict) -> None:
+                nonlocal handle
+                if handle is None:
+                    self.path.parent.mkdir(parents=True, exist_ok=True)
+                    handle = self._open_append()
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+                handle.flush()
+
+            yield write
+        finally:
+            if handle is not None:
+                handle.close()
+
+    def _rewrite(self, records: Iterable[dict], gzip: bool) -> None:
+        """Atomically replace the file with one line per record."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        opener = gzip_module.open if gzip else open
+        with opener(tmp, "wt", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        os.replace(tmp, self.path)
+
+    def merge(
+        self,
+        sources: Iterable[ResultStore | str | os.PathLike],
+        gzip: bool | None = None,
+    ) -> int:
+        """Union per-shard stores into this one; returns the record count.
+
+        Existing records in this store participate too: for each hash
+        the surviving record is picked version-aware last-write-wins
+        across self and the sources, in argument order (a later source
+        wins a same-version tie).  Missing source files are skipped, so
+        empty shards that never produced a store merge cleanly.  The
+        merged store is rewritten compacted -- one line per hash.
+        """
+        merged = self.load()
+        for source in sources:
+            if not isinstance(source, ResultStore):
+                source = ResultStore(source)
+            for key, record in source.load().items():
+                if key not in merged or _supersedes(record, merged[key]):
+                    merged[key] = record
+        if gzip is None:
+            gzip = self.is_gzipped()
+        self._rewrite(merged.values(), gzip=gzip)
+        return len(merged)
+
+    def compact(
+        self, gzip: bool | None = None, drop_stale: bool = True
+    ) -> tuple[int, int]:
+        """Drop superseded lines; returns ``(kept, dropped)`` line counts.
+
+        ``dropped`` counts parseable record lines that lost resolution;
+        blank or torn lines are removed too but not counted.
+        Keeps one line per hash (the version-aware last-write-wins
+        survivor) and, when ``drop_stale``, only records at the current
+        ``EVAL_VERSION`` -- anything else would be re-evaluated by the
+        engine anyway.  ``gzip=True``/``False`` converts the file;
+        ``None`` keeps its current compression.  The rewrite is atomic
+        (temp file + rename), so a crash mid-compact leaves the
+        original store intact.
+        """
+        if not self.path.exists():
+            return (0, 0)
+        total = 0
+        records: dict[str, dict] = {}
+        for record in self.iter_lines():
+            total += 1
+            key = record["hash"]
+            if key not in records or _supersedes(record, records[key]):
+                records[key] = record
+        if drop_stale:
+            from .evaluate import EVAL_VERSION
+
+            records = {
+                key: record
+                for key, record in records.items()
+                if record.get("version") == EVAL_VERSION
+            }
+        if gzip is None:
+            gzip = self.is_gzipped()
+        self._rewrite(records.values(), gzip=gzip)
+        return (len(records), total - len(records))
 
     def __len__(self) -> int:
         return len(self.load())

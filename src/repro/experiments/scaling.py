@@ -16,7 +16,11 @@ from typing import Sequence
 from ..dse.engine import run_sweep
 from ..dse.queries import geomean_speedup
 from ..dse.spec import SweepPoint
-from ..hw.costmodel import CONVENTIONAL_MAC_POWER_MW, PaperCostModel, units_under_power_budget
+from ..hw.costmodel import (
+    CONVENTIONAL_MAC_POWER_MW,
+    PaperCostModel,
+    units_under_power_budget,
+)
 from ..hw.dram import MemorySpec
 from ..hw.platforms import BITFUSION, BPVEC, TPU_LIKE, AcceleratorSpec, with_units
 from .figures import HOMOGENEOUS, _evaluation_batches

@@ -50,7 +50,13 @@ def table1() -> list[Table1Row]:
 
 def render_table1() -> str:
     return format_table(
-        ["DNN Model", "Type", "Model Size (INT8, MB)", "Multiply-Adds (GOps)", "Heterogeneous Bitwidths"],
+        [
+            "DNN Model",
+            "Type",
+            "Model Size (INT8, MB)",
+            "Multiply-Adds (GOps)",
+            "Heterogeneous Bitwidths",
+        ],
         [
             (r.model, r.kind, r.model_size_mb, r.giga_ops, r.heterogeneous_bitwidths)
             for r in table1()

@@ -47,7 +47,9 @@ CORE_POWER_BUDGET_MW = 250.0
 BASELINE_MAC_COUNT = 512
 CLOCK_FREQUENCY_HZ = 500e6
 CONVENTIONAL_MAC_POWER_MW = CORE_POWER_BUDGET_MW / BASELINE_MAC_COUNT
-CONVENTIONAL_MAC_ENERGY_PJ = CONVENTIONAL_MAC_POWER_MW * 1e-3 / CLOCK_FREQUENCY_HZ * 1e12
+CONVENTIONAL_MAC_ENERGY_PJ = (
+    CONVENTIONAL_MAC_POWER_MW * 1e-3 / CLOCK_FREQUENCY_HZ * 1e12
+)
 
 
 class CostModel:
@@ -218,9 +220,9 @@ class PaperCostModel(CostModel):
                     total = calibrated_total(sw, ell, metric)
                 except KeyError:
                     continue
-                distance = abs(math.log2(max(sw, slice_width) / min(sw, slice_width))) + abs(
-                    math.log2(max(ell, lanes) / min(ell, lanes))
-                )
+                distance = abs(
+                    math.log2(max(sw, slice_width) / min(sw, slice_width))
+                ) + abs(math.log2(max(ell, lanes) / min(ell, lanes)))
                 candidates.append((distance, sw, ell, total))
         if not candidates:
             return None

@@ -91,22 +91,45 @@ def inception_v1(batch: int = 588) -> Network:
     for name, (in_ch, size, b1, b3r, b3, b5r, b5, pp) in _INCEPTION_TABLE.items():
         layers.extend(_inception_module(name, in_ch, size, b1, b3r, b3, b5r, b5, pp))
         if name == "3b":
-            layers.append(Pool2D("pool3", 480, kernel=3, in_size=28, stride=2, padding=1))
+            layers.append(
+                Pool2D("pool3", 480, kernel=3, in_size=28, stride=2, padding=1)
+            )
         if name == "4e":
-            layers.append(Pool2D("pool4", 832, kernel=3, in_size=14, stride=2, padding=1))
+            layers.append(
+                Pool2D("pool4", 832, kernel=3, in_size=14, stride=2, padding=1)
+            )
     layers.append(Pool2D("avgpool", 1024, kernel=7, in_size=7, stride=1))
     layers.append(Dense("fc", 1024, 1000))
     return Network(name="Inception-v1", layers=layers, batch=batch, kind="CNN")
 
 
-def _basic_block(prefix: str, in_ch: int, out_ch: int, size: int, stride: int) -> list[Layer]:
+def _basic_block(
+    prefix: str, in_ch: int, out_ch: int, size: int, stride: int
+) -> list[Layer]:
     layers = [
-        Conv2D(f"{prefix}.conv1", in_ch, out_ch, kernel=3, in_size=size, stride=stride, padding=1),
-        Conv2D(f"{prefix}.conv2", out_ch, out_ch, kernel=3, in_size=size // stride, padding=1),
+        Conv2D(
+            f"{prefix}.conv1",
+            in_ch,
+            out_ch,
+            kernel=3,
+            in_size=size,
+            stride=stride,
+            padding=1,
+        ),
+        Conv2D(
+            f"{prefix}.conv2",
+            out_ch,
+            out_ch,
+            kernel=3,
+            in_size=size // stride,
+            padding=1,
+        ),
     ]
     if stride != 1 or in_ch != out_ch:
         layers.append(
-            Conv2D(f"{prefix}.down", in_ch, out_ch, kernel=1, in_size=size, stride=stride)
+            Conv2D(
+                f"{prefix}.down", in_ch, out_ch, kernel=1, in_size=size, stride=stride
+            )
         )
     return layers
 
@@ -131,15 +154,27 @@ def resnet18(batch: int = 1173) -> Network:
     return Network(name="ResNet-18", layers=layers, batch=batch, kind="CNN")
 
 
-def _bottleneck(prefix: str, in_ch: int, mid: int, out_ch: int, size: int, stride: int) -> list[Layer]:
+def _bottleneck(
+    prefix: str, in_ch: int, mid: int, out_ch: int, size: int, stride: int
+) -> list[Layer]:
     layers = [
         Conv2D(f"{prefix}.conv1", in_ch, mid, kernel=1, in_size=size),
-        Conv2D(f"{prefix}.conv2", mid, mid, kernel=3, in_size=size, stride=stride, padding=1),
+        Conv2D(
+            f"{prefix}.conv2",
+            mid,
+            mid,
+            kernel=3,
+            in_size=size,
+            stride=stride,
+            padding=1,
+        ),
         Conv2D(f"{prefix}.conv3", mid, out_ch, kernel=1, in_size=size // stride),
     ]
     if stride != 1 or in_ch != out_ch:
         layers.append(
-            Conv2D(f"{prefix}.down", in_ch, out_ch, kernel=1, in_size=size, stride=stride)
+            Conv2D(
+                f"{prefix}.down", in_ch, out_ch, kernel=1, in_size=size, stride=stride
+            )
         )
     return layers
 

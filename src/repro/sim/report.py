@@ -65,7 +65,11 @@ def format_table(
 
     text_rows = [[fmt(c) for c in row] for row in rows]
     widths = [
-        max(len(headers[i]), *(len(r[i]) for r in text_rows)) if text_rows else len(headers[i])
+        (
+            max(len(headers[i]), *(len(r[i]) for r in text_rows))
+            if text_rows
+            else len(headers[i])
+        )
         for i in range(len(headers))
     ]
     lines = [

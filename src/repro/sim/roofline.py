@@ -36,7 +36,9 @@ class RooflinePoint:
         return self.attained_macs_per_cycle / self.peak_macs_per_cycle
 
 
-def ridge_point(spec: AcceleratorSpec, memory: MemorySpec, bw_x: int = 8, bw_w: int = 8) -> float:
+def ridge_point(
+    spec: AcceleratorSpec, memory: MemorySpec, bw_x: int = 8, bw_w: int = 8
+) -> float:
     """Operational intensity (MACs/byte) where compute and memory roofs meet."""
     peak = spec.macs_per_cycle(bw_x, bw_w)
     bytes_per_cycle = memory.bytes_per_cycle(spec.frequency_hz)

@@ -58,7 +58,9 @@ class SystolicArray:
             raise ValueError("m must be >= 1")
         return self.rows + (m + self.rows + self.cols - 2)
 
-    def run_tile(self, activations: np.ndarray, weights: np.ndarray) -> SystolicTileResult:
+    def run_tile(
+        self, activations: np.ndarray, weights: np.ndarray
+    ) -> SystolicTileResult:
         """Cycle-by-cycle simulation of one weight-stationary tile.
 
         ``activations`` is ``(M, rows)`` and ``weights`` ``(rows, cols)``;

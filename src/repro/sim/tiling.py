@@ -93,7 +93,9 @@ def plan_traffic(
 
     w_buf = int(spec.onchip_bytes * split.weight_fraction)
     a_buf = int(spec.onchip_bytes * split.activation_fraction)
-    acc_elems = int(spec.onchip_bytes * split.accumulator_fraction) // _ACCUMULATOR_BYTES
+    acc_elems = (
+        int(spec.onchip_bytes * split.accumulator_fraction) // _ACCUMULATOR_BYTES
+    )
 
     weight_bytes = _bytes(gemm.weight_elements, bw_w)
     unique_inputs = (

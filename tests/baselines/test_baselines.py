@@ -6,7 +6,6 @@ from repro.baselines import (
     BITFUSION,
     FusionUnit,
     RTX_2080_TI,
-    TPU_LIKE,
     core_power_mw,
     simulate_gpu,
     supports_bitwidth_speedup,

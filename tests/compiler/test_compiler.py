@@ -84,7 +84,14 @@ class TestLowering:
         net = uniform(Network("T", [layer], batch=4), 8, 8)
         prog = lower_layer(layer, net, BPVEC)
         kinds = [type(i).__name__ for i in prog]
-        assert kinds == ["SetMode", "LoadTile", "LoadTile", "GemmTile", "StoreTile", "Barrier"]
+        assert kinds == [
+            "SetMode",
+            "LoadTile",
+            "LoadTile",
+            "GemmTile",
+            "StoreTile",
+            "Barrier",
+        ]
 
     def test_heterogeneous_modes_emitted(self):
         net = paper_heterogeneous(alexnet(batch=1))

@@ -1,4 +1,5 @@
-"""Tests for the sweep engine: caching tiers, dedup, multiprocessing."""
+"""Tests for the sweep engine: caching tiers, dedup, multiprocessing,
+and the streaming ``iter_sweep`` API the batch API is built on."""
 
 import pytest
 
@@ -10,9 +11,10 @@ from repro.dse import (
     SweepSpec,
     clear_memo,
     evaluate_point,
+    iter_sweep,
     run_sweep,
 )
-from repro.hw import BPVEC, DDR4, HBM2, TPU_LIKE
+from repro.hw import BPVEC, DDR4, HBM2
 
 
 @pytest.fixture(autouse=True)
@@ -168,6 +170,115 @@ class TestRecords:
         assert record["metrics"]["perf_per_watt"] == direct.perf_per_watt
 
 
+class TestIterSweep:
+    def test_yields_every_unique_record_of_run_sweep(self):
+        points = _points("LSTM", "RNN", "LSTM") + _points("LSTM", memory=HBM2)
+        batch = run_sweep(points)
+        by_hash = {r["hash"]: r for r in batch.records}
+        clear_memo()
+        streamed = list(iter_sweep(points))
+        assert len(streamed) == 3  # unique configs only
+        assert {sr.hash for sr in streamed} == set(by_hash)
+        assert all(sr.record == by_hash[sr.hash] for sr in streamed)
+
+    def test_cache_hits_stream_before_cold_evaluations(self):
+        warm_points = _points("LSTM")
+        run_sweep(warm_points)  # prime the memo
+        sources = [
+            sr.source for sr in iter_sweep(warm_points + _points("RNN"))
+        ]
+        assert sources == ["memo", "evaluated"]
+
+    def test_store_hits_stream_first(self, tmp_path):
+        store = tmp_path / "s.jsonl"
+        run_sweep(_points("LSTM"), store=store)
+        clear_memo()
+        sources = [
+            sr.source
+            for sr in iter_sweep(_points("RNN", "LSTM"), store=store)
+        ]
+        assert sources == ["store", "evaluated"]
+
+    def test_indices_point_at_first_occurrence(self):
+        points = _points("LSTM", "LSTM", "RNN")
+        indices = {sr.record["workload"]: sr.index for sr in iter_sweep(points)}
+        assert indices == {"LSTM": 0, "RNN": 2}
+
+    def test_records_appended_to_store_as_they_complete(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        stream = iter_sweep(_points("LSTM", "RNN"), store=store)
+        next(stream)
+        assert len(store) == 1  # first record persisted before the second runs
+        stream.close()  # abandoning the stream keeps what finished
+        assert len(store) == 1
+        clear_memo()
+        warm = run_sweep(_points("LSTM", "RNN"), store=store)
+        assert (warm.evaluated, warm.from_store) == (1, 1)
+
+    def test_empty_sweep_streams_nothing(self):
+        assert list(iter_sweep([])) == []
+        assert list(iter_sweep(SweepSpec(points=()))) == []
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            list(iter_sweep(_points("LSTM"), workers=0))
+
+    def test_multiprocessing_stream_completion_order(self, tmp_path):
+        spec = SweepSpec.grid(
+            workloads=("LSTM", "RNN", "AlexNet"),
+            platforms=("tpu", "bpvec"),
+            memories=("ddr4", "hbm2"),
+            batches=(1,),
+        )
+        serial = run_sweep(spec)
+        clear_memo()
+        streamed = list(iter_sweep(spec, workers=2, chunk_size=1))
+        assert {sr.hash for sr in streamed} == {
+            r["hash"] for r in serial.records
+        }
+        by_hash = {r["hash"]: r for r in serial.records}
+        for sr in streamed:
+            assert sr.record == by_hash[sr.hash]
+
+
+class TestShardedRuns:
+    def test_two_shard_run_merges_to_unsharded_result(self, tmp_path):
+        spec = SweepSpec.grid(
+            workloads=("LSTM", "RNN"),
+            platforms=("tpu", "bpvec"),
+            memories=("ddr4", "hbm2"),
+            batches=(1, 2),
+        )
+        single = ResultStore(tmp_path / "single.jsonl")
+        full = run_sweep(spec, store=single)
+
+        shard_paths = []
+        for index in range(2):
+            clear_memo()  # each shard behaves like its own machine
+            shard = spec.shard(index, 2)
+            path = tmp_path / f"shard{index}.jsonl"
+            result = run_sweep(shard, store=path)
+            assert result.evaluated == len(shard)
+            shard_paths.append(path)
+
+        merged = ResultStore(tmp_path / "merged.jsonl")
+        merged.merge(shard_paths)
+        assert merged.load() == single.load()
+
+        from repro.dse import pareto_frontier
+
+        merged_front = pareto_frontier(list(merged.load().values()))
+        single_front = pareto_frontier(list(single.load().values()))
+        assert {r["hash"] for r in merged_front} == {
+            r["hash"] for r in single_front
+        }
+
+        clear_memo()
+        warm = run_sweep(spec, store=merged)
+        assert (warm.evaluated, warm.from_store) == (0, len(spec))
+        assert warm.records == full.records
+
+
 class TestDSEEngine:
     def test_engine_wraps_run_sweep(self, tmp_path):
         engine = DSEEngine(store=tmp_path / "s.jsonl", workers=1)
@@ -180,3 +291,12 @@ class TestDSEEngine:
         assert cold.evaluated == 1
         assert warm.from_store == 1
         assert warm.records == cold.records
+
+    def test_engine_iter_sweep_streams_with_store(self, tmp_path):
+        engine = DSEEngine(store=tmp_path / "s.jsonl")
+        streamed = list(engine.iter_sweep(_points("LSTM", "RNN")))
+        assert [sr.source for sr in streamed] == ["evaluated", "evaluated"]
+        clear_memo()
+        warm = list(engine.iter_sweep(_points("LSTM", "RNN")))
+        assert [sr.source for sr in warm] == ["store", "store"]
+        assert [sr.record for sr in warm] == [sr.record for sr in streamed]

@@ -1,11 +1,16 @@
 """Property-based tests for the DSE engine and core simulator invariants.
 
-Three invariants the issue pins down:
+Five invariants pinned down across issues:
 
 * a cache hit (memo or JSON store round-trip) is bit-identical to the
   cold evaluation that produced it;
 * a Pareto frontier contains no dominated point, and every excluded
-  point is dominated by some frontier point;
+  point is dominated by some frontier point -- and the incremental
+  tracker agrees with the batch computation on any stream;
+* hash-range shards are pairwise disjoint and cover the spec for any
+  shard count;
+* merging per-shard stores reproduces the single-store run
+  record-for-record;
 * ``simulate_layer`` cycles are monotone non-increasing as the array
   grows (more columns can only help or tie, never hurt).
 """
@@ -16,12 +21,15 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.dse import (
+    ParetoTracker,
     ResultStore,
     SweepPoint,
+    SweepSpec,
     clear_memo,
     evaluate_point,
     pareto_frontier,
     run_sweep,
+    shard_index,
 )
 from repro.hw import BITFUSION, BPVEC, DDR4, HBM2, TPU_LIKE, with_units
 from repro.nn.models import WORKLOAD_BUILDERS
@@ -118,8 +126,85 @@ def test_pareto_frontier_dominated_point_free(vectors):
             assert any(_dominates(vec[k], vec[r["hash"]]) for k in frontier_keys)
 
 
+@settings(max_examples=200, deadline=None)
+@given(vectors=_metric_vectors)
+def test_pareto_tracker_matches_batch_frontier(vectors):
+    records = [
+        {
+            "hash": str(i),
+            "metrics": {"total_seconds": s, "total_energy_j": e},
+        }
+        for i, (s, e) in enumerate(vectors)
+    ]
+    tracker = ParetoTracker()
+    for record in records:
+        tracker.add(record)
+    assert tracker.seen == len(records)
+    assert [r["hash"] for r in tracker.frontier] == [
+        r["hash"] for r in pareto_frontier(records)
+    ]
+
+
 # ----------------------------------------------------------------------
-# Invariant 3: more array never means more cycles
+# Invariant 3: shards partition the spec; merged shards == single run
+# ----------------------------------------------------------------------
+# A small pool keeps the number of distinct configs tiny, so the memo
+# makes every example after the first evaluation near-free.
+_pool_points = st.builds(
+    SweepPoint,
+    workload=st.sampled_from(["LSTM", "RNN"]),
+    platform=st.sampled_from([TPU_LIKE, BPVEC]),
+    memory=st.just(DDR4),
+    batch=st.just(1),
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(points=st.lists(_points, min_size=1, max_size=8), n=st.integers(1, 7))
+def test_shards_disjoint_and_cover_spec(points, n):
+    spec = SweepSpec(points=tuple(points))
+    shards = [spec.shard(i, n) for i in range(n)]
+    # Cover: every point lands in exactly one shard, order preserved.
+    assert sum(len(s) for s in shards) == len(spec)
+    for shard, index in ((s, i) for i, s in enumerate(shards)):
+        for point in shard.points:
+            assert shard_index(point.config_hash(), n) == index
+    # Disjoint: no hash appears in two shards.
+    owned = [{p.config_hash() for p in s.points} for s in shards]
+    assert sum(len(o) for o in owned) == len(
+        {p.config_hash() for p in spec.points}
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    points=st.lists(_pool_points, min_size=1, max_size=6),
+    n=st.integers(1, 4),
+)
+def test_merged_shard_stores_equal_single_store_run(
+    points, n, tmp_path_factory
+):
+    tmp = tmp_path_factory.mktemp("shards")
+    spec = SweepSpec(points=tuple(points))
+
+    single = ResultStore(tmp / "single.jsonl")
+    run_sweep(spec, store=single)
+
+    shard_paths = []
+    for index in range(n):
+        shard = spec.shard(index, n)
+        path = tmp / f"shard{index}.jsonl"
+        if len(shard):
+            run_sweep(shard, store=path)
+        shard_paths.append(path)  # empty shards never created a store
+
+    merged = ResultStore(tmp / "merged.jsonl")
+    merged.merge(shard_paths)
+    assert merged.load() == single.load()
+
+
+# ----------------------------------------------------------------------
+# Invariant 4: more array never means more cycles
 # ----------------------------------------------------------------------
 @settings(max_examples=20, deadline=None)
 @given(

@@ -11,6 +11,7 @@ from repro.dse import (
     resolve_platform,
     resolve_policy,
     resolve_workload,
+    shard_index,
 )
 from repro.hw import BPVEC, DDR4, HBM2, TPU_LIKE
 
@@ -144,9 +145,15 @@ class TestSweepSpec:
             "TPU-like baseline",
         )
 
-    def test_empty_spec_rejected(self):
+    def test_empty_spec_representable(self):
+        # An empty shard of a fine partition is a legal (if unrunnable)
+        # spec; the engine's batch API still rejects running it.
+        from repro.dse import run_sweep
+
+        spec = SweepSpec(points=())
+        assert len(spec) == 0
         with pytest.raises(ValueError):
-            SweepSpec(points=())
+            run_sweep(spec)
 
     def test_from_dict_grid(self):
         spec = SweepSpec.from_dict(
@@ -183,3 +190,61 @@ class TestSweepSpec:
     def test_grid_requires_workloads(self):
         with pytest.raises(ValueError):
             SweepSpec.from_dict({"grid": {"platforms": ["bpvec"]}})
+
+
+class TestShard:
+    def _spec(self):
+        return SweepSpec.grid(
+            workloads=("LSTM", "RNN", "AlexNet"),
+            platforms=("tpu", "bpvec"),
+            memories=("ddr4", "hbm2"),
+            batches=(1, 2),
+        )
+
+    def test_shards_partition_the_spec(self):
+        spec = self._spec()
+        for count in (1, 2, 3, 5):
+            shards = [spec.shard(i, count) for i in range(count)]
+            assert sum(len(s) for s in shards) == len(spec)
+            owned = [
+                {p.config_hash() for p in shard.points} for shard in shards
+            ]
+            for i in range(count):
+                for j in range(i + 1, count):
+                    assert not owned[i] & owned[j]
+            assert set.union(*owned) == {p.config_hash() for p in spec}
+
+    def test_shard_preserves_relative_order(self):
+        spec = self._spec()
+        positions = {p.config_hash(): i for i, p in enumerate(spec.points)}
+        shard = spec.shard(0, 2)
+        indices = [positions[p.config_hash()] for p in shard.points]
+        assert indices == sorted(indices)
+
+    def test_shard_assignment_is_stable(self):
+        # The partition depends only on the hash, not on the spec: the
+        # same point lands in the same shard from any sweep.
+        spec = self._spec()
+        for point in spec.shard(1, 3).points:
+            assert shard_index(point.config_hash(), 3) == 1
+            assert point in SweepSpec(points=(point,)).shard(1, 3).points
+
+    def test_single_shard_is_identity(self):
+        spec = self._spec()
+        assert spec.shard(0, 1).points == spec.points
+
+    def test_shard_validation(self):
+        spec = self._spec()
+        with pytest.raises(ValueError):
+            spec.shard(0, 0)
+        with pytest.raises(ValueError):
+            spec.shard(2, 2)
+        with pytest.raises(ValueError):
+            spec.shard(-1, 2)
+        with pytest.raises(ValueError):
+            shard_index("ff" * 32, 0)
+
+    def test_shard_index_range(self):
+        for count in (1, 2, 7, 64):
+            assert shard_index("00" * 32, count) == 0
+            assert shard_index("ff" * 32, count) == count - 1

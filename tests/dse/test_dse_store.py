@@ -1,12 +1,14 @@
-"""Tests for the append-only JSONL result store."""
+"""Tests for the append-only JSONL result store: load semantics,
+version-aware duplicate resolution, shard merge, and compaction."""
 
+import gzip
 import json
 
-from repro.dse import ResultStore
+from repro.dse import EVAL_VERSION, ResultStore
 
 
-def _record(key, value=1.0):
-    return {"hash": key, "version": 1, "metrics": {"total_seconds": value}}
+def _record(key, value=1.0, version=1):
+    return {"hash": key, "version": version, "metrics": {"total_seconds": value}}
 
 
 class TestResultStore:
@@ -35,6 +37,30 @@ class TestResultStore:
         store.append([_record("a", 2.0)])
         assert store.load()["a"]["metrics"]["total_seconds"] == 2.0
 
+    def test_stale_version_never_shadows_current(self, tmp_path):
+        # Regression: load() used to keep whichever duplicate-hash line
+        # came last regardless of version, so a stale re-append could
+        # shadow a current record.  Last-write-wins is version-aware.
+        store = ResultStore(tmp_path / "s.jsonl")
+        store.append([_record("a", 1.0, version=2)])
+        store.append([_record("a", 9.0, version=1)])
+        survivor = store.load()["a"]
+        assert survivor["version"] == 2
+        assert survivor["metrics"]["total_seconds"] == 1.0
+
+    def test_newer_version_supersedes_regardless_of_order(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        store.append([_record("a", 9.0, version=1), _record("a", 1.0, version=2)])
+        assert store.load()["a"]["version"] == 2
+
+    def test_versionless_record_treated_as_oldest(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        store.append([_record("a", 1.0, version=1)])
+        record = _record("a", 9.0)
+        del record["version"]
+        store.append([record])
+        assert store.load()["a"]["version"] == 1
+
     def test_torn_trailing_line_ignored(self, tmp_path):
         path = tmp_path / "s.jsonl"
         store = ResultStore(path)
@@ -46,7 +72,11 @@ class TestResultStore:
     def test_blank_lines_and_keyless_records_skipped(self, tmp_path):
         path = tmp_path / "s.jsonl"
         path.write_text(
-            "\n" + json.dumps({"no_hash": True}) + "\n" + json.dumps(_record("a")) + "\n"
+            "\n"
+            + json.dumps({"no_hash": True})
+            + "\n"
+            + json.dumps(_record("a"))
+            + "\n"
         )
         assert set(ResultStore(path).load()) == {"a"}
 
@@ -55,3 +85,155 @@ class TestResultStore:
         value = 0.1234567890123456789 / 3.0
         store.append([_record("a", value)])
         assert store.load()["a"]["metrics"]["total_seconds"] == value
+
+
+class TestMerge:
+    def test_union_of_disjoint_shards(self, tmp_path):
+        s0 = ResultStore(tmp_path / "shard0.jsonl")
+        s1 = ResultStore(tmp_path / "shard1.jsonl")
+        s0.append([_record("a"), _record("b")])
+        s1.append([_record("c")])
+        dest = ResultStore(tmp_path / "merged.jsonl")
+        assert dest.merge([s0, s1.path]) == 3  # stores or raw paths
+        assert set(dest.load()) == {"a", "b", "c"}
+
+    def test_missing_sources_skipped(self, tmp_path):
+        dest = ResultStore(tmp_path / "merged.jsonl")
+        src = ResultStore(tmp_path / "s.jsonl")
+        src.append([_record("a")])
+        assert dest.merge([src, tmp_path / "absent.jsonl"]) == 1
+
+    def test_existing_dest_records_participate(self, tmp_path):
+        dest = ResultStore(tmp_path / "merged.jsonl")
+        dest.append([_record("a", 1.0, version=2), _record("b")])
+        src = ResultStore(tmp_path / "s.jsonl")
+        src.append([_record("a", 9.0, version=1), _record("c")])
+        assert dest.merge([src]) == 3
+        merged = dest.load()
+        assert merged["a"]["version"] == 2  # stale source loses
+        assert set(merged) == {"a", "b", "c"}
+
+    def test_duplicate_hash_newer_version_wins(self, tmp_path):
+        s0 = ResultStore(tmp_path / "shard0.jsonl")
+        s1 = ResultStore(tmp_path / "shard1.jsonl")
+        s0.append([_record("a", 9.0, version=1)])
+        s1.append([_record("a", 1.0, version=2)])
+        dest = ResultStore(tmp_path / "merged.jsonl")
+        dest.merge([s1, s0])  # stale store listed last must still lose
+        assert dest.load()["a"]["version"] == 2
+
+    def test_same_version_tie_later_source_wins(self, tmp_path):
+        s0 = ResultStore(tmp_path / "shard0.jsonl")
+        s1 = ResultStore(tmp_path / "shard1.jsonl")
+        s0.append([_record("a", 1.0)])
+        s1.append([_record("a", 2.0)])
+        dest = ResultStore(tmp_path / "merged.jsonl")
+        dest.merge([s0, s1])
+        assert dest.load()["a"]["metrics"]["total_seconds"] == 2.0
+
+    def test_merged_store_is_compact(self, tmp_path):
+        src = ResultStore(tmp_path / "s.jsonl")
+        src.append([_record("a", 1.0), _record("a", 2.0), _record("b")])
+        dest = ResultStore(tmp_path / "merged.jsonl")
+        dest.merge([src])
+        assert sum(1 for _ in dest.iter_lines()) == 2
+
+
+class TestCompact:
+    def test_drops_superseded_lines_keeps_queries(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        store.append(
+            [
+                _record("a", 1.0, version=EVAL_VERSION),
+                _record("b", 2.0, version=EVAL_VERSION),
+            ]
+        )
+        store.append([_record("a", 3.0, version=EVAL_VERSION)])
+        before = store.load()
+        before_size = store.path.stat().st_size
+        kept, dropped = store.compact()
+        assert (kept, dropped) == (2, 1)
+        assert store.load() == before
+        assert store.path.stat().st_size < before_size
+
+    def test_drops_stale_versions_by_default(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        store.append(
+            [
+                _record("a", version=EVAL_VERSION),
+                _record("b", version=EVAL_VERSION - 1),
+            ]
+        )
+        kept, dropped = store.compact()
+        assert (kept, dropped) == (1, 1)
+        assert set(store.load()) == {"a"}
+
+    def test_keep_stale_option(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        store.append(
+            [
+                _record("a", version=EVAL_VERSION),
+                _record("b", version=EVAL_VERSION - 1),
+            ]
+        )
+        kept, dropped = store.compact(drop_stale=False)
+        assert (kept, dropped) == (2, 0)
+
+    def test_missing_store_is_noop(self, tmp_path):
+        assert ResultStore(tmp_path / "absent.jsonl").compact() == (0, 0)
+
+    def test_gzip_roundtrip_and_append(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        store.append(
+            [_record(f"k{i}", version=EVAL_VERSION) for i in range(50)]
+        )
+        plain = store.load()
+        plain_size = store.path.stat().st_size
+        store.compact(gzip=True)
+        assert store.is_gzipped()
+        assert store.path.stat().st_size < plain_size
+        assert store.load() == plain
+        # Appending to a gzipped store adds a member the reader handles.
+        store.append([_record("extra", version=EVAL_VERSION)])
+        assert set(store.load()) == set(plain) | {"extra"}
+        # And compaction keeps compression unless told otherwise.
+        store.compact()
+        assert store.is_gzipped()
+        store.compact(gzip=False)
+        assert not store.is_gzipped()
+        assert set(store.load()) == set(plain) | {"extra"}
+
+    def test_appender_streams_incrementally(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        with store.appender() as persist:
+            persist(_record("a"))
+            # Flushed mid-stream: a concurrent reader already sees it.
+            assert set(ResultStore(store.path).load()) == {"a"}
+            persist(_record("b"))
+        assert set(store.load()) == {"a", "b"}
+
+    def test_appender_without_writes_creates_no_file(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        with store.appender():
+            pass
+        assert not store.exists()
+
+    def test_appender_on_gzipped_store_adds_one_member(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        store.append([_record("a", version=EVAL_VERSION)])
+        store.compact(gzip=True)
+        base_members = store.path.read_bytes().count(b"\x1f\x8b\x08")
+        with store.appender() as persist:
+            for i in range(20):
+                persist(_record(f"k{i}", version=EVAL_VERSION))
+        members = store.path.read_bytes().count(b"\x1f\x8b\x08")
+        assert members == base_members + 1  # one member for the whole run
+        assert len(store.load()) == 21
+
+    def test_torn_gzip_tail_ignored(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        store.append([_record("a"), _record("b")])
+        store.compact(gzip=True, drop_stale=False)
+        blob = store.path.read_bytes()
+        store.path.write_bytes(blob + gzip.compress(b'{"hash": "c"')[:-7])
+        assert set(store.load()) == {"a", "b"}

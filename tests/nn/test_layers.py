@@ -125,5 +125,7 @@ class TestRecurrent:
     batch=st.integers(1, 8),
 )
 def test_conv_gemm_macs_match_layer_macs(in_ch, out_ch, kernel, in_size, batch):
-    conv = Conv2D("c", in_ch, out_ch, kernel=kernel, in_size=in_size, padding=kernel // 2)
+    conv = Conv2D(
+        "c", in_ch, out_ch, kernel=kernel, in_size=in_size, padding=kernel // 2
+    )
     assert sum(g.macs for g in conv.gemms(batch)) == conv.macs(batch)

@@ -54,7 +54,12 @@ def random_network(draw):
         steps = draw(st.integers(1, 8))
         cell = draw(st.sampled_from([RNNCell, LSTMCell]))
         layers.append(
-            cell("cell0", input_size=draw(st.integers(1, 256)), hidden_size=hidden, steps=steps)
+            cell(
+                "cell0",
+                input_size=draw(st.integers(1, 256)),
+                hidden_size=hidden,
+                steps=steps,
+            )
         )
     batch = draw(st.integers(1, 8))
     net = Network("fuzz", layers, batch=batch)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.hw import BITFUSION, BPVEC, DDR4, HBM2, TPU_LIKE
-from repro.nn import Dense, LayerBitwidth, Network, Pool2D, homogeneous_8bit, uniform
+from repro.nn import Dense, LayerBitwidth, Network, Pool2D, uniform
 from repro.sim import simulate_layer
 
 

@@ -78,7 +78,9 @@ class TestAgreementWithAnalyticalModel:
     def test_overhead_significant_for_short_streams(self):
         """Why the analytical model targets layer-scale M, not tiny tiles."""
         arr = SystolicArray(8, 8)
-        res = arr.run_tile(np.ones((4, 8), dtype=np.int64), np.ones((8, 8), dtype=np.int64))
+        res = arr.run_tile(
+            np.ones((4, 8), dtype=np.int64), np.ones((8, 8), dtype=np.int64)
+        )
         assert res.cycles > 4 * 2
 
 

@@ -62,8 +62,9 @@ class TestSimulateCommand:
         assert "TPU-like" in out and "HBM2" in out
 
     def test_simulate_heterogeneous(self, capsys):
-        out = run(capsys, "simulate", "--model", "AlexNet", "--batch", "1",
-                  "--heterogeneous")
+        out = run(
+            capsys, "simulate", "--model", "AlexNet", "--batch", "1", "--heterogeneous"
+        )
         assert "4x4" in out and "8x8" in out
 
     def test_unknown_model(self):
@@ -85,7 +86,9 @@ class TestParser:
 
     def test_rejects_unknown_platform(self):
         with pytest.raises(SystemExit):
-            build_parser().parse_args(["simulate", "--model", "LSTM", "--platform", "gpu"])
+            build_parser().parse_args(
+                ["simulate", "--model", "LSTM", "--platform", "gpu"]
+            )
 
 
 class TestDseCommand:
@@ -112,8 +115,17 @@ class TestDseCommand:
 
     def test_store_warm_rerun(self, capsys, tmp_path):
         store = tmp_path / "results.jsonl"
-        argv = ("dse", "--workload", "RNN", "--platform", "tpu",
-                "--memory", "hbm2", "--store", str(store))
+        argv = (
+            "dse",
+            "--workload",
+            "RNN",
+            "--platform",
+            "tpu",
+            "--memory",
+            "hbm2",
+            "--store",
+            str(store),
+        )
         clear_memo()
         cold = run(capsys, *argv)
         assert "1 evaluated" in cold
@@ -124,33 +136,49 @@ class TestDseCommand:
 
     def test_spec_file(self, capsys, tmp_path):
         spec = tmp_path / "sweep.json"
-        spec.write_text(json.dumps({
-            "grid": {
-                "workloads": ["LSTM"],
-                "platforms": ["bpvec"],
-                "memories": ["ddr4", "hbm2"],
-                "policies": ["uniform-4x4"],
-            }
-        }))
+        spec.write_text(
+            json.dumps(
+                {
+                    "grid": {
+                        "workloads": ["LSTM"],
+                        "platforms": ["bpvec"],
+                        "memories": ["ddr4", "hbm2"],
+                        "policies": ["uniform-4x4"],
+                    }
+                }
+            )
+        )
         out = run(capsys, "dse", "--spec", str(spec), "--format", "jsonl")
         records = [json.loads(line) for line in out.strip().splitlines()]
         assert {r["memory"] for r in records} == {"DDR4", "HBM2"}
         assert all(r["policy"] == "uniform-4x4" for r in records)
 
     def test_pareto_filter(self, capsys):
-        out = run(capsys, "dse", "--workload", "LSTM", "--pareto",
-                  "--format", "jsonl")
+        out = run(capsys, "dse", "--workload", "LSTM", "--pareto", "--format", "jsonl")
         records = [json.loads(line) for line in out.strip().splitlines()]
         assert 1 <= len(records) <= 6
 
     def test_top_k(self, capsys):
-        out = run(capsys, "dse", "--workload", "LSTM", "--top-k", "2",
-                  "--objective", "perf_per_watt", "--sense", "max",
-                  "--format", "jsonl")
+        out = run(
+            capsys,
+            "dse",
+            "--workload",
+            "LSTM",
+            "--top-k",
+            "2",
+            "--objective",
+            "perf_per_watt",
+            "--sense",
+            "max",
+            "--format",
+            "jsonl",
+        )
         records = [json.loads(line) for line in out.strip().splitlines()]
         assert len(records) == 2
-        assert (records[0]["metrics"]["perf_per_watt"]
-                >= records[1]["metrics"]["perf_per_watt"])
+        assert (
+            records[0]["metrics"]["perf_per_watt"]
+            >= records[1]["metrics"]["perf_per_watt"]
+        )
 
     def test_unknown_workload_exits_nonzero(self):
         with pytest.raises(SystemExit) as exc:
@@ -167,9 +195,17 @@ class TestDseCommand:
         [
             "not json",
             '"grid"',
-            json.dumps({"points": [{"workload": "LSTM",
-                                    "platform": {"bogus": 1},
-                                    "memory": "ddr4"}]}),
+            json.dumps(
+                {
+                    "points": [
+                        {
+                            "workload": "LSTM",
+                            "platform": {"bogus": 1},
+                            "memory": "ddr4",
+                        }
+                    ]
+                }
+            ),
         ],
         ids=["malformed", "non-object", "bad-platform-fields"],
     )
@@ -185,6 +221,139 @@ class TestDseCommand:
             build_parser().parse_args(["dse", "--platform", "gpu"])
 
 
+class TestDseShardingCommands:
+    def _shard_stores(self, capsys, tmp_path):
+        paths = []
+        for index in range(2):
+            clear_memo()  # each shard behaves like a separate machine
+            path = tmp_path / f"shard{index}.jsonl"
+            run(
+                capsys,
+                "dse",
+                "--workload",
+                "LSTM",
+                "--workload",
+                "RNN",
+                "--shard",
+                f"{index}/2",
+                "--store",
+                str(path),
+            )
+            paths.append(path)
+        return paths
+
+    def test_shard_runs_cover_the_sweep(self, capsys, tmp_path):
+        from repro.dse import ResultStore
+
+        paths = self._shard_stores(capsys, tmp_path)
+        counts = [len(ResultStore(p)) for p in paths]
+        assert all(count > 0 for count in counts)
+        assert sum(counts) == 12  # 2 workloads x 3 platforms x 2 memories
+
+    def test_merge_then_query_matches_unsharded(self, capsys, tmp_path):
+        paths = self._shard_stores(capsys, tmp_path)
+        merged = tmp_path / "merged.jsonl"
+        out = run(capsys, "dse-merge", str(merged), *map(str, paths))
+        assert "12 records" in out
+        clear_memo()
+        warm = run(
+            capsys,
+            "dse",
+            "--workload",
+            "LSTM",
+            "--workload",
+            "RNN",
+            "--store",
+            str(merged),
+        )
+        assert "0 evaluated" in warm and "12 store hits" in warm
+
+    def test_empty_shard_exits_cleanly(self, capsys, tmp_path):
+        # A fine partition of a 1-point sweep leaves most shards empty.
+        store = tmp_path / "s.jsonl"
+        argv = [
+            "dse",
+            "--workload",
+            "LSTM",
+            "--platform",
+            "bpvec",
+            "--memory",
+            "ddr4",
+            "--store",
+            str(store),
+        ]
+        empties = 0
+        for index in range(64):
+            assert main(argv + ["--shard", f"{index}/64"]) == 0
+            if "owns no points" in capsys.readouterr().err:
+                empties += 1
+        assert empties == 63
+
+    def test_bad_shard_spec_exits_nonzero(self):
+        for shard in ("2", "a/b", "2/2", "0/0"):
+            with pytest.raises(SystemExit) as exc:
+                main(["dse", "--workload", "LSTM", "--shard", shard])
+            assert exc.value.code != 0
+
+    def test_stream_emits_jsonl_records(self, capsys):
+        out = run(capsys, "dse", "--workload", "LSTM", "--stream")
+        records = [json.loads(line) for line in out.strip().splitlines()]
+        assert len(records) == 6  # 3 platforms x 2 memories
+        assert all("metrics" in r for r in records)
+
+    def test_stream_rejects_batch_queries(self):
+        with pytest.raises(SystemExit):
+            main(["dse", "--workload", "LSTM", "--stream", "--pareto"])
+
+    def test_compact_shrinks_duplicated_store(self, capsys, tmp_path):
+        store = tmp_path / "s.jsonl"
+        argv = (
+            "dse",
+            "--workload",
+            "LSTM",
+            "--platform",
+            "bpvec",
+            "--memory",
+            "ddr4",
+            "--store",
+            str(store),
+        )
+        clear_memo()
+        run(capsys, *argv)
+        clear_memo()  # force a store hit... then duplicate the line
+        store.write_text(store.read_text() * 3)
+        out = run(capsys, "dse-compact", str(store))
+        assert "kept 1 records, dropped 2 superseded lines" in out
+
+    def test_compact_gzip_roundtrips_through_engine(self, capsys, tmp_path):
+        from repro.dse import ResultStore
+
+        store = tmp_path / "s.jsonl"
+        argv = (
+            "dse",
+            "--workload",
+            "LSTM",
+            "--platform",
+            "bpvec",
+            "--memory",
+            "ddr4",
+            "--store",
+            str(store),
+        )
+        clear_memo()
+        run(capsys, *argv)
+        run(capsys, "dse-compact", str(store), "--gzip")
+        assert ResultStore(store).is_gzipped()
+        clear_memo()
+        warm = run(capsys, *argv)
+        assert "1 store hits" in warm
+
+    def test_compact_missing_store_exits_nonzero(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(["dse-compact", str(tmp_path / "absent.jsonl")])
+        assert exc.value.code != 0
+
+
 class TestExitCodes:
     """Every covered subcommand returns 0 on success."""
 
@@ -194,8 +363,7 @@ class TestExitCodes:
             ("report",),
             ("simulate", "--model", "LSTM"),
             ("roofline", "--model", "LSTM"),
-            ("dse", "--workload", "LSTM", "--platform", "bpvec",
-             "--memory", "ddr4"),
+            ("dse", "--workload", "LSTM", "--platform", "bpvec", "--memory", "ddr4"),
         ],
         ids=["report", "simulate", "roofline", "dse"],
     )
