@@ -1,0 +1,113 @@
+"""Vectorized lowered-IR evaluator at scale: cold 1008-point sweep.
+
+Acceptance bench for :mod:`repro.sim.lowered`: evaluate the same
+1008-point design-space grid cold through the scalar per-point path
+(``vectorize=False``, the ``--no-vectorize`` escape hatch) and through
+the vectorized evaluator, single-process and with a worker pool.  The
+records must be bit-identical, and the single-process vectorized run
+must beat the scalar run by at least ``MIN_SPEEDUP`` (3x by default --
+a CI-safe floor; locally the margin is far larger).
+
+Emits ``BENCH_vectorized_eval.json`` (path overridable via the
+``BENCH_VECTORIZED_EVAL_JSON`` env var) so CI can archive the numbers
+as an artifact next to the pytest-benchmark JSON.
+"""
+
+import json
+import os
+import time
+
+from repro.dse import SweepSpec, clear_caches, run_sweep
+from repro.hw import DDR4, HBM2, scaled_memory
+from repro.sim import format_table
+
+# 6 workloads x 3 platforms x 4 memories x 2 policies x 7 batches = 1008.
+MEMORIES = (
+    DDR4,
+    HBM2,
+    scaled_memory(DDR4, 64),
+    scaled_memory(HBM2, 512),
+)
+POLICIES = ("homogeneous-8bit", "paper-heterogeneous")
+BATCHES = (1, 2, 4, 8, 16, 32, 64)
+
+MIN_SPEEDUP = float(os.environ.get("REPRO_MIN_VECTOR_SPEEDUP", "3.0"))
+
+
+def _sweep_spec() -> SweepSpec:
+    return SweepSpec.grid(
+        workloads=(
+            "AlexNet", "Inception-v1", "ResNet-18", "ResNet-50", "RNN", "LSTM"
+        ),
+        platforms=("tpu", "bitfusion", "bpvec"),
+        memories=MEMORIES,
+        policies=POLICIES,
+        batches=BATCHES,
+    )
+
+
+def _timed_cold_run(**kwargs):
+    # Every evaluation-path cache dropped, and fresh SweepPoint
+    # instances so the per-point config-hash memo is paid inside every
+    # timed run -- scalar and vectorized alike.
+    clear_caches()
+    spec = _sweep_spec()
+    start = time.perf_counter()
+    result = run_sweep(spec, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def test_vectorized_vs_scalar_cold_sweep(benchmark, show):
+    spec = _sweep_spec()
+    assert len(spec) >= 1000
+
+    scalar, scalar_seconds = _timed_cold_run(vectorize=False)
+    assert scalar.evaluated == len(spec)
+
+    pooled, pooled_seconds = _timed_cold_run(vectorize=True, workers=4)
+    assert pooled.records == scalar.records  # bit-identical through the pool
+
+    def vectorized_run():
+        result, _ = _timed_cold_run(vectorize=True)
+        return result
+
+    vectorized = benchmark(vectorized_run)
+    assert vectorized.evaluated == len(spec)
+    assert vectorized.records == scalar.records  # bit-identical, all 1008
+
+    _, vectorized_seconds = _timed_cold_run(vectorize=True)
+    speedup = scalar_seconds / vectorized_seconds
+    pooled_speedup = scalar_seconds / pooled_seconds
+
+    rows = [
+        ("scalar (--no-vectorize)", 1, scalar_seconds * 1e3, 1.0),
+        ("vectorized", 1, vectorized_seconds * 1e3, speedup),
+        ("vectorized", 4, pooled_seconds * 1e3, pooled_speedup),
+    ]
+    show(
+        f"Vectorized evaluator: cold {len(spec)}-point sweep "
+        f"({speedup:.1f}x single-process)",
+        format_table(["Path", "Workers", "Time (ms)", "Speedup"], rows),
+    )
+
+    payload = {
+        "points": len(spec),
+        "scalar_seconds": round(scalar_seconds, 4),
+        "vectorized_seconds": round(vectorized_seconds, 4),
+        "vectorized_pool4_seconds": round(pooled_seconds, 4),
+        "single_process_speedup": round(speedup, 2),
+        "pool4_speedup": round(pooled_speedup, 2),
+        "min_speedup_gate": MIN_SPEEDUP,
+    }
+    artifact = os.environ.get(
+        "BENCH_VECTORIZED_EVAL_JSON", "BENCH_vectorized_eval.json"
+    )
+    with open(artifact, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    benchmark.extra_info.update(payload)
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"vectorized cold sweep only {speedup:.2f}x faster than scalar "
+        f"({vectorized_seconds:.3f}s vs {scalar_seconds:.3f}s); "
+        f"gate is {MIN_SPEEDUP:.1f}x"
+    )

@@ -137,6 +137,12 @@ def build_parser() -> argparse.ArgumentParser:
     dse.add_argument("--store", default=None, help="JSONL result store path")
     dse.add_argument("--workers", type=int, default=1)
     dse.add_argument(
+        "--no-vectorize",
+        action="store_true",
+        help="evaluate points one-by-one on the scalar simulator instead of "
+        "the batched numpy evaluator (records are bit-identical either way)",
+    )
+    dse.add_argument(
         "--shard",
         default=None,
         metavar="I/N",
@@ -213,13 +219,16 @@ def _run_dse(args) -> None:
                     file=sys.stderr,
                 )
                 return
+        vectorize = not args.no_vectorize
         if args.stream:
             for sweep_record in iter_sweep(
-                spec, store=args.store, workers=args.workers
+                spec, store=args.store, workers=args.workers, vectorize=vectorize
             ):
                 print(json.dumps(sweep_record.record, sort_keys=True), flush=True)
             return
-        result = run_sweep(spec, store=args.store, workers=args.workers)
+        result = run_sweep(
+            spec, store=args.store, workers=args.workers, vectorize=vectorize
+        )
         records = result.records
         if args.pareto:
             records = pareto_frontier(records)

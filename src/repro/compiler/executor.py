@@ -23,7 +23,7 @@ from ..core.bitslice import value_range
 from ..core.dotprod import composed_matmul, reference_matmul
 from ..hw.dram import MemorySpec
 from ..hw.platforms import AcceleratorSpec
-from ..sim.performance import _compute_cycles
+from ..sim.performance import gemm_compute_cycles
 from .isa import Barrier, GemmTile, LoadTile, Program, SetMode, StoreTile
 
 __all__ = ["ExecutionResult", "Executor", "functional_check"]
@@ -72,7 +72,7 @@ class Executor:
             elif isinstance(instruction, GemmTile):
                 if mode is None:
                     raise ValueError("GemmTile before SetMode")
-                seg_compute += _compute_cycles(
+                seg_compute += gemm_compute_cycles(
                     instruction.m,
                     instruction.k,
                     instruction.n,

@@ -28,7 +28,15 @@ study, and the ``repro dse`` CLI subcommand run on this engine.
 """
 
 from .engine import DSEEngine, SweepRecord, SweepResult, iter_sweep, run_sweep
-from .evaluate import EVAL_VERSION, clear_memo, evaluate_cached, evaluate_point
+from .evaluate import (
+    EVAL_VERSION,
+    clear_caches,
+    clear_memo,
+    evaluate_cached,
+    evaluate_point,
+    evaluate_points,
+    lowered_for,
+)
 from .queries import (
     ParetoTracker,
     geomean_speedup,
@@ -45,6 +53,7 @@ from .spec import (
     SweepPoint,
     SweepSpec,
     build_network,
+    cached_network,
     expand_grid,
     resolve_gpu,
     resolve_memory,
@@ -62,9 +71,12 @@ __all__ = [
     "iter_sweep",
     "run_sweep",
     "EVAL_VERSION",
+    "clear_caches",
     "clear_memo",
     "evaluate_cached",
     "evaluate_point",
+    "evaluate_points",
+    "lowered_for",
     "ParetoTracker",
     "geomean_speedup",
     "metric",
@@ -78,6 +90,7 @@ __all__ = [
     "SweepPoint",
     "SweepSpec",
     "build_network",
+    "cached_network",
     "expand_grid",
     "resolve_gpu",
     "resolve_memory",

@@ -25,7 +25,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
-from .evaluate import _MEMO, EVAL_VERSION, evaluate_point
+from .evaluate import _MEMO, EVAL_VERSION, evaluate_point, evaluate_points
 from .spec import SweepPoint, SweepSpec
 from .store import ResultStore
 
@@ -78,11 +78,35 @@ def _pool_context():
     return multiprocessing.get_context()
 
 
+def _lowered_chunks(
+    points: list[SweepPoint], chunk_size: int
+) -> list[list[SweepPoint]]:
+    """Split pending points into vectorizable work units.
+
+    Points are grouped by lowered-workload key -- (kind, workload,
+    batch, policy) -- so every chunk shares one
+    :class:`~repro.sim.lowered.LoweredNetwork` and evaluates as a single
+    batch of array expressions; oversized groups split at ``chunk_size``
+    so a worker pool still load-balances.  Group order follows first
+    appearance, keeping serial evaluation deterministic.
+    """
+    groups: dict[tuple, list[SweepPoint]] = {}
+    for point in points:
+        key = (point.kind, point.workload, point.batch, point.policy.lower())
+        groups.setdefault(key, []).append(point)
+    chunks = []
+    for group in groups.values():
+        for start in range(0, len(group), chunk_size):
+            chunks.append(group[start : start + chunk_size])
+    return chunks
+
+
 def iter_sweep(
     sweep: SweepSpec | Iterable[SweepPoint],
     store: ResultStore | str | os.PathLike | None = None,
     workers: int = 1,
     chunk_size: int = 32,
+    vectorize: bool = True,
 ) -> Iterator[SweepRecord]:
     """Stream a sweep's records in completion order, one per unique config.
 
@@ -92,6 +116,11 @@ def iter_sweep(
     appended to the store as they are yielded, so a consumer that stops
     early (or crashes) leaves a store warm up to that point.  An empty
     sweep, e.g. an empty shard of a fine partition, yields nothing.
+
+    With ``vectorize`` (the default) cold points are evaluated in
+    lowered-workload chunks through the numpy evaluator -- workers
+    receive whole chunks instead of single points.  ``vectorize=False``
+    is the scalar escape hatch; records are bit-identical either way.
     """
     points = list(sweep.points) if isinstance(sweep, SweepSpec) else list(sweep)
     if workers < 1:
@@ -139,18 +168,30 @@ def iter_sweep(
             index, point = by_hash[record["hash"]]
             return SweepRecord(index, point, record, "evaluated")
 
-        if workers > 1 and len(pending) > 1:
+        pending_points = [point for _, point in pending]
+        if vectorize:
+            chunks = _lowered_chunks(pending_points, chunk_size)
+            if workers > 1 and len(chunks) > 1:
+                with _pool_context().Pool(workers) as pool:
+                    for records in pool.imap_unordered(evaluate_points, chunks):
+                        for record in records:
+                            yield _emit(record)
+            else:
+                for chunk in chunks:
+                    for record in evaluate_points(chunk):
+                        yield _emit(record)
+        elif workers > 1 and len(pending) > 1:
             chunk = max(1, min(chunk_size, math.ceil(len(pending) / workers)))
             with _pool_context().Pool(workers) as pool:
                 results = pool.imap_unordered(
                     evaluate_point,
-                    [point for _, point in pending],
+                    pending_points,
                     chunksize=chunk,
                 )
                 for record in results:
                     yield _emit(record)
         else:
-            for _, point in pending:
+            for point in pending_points:
                 yield _emit(evaluate_point(point))
 
 
@@ -159,6 +200,7 @@ def run_sweep(
     store: ResultStore | str | os.PathLike | None = None,
     workers: int = 1,
     chunk_size: int = 32,
+    vectorize: bool = True,
 ) -> SweepResult:
     """Evaluate a sweep through the memo -> store -> simulate tiers."""
     points = list(sweep.points) if isinstance(sweep, SweepSpec) else list(sweep)
@@ -168,7 +210,13 @@ def run_sweep(
 
     resolved: dict[str, dict] = {}
     counts = {"memo": 0, "store": 0, "evaluated": 0}
-    stream = iter_sweep(points, store=store, workers=workers, chunk_size=chunk_size)
+    stream = iter_sweep(
+        points,
+        store=store,
+        workers=workers,
+        chunk_size=chunk_size,
+        vectorize=vectorize,
+    )
     for sweep_record in stream:
         resolved[sweep_record.hash] = sweep_record.record
         counts[sweep_record.source] += 1
@@ -188,6 +236,7 @@ class DSEEngine:
     store: ResultStore | str | os.PathLike | None = None
     workers: int = 1
     chunk_size: int = 32
+    vectorize: bool = True
 
     def run(self, sweep: SweepSpec | Iterable[SweepPoint]) -> SweepResult:
         return run_sweep(
@@ -195,6 +244,7 @@ class DSEEngine:
             store=self.store,
             workers=self.workers,
             chunk_size=self.chunk_size,
+            vectorize=self.vectorize,
         )
 
     def iter_sweep(
@@ -205,4 +255,5 @@ class DSEEngine:
             store=self.store,
             workers=self.workers,
             chunk_size=self.chunk_size,
+            vectorize=self.vectorize,
         )

@@ -5,6 +5,15 @@ flat, JSON-able *record*: the point's identity (hash + human-readable
 keys) plus every aggregate metric the simulator produces.  Records are
 what the engine memoizes, the store persists, and the queries consume.
 
+``evaluate_points`` is the batched, vectorized sibling: it groups a
+chunk of points by their lowered-workload key -- (workload, batch,
+policy) -- lowers each group's network **once** into a
+:class:`~repro.sim.lowered.LoweredNetwork`, and evaluates all of the
+group's hardware points as numpy array expressions.  Records are
+bit-identical to ``evaluate_point``'s (the equivalence and golden tests
+pin this), just much cheaper to produce: a 1008-point grid typically
+shares a few dozen lowered networks.
+
 The metrics are read off :class:`~repro.sim.simulator.NetworkResult`
 (or :class:`~repro.baselines.gpu.GPUResult`) verbatim, so a record is
 float-for-float identical to a direct simulation -- and because JSON
@@ -14,11 +23,26 @@ store is bit-identical to the cold evaluation that produced it.
 
 from __future__ import annotations
 
-from ..baselines.gpu import simulate_gpu
-from ..sim.simulator import simulate_network
-from .spec import SweepPoint, build_network, resolve_policy
+import functools
+from typing import Sequence
 
-__all__ = ["EVAL_VERSION", "evaluate_point", "evaluate_cached", "clear_memo"]
+from ..baselines.gpu import simulate_gpu
+from ..hw import platforms as _platforms
+from ..sim import performance as _performance
+from ..sim.lowered import LoweredNetwork, evaluate_lowered_many, lower_network
+from ..sim.simulator import simulate_network
+from . import spec as _spec
+from .spec import SweepPoint, cached_network
+
+__all__ = [
+    "EVAL_VERSION",
+    "evaluate_point",
+    "evaluate_points",
+    "evaluate_cached",
+    "clear_memo",
+    "clear_caches",
+    "lowered_for",
+]
 
 #: Bump whenever simulator or cost-model semantics change: stored records
 #: carry the version and the engine ignores (and re-evaluates) stale ones.
@@ -33,38 +57,34 @@ def clear_memo() -> None:
     _MEMO.clear()
 
 
-def evaluate_point(point: SweepPoint) -> dict:
-    """Simulate one design point and return its record (no caching)."""
-    network = build_network(point.workload, point.batch)
-    resolve_policy(point.policy)(network)
-    if point.kind == "gpu":
-        result = simulate_gpu(network, point.gpu, precision=point.gpu_precision)
-        metrics = {
-            "total_seconds": result.total_seconds,
-            "total_ops": result.total_ops,
-            "ops_per_second": result.ops_per_second,
-            "average_power_w": result.average_power_w,
-            "total_energy_j": result.average_power_w * result.total_seconds,
-            "perf_per_watt": result.perf_per_watt,
-        }
-    else:
-        result = simulate_network(network, point.platform, point.memory)
-        metrics = {
-            "total_cycles": result.total_cycles,
-            "total_seconds": result.total_seconds,
-            "total_macs": result.total_macs,
-            "total_traffic_bytes": result.total_traffic_bytes,
-            "compute_energy_pj": result.compute_energy_pj,
-            "sram_energy_pj": result.sram_energy_pj,
-            "dram_energy_pj": result.dram_energy_pj,
-            "uncore_energy_pj": result.uncore_energy_pj,
-            "total_energy_pj": result.total_energy_pj,
-            "total_energy_j": result.total_energy_j,
-            "ops_per_second": result.ops_per_second,
-            "average_power_w": result.average_power_w,
-            "perf_per_watt": result.perf_per_watt,
-            "memory_bound_fraction": result.memory_bound_fraction,
-        }
+def clear_caches() -> None:
+    """Drop the record memo *and* every evaluation-path cache.
+
+    ``clear_memo`` only forgets finished records; the evaluation path
+    also memoizes network/policy builds, lowered IRs, per-spec
+    multiplier/energy lookup tables, and factor pairs.  True-cold
+    benchmarking (and tests that must observe first-fill behavior) go
+    through this single hook instead of reaching into the private
+    caches module by module.
+    """
+    clear_memo()
+    lowered_for.cache_clear()
+    _spec._cached_network.cache_clear()
+    _spec._resolve_policy.cache_clear()
+    _platforms._throughput_multiplier.cache_clear()
+    _platforms._mac_energy_pj.cache_clear()
+    _platforms._multiplier_table.cache_clear()
+    _platforms._mac_energy_table.cache_clear()
+    _performance.factor_pairs.cache_clear()
+
+
+@functools.lru_cache(maxsize=128)
+def lowered_for(workload: str, batch: int | None, policy: str) -> LoweredNetwork:
+    """The cached lowered IR of a (workload, batch, policy) combination."""
+    return lower_network(cached_network(workload, batch, policy))
+
+
+def _record(point: SweepPoint, metrics: dict) -> dict:
     return {
         "hash": point.config_hash(),
         "version": EVAL_VERSION,
@@ -76,6 +96,76 @@ def evaluate_point(point: SweepPoint) -> dict:
         "batch": point.batch,
         "metrics": metrics,
     }
+
+
+def _gpu_metrics(point: SweepPoint) -> dict:
+    network = cached_network(point.workload, point.batch, point.policy)
+    result = simulate_gpu(network, point.gpu, precision=point.gpu_precision)
+    return {
+        "total_seconds": result.total_seconds,
+        "total_ops": result.total_ops,
+        "ops_per_second": result.ops_per_second,
+        "average_power_w": result.average_power_w,
+        "total_energy_j": result.average_power_w * result.total_seconds,
+        "perf_per_watt": result.perf_per_watt,
+    }
+
+
+def evaluate_point(point: SweepPoint) -> dict:
+    """Simulate one design point, scalar path, and return its record.
+
+    No record caching -- but the (workload, batch, policy) network build
+    is shared through :func:`~repro.dse.spec.cached_network`, so repeated
+    points of a sweep stop rebuilding identical networks.
+    """
+    if point.kind == "gpu":
+        return _record(point, _gpu_metrics(point))
+    network = cached_network(point.workload, point.batch, point.policy)
+    result = simulate_network(network, point.platform, point.memory)
+    metrics = {
+        "total_cycles": result.total_cycles,
+        "total_seconds": result.total_seconds,
+        "total_macs": result.total_macs,
+        "total_traffic_bytes": result.total_traffic_bytes,
+        "compute_energy_pj": result.compute_energy_pj,
+        "sram_energy_pj": result.sram_energy_pj,
+        "dram_energy_pj": result.dram_energy_pj,
+        "uncore_energy_pj": result.uncore_energy_pj,
+        "total_energy_pj": result.total_energy_pj,
+        "total_energy_j": result.total_energy_j,
+        "ops_per_second": result.ops_per_second,
+        "average_power_w": result.average_power_w,
+        "perf_per_watt": result.perf_per_watt,
+        "memory_bound_fraction": result.memory_bound_fraction,
+    }
+    return _record(point, metrics)
+
+
+def evaluate_points(points: Sequence[SweepPoint]) -> list[dict]:
+    """Evaluate a chunk of design points, vectorized, in input order.
+
+    ASIC points are grouped by lowered-workload key; each group shares
+    one :class:`~repro.sim.lowered.LoweredNetwork` and is evaluated as a
+    batch of array expressions.  GPU points fall back to the scalar
+    path.  Records are bit-identical to :func:`evaluate_point`.
+    """
+    records: list[dict | None] = [None] * len(points)
+    groups: dict[tuple[str, int | None, str], list[int]] = {}
+    for index, point in enumerate(points):
+        if point.kind == "gpu":
+            records[index] = evaluate_point(point)
+        else:
+            key = (point.workload, point.batch, point.policy.lower())
+            groups.setdefault(key, []).append(index)
+    for (workload, batch, policy), indices in groups.items():
+        lowered = lowered_for(workload, batch, policy)
+        metrics = evaluate_lowered_many(
+            lowered,
+            [(points[i].platform, points[i].memory) for i in indices],
+        )
+        for i, point_metrics in zip(indices, metrics):
+            records[i] = _record(points[i], point_metrics)
+    return records  # type: ignore[return-value]
 
 
 def evaluate_cached(point: SweepPoint) -> dict:

@@ -12,11 +12,12 @@ evaluated twice.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import itertools
 import json
 import re
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Callable, Mapping, Sequence
 
 from ..baselines.gpu import RTX_2080_TI, GPUSpec
@@ -32,6 +33,7 @@ __all__ = [
     "expand_grid",
     "shard_index",
     "build_network",
+    "cached_network",
     "resolve_platform",
     "resolve_memory",
     "resolve_gpu",
@@ -84,6 +86,26 @@ def build_network(workload: str, batch: int | None = None) -> Network:
     return builder() if batch is None else builder(batch=batch)
 
 
+def cached_network(
+    workload: str, batch: int | None = None, policy: str = "homogeneous-8bit"
+) -> Network:
+    """A shared, policy-applied network for a (workload, batch, policy) key.
+
+    Evaluating a sweep rebuilds the same handful of networks thousands of
+    times; this LRU hands every evaluation of one combination the same
+    instance instead.  Treat the result as **read-only** -- callers that
+    want to mutate bitwidths should go through :func:`build_network`.
+    """
+    return _cached_network(resolve_workload(workload), batch, str(policy).lower())
+
+
+@functools.lru_cache(maxsize=256)
+def _cached_network(workload: str, batch: int | None, policy: str) -> Network:
+    network = build_network(workload, batch)
+    resolve_policy(policy)(network)
+    return network
+
+
 def resolve_platform(ref: str | AcceleratorSpec | Mapping) -> AcceleratorSpec:
     """Accept a registry name, a spec, or a dict of ``AcceleratorSpec`` fields."""
     if isinstance(ref, AcceleratorSpec):
@@ -122,18 +144,24 @@ def resolve_policy(name: str) -> Callable[[Network], Network]:
     """Look up a bitwidth policy by name.
 
     Policies travel across process boundaries as names, never as
-    callables, so ad-hoc ``uniform-AxW`` policies stay picklable.
+    callables, so ad-hoc ``uniform-AxW`` policies stay picklable.  The
+    lookup is memoized: every sweep point validates its policy eagerly,
+    so the engine resolves the same few names millions of times.
     """
-    key = str(name).lower()
+    return _resolve_policy(str(name).lower())
+
+
+@functools.lru_cache(maxsize=256)
+def _resolve_policy(key: str) -> Callable[[Network], Network]:
     if key in _POLICIES:
         return _POLICIES[key]
     match = _UNIFORM_POLICY.fullmatch(key)
     if match:
         act, wgt = int(match.group(1)), int(match.group(2))
         if not (1 <= act <= 8 and 1 <= wgt <= 8):
-            raise KeyError(f"uniform policy bitwidths out of range: {name!r}")
+            raise KeyError(f"uniform policy bitwidths out of range: {key!r}")
         return lambda net: uniform(net, act, wgt)
-    raise KeyError(f"unknown policy {name!r}; choose from {POLICY_NAMES}")
+    raise KeyError(f"unknown policy {key!r}; choose from {POLICY_NAMES}")
 
 
 def expand_grid(axes: Mapping[str, Sequence]) -> list[dict]:
@@ -146,6 +174,16 @@ def expand_grid(axes: Mapping[str, Sequence]) -> list[dict]:
         dict(zip(keys, combo))
         for combo in itertools.product(*(axes[k] for k in keys))
     ]
+
+
+def _flat_spec_dict(spec) -> dict:
+    """``dataclasses.asdict`` for flat specs, without its deepcopy walk.
+
+    Hardware specs hold only scalar fields, so a plain field read builds
+    the identical dict (and the identical config hash) at a fraction of
+    the cost -- config hashing used to dominate warm sweeps.
+    """
+    return {f.name: getattr(spec, f.name) for f in fields(spec)}
 
 
 _HASH_BITS = 256  # SHA-256 config hashes
@@ -216,16 +254,21 @@ class SweepPoint:
             "batch": self.batch,
         }
         if self.gpu is not None:
-            cfg["gpu"] = asdict(self.gpu)
+            cfg["gpu"] = _flat_spec_dict(self.gpu)
             cfg["precision"] = self.gpu_precision
         else:
-            cfg["platform"] = asdict(self.platform)
-            cfg["memory"] = asdict(self.memory)
+            cfg["platform"] = _flat_spec_dict(self.platform)
+            cfg["memory"] = _flat_spec_dict(self.memory)
         return cfg
 
     def config_hash(self) -> str:
-        blob = json.dumps(self.config(), sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(blob.encode()).hexdigest()
+        """SHA-256 of the canonical config; memoized (points are frozen)."""
+        cached = self.__dict__.get("_config_hash")
+        if cached is None:
+            blob = json.dumps(self.config(), sort_keys=True, separators=(",", ":"))
+            cached = hashlib.sha256(blob.encode()).hexdigest()
+            object.__setattr__(self, "_config_hash", cached)
+        return cached
 
 
 @dataclass(frozen=True)

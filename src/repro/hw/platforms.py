@@ -18,7 +18,10 @@ same composition algebra as the functional model
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, replace
+
+import numpy as np
 
 from ..core.composition import plan_composition
 from .costmodel import CONVENTIONAL_MAC_ENERGY_PJ, PaperCostModel
@@ -88,21 +91,37 @@ class AcceleratorSpec:
         Spatial styles (bitfusion/bpvec) regroup 2-bit units; temporal
         styles gain by finishing serial products in fewer cycles --
         Stripes serializes activations only, Loom both operands.
+        Memoized: the composition plan for a (spec, bitwidth pair) never
+        changes, and sweeps ask for the same handful of pairs millions
+        of times.
         """
-        if self.style == "conventional":
-            return 1
-        if self.style == "stripes":
-            return max(1, self.max_bitwidth // bw_x)
-        if self.style == "loom":
-            return max(1, (self.max_bitwidth * self.max_bitwidth) // (bw_x * bw_w))
-        plan = plan_composition(
-            bw_x, bw_w, slice_width=self.slice_width, max_bitwidth=self.max_bitwidth
-        )
-        return plan.throughput_multiplier
+        return _throughput_multiplier(self, bw_x, bw_w)
 
     def macs_per_cycle(self, bw_x: int = 8, bw_w: int = 8) -> int:
         """Effective multiply-accumulates per cycle for a bitwidth pair."""
         return self.num_macs * self.throughput_multiplier(bw_x, bw_w)
+
+    def multiplier_table(self) -> np.ndarray:
+        """Precomputed throughput multipliers for every bitwidth pair.
+
+        ``table[bw_x - 1, bw_w - 1] == throughput_multiplier(bw_x, bw_w)``
+        over ``1..max(8, max_bitwidth)``; pairs this datapath cannot run
+        (``throughput_multiplier`` raises, e.g. composable styles above
+        ``max_bitwidth``) hold the sentinel ``0``.  The returned array is
+        a shared read-only cache: the vectorized evaluator
+        (:mod:`repro.sim.lowered`) gathers per-GEMM multipliers from it
+        instead of re-planning compositions per layer.
+        """
+        return _multiplier_table(self)
+
+    def mac_energy_table(self) -> np.ndarray:
+        """Per-effective-MAC energy (pJ) for every bitwidth pair.
+
+        Entry ``[bw_x - 1, bw_w - 1]`` is bit-identical to
+        ``mac_energy_pj(bw_x, bw_w)`` (same base-energy / multiplier
+        division), cached alongside :meth:`multiplier_table`.
+        """
+        return _mac_energy_table(self)
 
     def peak_ops_per_second(self, bw_x: int = 8, bw_w: int = 8) -> float:
         """Peak ops/s counting one MAC as two operations (mult + add)."""
@@ -126,7 +145,7 @@ class AcceleratorSpec:
         Bit-composable datapaths repurpose the same switching hardware for
         ``throughput_multiplier`` MACs, so per-MAC energy divides by it.
         """
-        return self.base_mac_energy_pj() / self.throughput_multiplier(bw_x, bw_w)
+        return _mac_energy_pj(self, bw_x, bw_w)
 
     # ------------------------------------------------------------------
     # Memory hierarchy
@@ -142,6 +161,54 @@ class AcceleratorSpec:
     def reduction_lanes(self) -> int:
         """Elements of the reduction (dot-product) dimension consumed at once."""
         return self.array_rows * self.lanes
+
+
+@functools.lru_cache(maxsize=4096)
+def _throughput_multiplier(spec: AcceleratorSpec, bw_x: int, bw_w: int) -> int:
+    if spec.style == "conventional":
+        return 1
+    if spec.style == "stripes":
+        return max(1, spec.max_bitwidth // bw_x)
+    if spec.style == "loom":
+        return max(1, (spec.max_bitwidth * spec.max_bitwidth) // (bw_x * bw_w))
+    plan = plan_composition(
+        bw_x, bw_w, slice_width=spec.slice_width, max_bitwidth=spec.max_bitwidth
+    )
+    return plan.throughput_multiplier
+
+
+@functools.lru_cache(maxsize=4096)
+def _mac_energy_pj(spec: AcceleratorSpec, bw_x: int, bw_w: int) -> float:
+    return spec.base_mac_energy_pj() / _throughput_multiplier(spec, bw_x, bw_w)
+
+
+#: Bitwidth policies go up to 8 bits regardless of a spec's own
+#: ``max_bitwidth``, so lookup tables always cover at least 1..8.
+_TABLE_BITWIDTHS = 8
+
+
+@functools.lru_cache(maxsize=512)
+def _multiplier_table(spec: AcceleratorSpec) -> np.ndarray:
+    size = max(spec.max_bitwidth, _TABLE_BITWIDTHS)
+    table = np.zeros((size, size), dtype=np.int64)
+    for bw_x in range(1, size + 1):
+        for bw_w in range(1, size + 1):
+            try:
+                table[bw_x - 1, bw_w - 1] = spec.throughput_multiplier(bw_x, bw_w)
+            except ValueError:
+                pass  # stays 0: this datapath cannot compose the pair
+    table.setflags(write=False)
+    return table
+
+
+@functools.lru_cache(maxsize=512)
+def _mac_energy_table(spec: AcceleratorSpec) -> np.ndarray:
+    with np.errstate(divide="ignore"):
+        # Sentinel (unsupported-pair) entries divide to inf; consumers
+        # reject those pairs on the multiplier gather before reading this.
+        table = spec.base_mac_energy_pj() / _multiplier_table(spec)
+    table.setflags(write=False)
+    return table
 
 
 # Table II configurations -------------------------------------------------

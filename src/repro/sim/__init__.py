@@ -1,15 +1,36 @@
 """Tiled systolic-accelerator performance and energy simulator."""
 
-from .performance import LayerResult, simulate_layer
+from .lowered import (
+    LoweredNetwork,
+    compute_cycles_batch,
+    evaluate_lowered,
+    evaluate_lowered_many,
+    lower_network,
+    traffic_batch,
+)
+from .performance import (
+    LayerResult,
+    factor_pairs,
+    gemm_compute_cycles,
+    simulate_layer,
+)
 from .report import Comparison, compare, format_table, geomean
 from .roofline import RooflinePoint, ridge_point, roofline_analysis
 from .simulator import NetworkResult, simulate_network
 from .systolic import SystolicArray, SystolicTileResult
-from .tiling import BufferSplit, TrafficPlan, plan_traffic
+from .tiling import BufferSplit, TrafficPlan, buffer_partition, plan_traffic
 
 __all__ = [
     "LayerResult",
     "simulate_layer",
+    "factor_pairs",
+    "gemm_compute_cycles",
+    "LoweredNetwork",
+    "lower_network",
+    "compute_cycles_batch",
+    "traffic_batch",
+    "evaluate_lowered",
+    "evaluate_lowered_many",
     "Comparison",
     "compare",
     "format_table",
@@ -19,6 +40,7 @@ __all__ = [
     "BufferSplit",
     "TrafficPlan",
     "plan_traffic",
+    "buffer_partition",
     "SystolicArray",
     "SystolicTileResult",
     "RooflinePoint",

@@ -14,6 +14,7 @@ runtime-proportional uncore power (scratchpad leakage, control, clocks).
 
 from __future__ import annotations
 
+import functools
 import math
 from dataclasses import dataclass
 
@@ -23,7 +24,12 @@ from ..nn.graph import Network
 from ..nn.layers import Conv2D, Layer
 from .tiling import BufferSplit, plan_traffic
 
-__all__ = ["LayerResult", "simulate_layer"]
+__all__ = [
+    "LayerResult",
+    "simulate_layer",
+    "factor_pairs",
+    "gemm_compute_cycles",
+]
 
 
 @dataclass(frozen=True)
@@ -65,15 +71,13 @@ class LayerResult:
         return self.cycles / frequency_hz
 
 
-def _factor_pairs(n: int) -> list[tuple[int, int]]:
-    pairs = []
-    for a in range(1, n + 1):
-        if n % a == 0:
-            pairs.append((a, n // a))
-    return pairs
+@functools.cache
+def factor_pairs(n: int) -> tuple[tuple[int, int], ...]:
+    """All ordered factorisations ``(a, b)`` with ``a * b == n``."""
+    return tuple((a, n // a) for a in range(1, n + 1) if n % a == 0)
 
 
-def _compute_cycles(
+def gemm_compute_cycles(
     gemm_m: int,
     gemm_k: int,
     gemm_n: int,
@@ -92,7 +96,7 @@ def _compute_cycles(
     """
     multiplier = spec.throughput_multiplier(bw_act, bw_w)
     best = None
-    for k_ext, n_ext in _factor_pairs(multiplier):
+    for k_ext, n_ext in factor_pairs(multiplier):
         k_passes = math.ceil(gemm_k / (spec.reduction_lanes * k_ext))
         n_passes = math.ceil(gemm_n / (spec.array_cols * n_ext))
         cycles = count * gemm_m * k_passes * n_passes
@@ -120,7 +124,7 @@ def simulate_layer(
     macs = 0
     schedules: list[str] = []
     for gemm in gemms:
-        compute_cycles += _compute_cycles(
+        compute_cycles += gemm_compute_cycles(
             gemm.m, gemm.k, gemm.n, gemm.count, spec, bw.activations, bw.weights
         )
         unique_inputs = None

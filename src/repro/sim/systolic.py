@@ -93,26 +93,41 @@ class SystolicArray:
 
         act_reg = np.zeros((r, c), dtype=np.int64)
         psum_reg = np.zeros((r, c), dtype=np.int64)
-        out = np.zeros((m, c), dtype=np.int64)
+
+        # Skewed column-0 injection, precomputed for every cycle: row
+        # ``row`` sees activation row ``t - row`` at cycle ``t`` (zero
+        # outside the stream).  One gather replaces the per-cycle
+        # per-row Python loop.  A zero-row tile has nothing to gather
+        # (and ``a`` has no rows to index), only zeros to stream.
+        rows = np.arange(r)
+        if m:
+            src = np.arange(stream_cycles)[:, None] - rows[None, :]
+            inject = np.where(
+                (src >= 0) & (src < m), a[src.clip(0, m - 1), rows[None, :]], 0
+            )
+        else:
+            inject = np.zeros((stream_cycles, r), dtype=np.int64)
+        # Bottom-row history: output row m_out for column c_out drains at
+        # t == m_out + (r - 1) + c_out, so keeping each cycle's bottom
+        # row lets one gather after the loop replace the per-cycle
+        # per-column emission loop.
+        bottom = np.empty((stream_cycles, c), dtype=np.int64)
 
         for t in range(stream_cycles):
             # Shift activations one PE right; inject the skewed column 0.
             new_act = np.empty_like(act_reg)
             new_act[:, 1:] = act_reg[:, :-1]
-            for row in range(r):
-                idx = t - row
-                new_act[row, 0] = a[idx, row] if 0 <= idx < m else 0
+            new_act[:, 0] = inject[t]
             # Partial sums advance one PE down as each PE fires its MAC.
             new_psum = np.empty_like(psum_reg)
             new_psum[0] = w[0] * new_act[0]
             new_psum[1:] = psum_reg[:-1] + w[1:] * new_act[1:]
             act_reg, psum_reg = new_act, new_psum
-            # Bottom row emits output row m_out for column c_out when
-            # t == m_out + (r - 1) + c_out.
-            for col in range(c):
-                m_out = t - (r - 1) - col
-                if 0 <= m_out < m:
-                    out[m_out, col] = psum_reg[r - 1, col]
+            bottom[t] = psum_reg[r - 1]
+
+        cols = np.arange(c)
+        drain = np.arange(m)[:, None] + (r - 1) + cols[None, :]
+        out = bottom[drain, cols[None, :]]
 
         expected = activations @ weights
         if not np.array_equal(out[:, :n], expected):

@@ -23,10 +23,18 @@ from dataclasses import dataclass
 from ..hw.platforms import AcceleratorSpec
 from ..nn.layers import Gemm
 
-__all__ = ["BufferSplit", "TrafficPlan", "plan_traffic"]
+__all__ = [
+    "BufferSplit",
+    "TrafficPlan",
+    "plan_traffic",
+    "buffer_partition",
+    "element_bytes",
+    "OUTPUT_BYTES_PER_ELEMENT",
+    "ACCUMULATOR_BYTES",
+]
 
-_OUTPUT_BYTES_PER_ELEMENT = 1  # outputs are requantized to 8-bit on write-back
-_ACCUMULATOR_BYTES = 4
+OUTPUT_BYTES_PER_ELEMENT = 1  # outputs are requantized to 8-bit on write-back
+ACCUMULATOR_BYTES = 4
 
 
 @dataclass(frozen=True)
@@ -69,8 +77,26 @@ class TrafficPlan:
         return self.weight_traffic + self.input_traffic + self.output_traffic
 
 
-def _bytes(elements: int, bits: int) -> int:
+def element_bytes(elements: int, bits: int) -> int:
+    """Bytes occupied by ``elements`` packed values of ``bits`` each."""
     return -(-elements * bits // 8)
+
+
+def buffer_partition(
+    spec: AcceleratorSpec, split: BufferSplit = BufferSplit()
+) -> tuple[int, int, int]:
+    """Scratchpad partition ``(weight_bytes, act_bytes, accumulator_elems)``.
+
+    The scalar kernel behind :func:`plan_traffic`'s buffer sizing, shared
+    with the vectorized evaluator (:mod:`repro.sim.lowered`) so both paths
+    truncate fractions identically.
+    """
+    w_buf = int(spec.onchip_bytes * split.weight_fraction)
+    a_buf = int(spec.onchip_bytes * split.activation_fraction)
+    acc_elems = (
+        int(spec.onchip_bytes * split.accumulator_fraction) // ACCUMULATOR_BYTES
+    )
+    return w_buf, a_buf, acc_elems
 
 
 def plan_traffic(
@@ -91,20 +117,16 @@ def plan_traffic(
     if not 1 <= bw_act <= 8 or not 1 <= bw_w <= 8:
         raise ValueError(f"unsupported bitwidths {bw_act}x{bw_w}")
 
-    w_buf = int(spec.onchip_bytes * split.weight_fraction)
-    a_buf = int(spec.onchip_bytes * split.activation_fraction)
-    acc_elems = (
-        int(spec.onchip_bytes * split.accumulator_fraction) // _ACCUMULATOR_BYTES
-    )
+    w_buf, a_buf, acc_elems = buffer_partition(spec, split)
 
-    weight_bytes = _bytes(gemm.weight_elements, bw_w)
+    weight_bytes = element_bytes(gemm.weight_elements, bw_w)
     unique_inputs = (
         input_unique_elements
         if input_unique_elements is not None
         else gemm.m * gemm.k
     )
-    input_bytes = _bytes(unique_inputs, bw_act)
-    output_bytes = gemm.m * gemm.n * _OUTPUT_BYTES_PER_ELEMENT
+    input_bytes = element_bytes(unique_inputs, bw_act)
+    output_bytes = gemm.m * gemm.n * OUTPUT_BYTES_PER_ELEMENT
     count = gemm.count
 
     candidates: list[TrafficPlan] = []

@@ -300,3 +300,57 @@ class TestDSEEngine:
         warm = list(engine.iter_sweep(_points("LSTM", "RNN")))
         assert [sr.source for sr in warm] == ["store", "store"]
         assert [sr.record for sr in warm] == [sr.record for sr in streamed]
+
+
+class TestVectorizedEvaluation:
+    """The vectorized default and the --no-vectorize escape hatch agree."""
+
+    def _grid(self):
+        return SweepSpec.grid(
+            workloads=("AlexNet", "RNN", "LSTM"),
+            platforms=("tpu", "bpvec"),
+            memories=("ddr4", "hbm2"),
+            policies=("homogeneous-8bit", "paper-heterogeneous"),
+            batches=(1, 4),
+        )
+
+    def test_scalar_escape_hatch_bit_identical(self):
+        spec = self._grid()
+        vectorized = run_sweep(spec, vectorize=True)
+        clear_memo()
+        scalar = run_sweep(spec, vectorize=False)
+        assert vectorized.records == scalar.records
+        assert vectorized.evaluated == scalar.evaluated == len(spec)
+
+    def test_vectorized_pool_matches_serial(self):
+        spec = self._grid()
+        serial = run_sweep(spec, vectorize=True)
+        clear_memo()
+        pooled = run_sweep(spec, workers=4, vectorize=True)
+        assert pooled.records == serial.records
+        assert pooled.evaluated == len(spec)
+
+    def test_chunks_respect_chunk_size(self):
+        spec = self._grid()
+        result = run_sweep(spec, chunk_size=1)
+        clear_memo()
+        default = run_sweep(spec)
+        assert result.records == default.records
+
+    def test_mixed_gpu_and_asic_chunk(self):
+        from repro.dse import resolve_gpu
+
+        points = _points("LSTM", "RNN")
+        points.insert(1, SweepPoint(workload="LSTM", gpu=resolve_gpu("rtx-2080-ti")))
+        result = run_sweep(points)
+        assert [r["kind"] for r in result.records] == ["asic", "gpu", "asic"]
+        for point, record in zip(points, result.records):
+            assert record == evaluate_point(point)
+
+    def test_engine_vectorize_flag(self, tmp_path):
+        scalar_engine = DSEEngine(store=tmp_path / "s.jsonl", vectorize=False)
+        points = _points("LSTM", "RNN")
+        scalar = scalar_engine.run(points)
+        clear_memo()
+        vector_engine = DSEEngine(vectorize=True)
+        assert vector_engine.run(points).records == scalar.records

@@ -33,6 +33,13 @@ class TestTileExecution:
         res = arr.run_tile(a, w)
         np.testing.assert_array_equal(res.output, a @ w)
 
+    def test_zero_row_tile_streams_empty_output(self):
+        # Degenerate M=0: nothing to inject or drain, exact empty result
+        # (regression test for the vectorized injection gather).
+        arr = SystolicArray(4, 4)
+        res = arr.run_tile(np.zeros((0, 4), dtype=np.int64), np.ones((4, 3)))
+        assert res.output.shape == (0, 3)
+
     def test_dimension_validation(self):
         arr = SystolicArray(4, 4)
         with pytest.raises(ValueError):

@@ -113,6 +113,17 @@ class TestDseCommand:
         assert records[0]["workload"] == "LSTM"
         assert "total_seconds" in records[0]["metrics"]
 
+    def test_no_vectorize_bit_identical(self, capsys):
+        argv = (
+            "dse", "--workload", "LSTM", "--workload", "AlexNet",
+            "--policy", "paper-heterogeneous", "--format", "jsonl",
+        )
+        clear_memo()
+        vectorized = run(capsys, *argv)
+        clear_memo()
+        scalar = run(capsys, *argv, "--no-vectorize")
+        assert scalar == vectorized
+
     def test_store_warm_rerun(self, capsys, tmp_path):
         store = tmp_path / "results.jsonl"
         argv = (
