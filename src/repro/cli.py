@@ -11,6 +11,8 @@ Examples
     python -m repro dse --workload LSTM --workload RNN --store results.jsonl
     python -m repro dse --spec sweep.json --workers 4 --format jsonl
     python -m repro dse --shard 0/2 --store shard0.jsonl --stream
+    python -m repro dse --workload RNN --policy-axis policies.json
+    python -m repro quant-dse --workload LSTM --max-drop 0.02 --max-drop 0.05
     python -m repro dse-merge merged.jsonl shard0.jsonl shard1.jsonl
     python -m repro dse-compact merged.jsonl --gzip
     python -m repro chips
@@ -28,8 +30,10 @@ from .dse import (
     PLATFORM_NAMES,
     ResultStore,
     SweepSpec,
+    co_explore,
     iter_sweep,
     pareto_frontier,
+    policy_name,
     render_records,
     run_sweep,
     top_k,
@@ -132,6 +136,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dse.add_argument("--policy", action="append", dest="policies", default=None)
     dse.add_argument(
+        "--policy-axis",
+        default=None,
+        metavar="FILE",
+        help="JSON file with a list of bitwidth policies (names, "
+        '{"layers": [[a, w], ...]} dicts, or bare per-layer lists) to '
+        "sweep as the policy axis, in addition to any --policy names",
+    )
+    dse.add_argument(
         "--batch", action="append", dest="batches", type=int, default=None
     )
     dse.add_argument("--store", default=None, help="JSONL result store path")
@@ -161,6 +173,61 @@ def build_parser() -> argparse.ArgumentParser:
     dse.add_argument("--objective", default="total_seconds")
     dse.add_argument("--sense", choices=("min", "max"), default="min")
 
+    quant = sub.add_parser(
+        "quant-dse",
+        help="co-explore bitwidth policies (sensitivity search) and "
+        "hardware points; reduce to the accuracy/performance frontier",
+    )
+    quant.add_argument("--workload", required=True)
+    quant.add_argument(
+        "--platform",
+        action="append",
+        dest="platforms",
+        choices=PLATFORM_NAMES,
+        default=None,
+    )
+    quant.add_argument(
+        "--memory",
+        action="append",
+        dest="memories",
+        choices=MEMORY_NAMES,
+        default=None,
+    )
+    quant.add_argument(
+        "--batch", action="append", dest="batches", type=int, default=None
+    )
+    quant.add_argument(
+        "--max-drop",
+        action="append",
+        dest="max_drops",
+        type=float,
+        default=None,
+        help="accuracy-drop budget for the greedy bitwidth search; "
+        "repeat for several budgets (default: 0.0 0.02 0.05)",
+    )
+    quant.add_argument(
+        "--ladder",
+        default="8,4,2",
+        help="strictly decreasing bitwidth ladder for the search",
+    )
+    quant.add_argument("--seed", type=int, default=0)
+    quant.add_argument("--objective", default="total_seconds")
+    quant.add_argument("--sense", choices=("min", "max"), default="min")
+    quant.add_argument("--store", default=None, help="JSONL result store path")
+    quant.add_argument("--workers", type=int, default=1)
+    quant.add_argument(
+        "--no-vectorize",
+        action="store_true",
+        help="evaluate points one-by-one on the scalar simulator instead of "
+        "the batched numpy evaluator (records are bit-identical either way)",
+    )
+    quant.add_argument("--format", choices=("table", "jsonl"), default="table")
+    quant.add_argument(
+        "--frontier-only",
+        action="store_true",
+        help="emit only the accuracy/performance Pareto frontier",
+    )
+
     merge = sub.add_parser(
         "dse-merge", help="union per-shard result stores into one"
     )
@@ -185,15 +252,37 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _policy_axis(path: str) -> list[str]:
+    """Load a JSON policy-axis file into canonical policy names."""
+    with open(path) as handle:
+        entries = json.load(handle)
+    if not isinstance(entries, list) or not entries:
+        raise ValueError(f"policy-axis file {path!r} must hold a non-empty JSON list")
+    return [policy_name(entry) for entry in entries]
+
+
 def _dse_spec(args) -> SweepSpec:
     if args.spec:
+        if args.policy_axis:
+            raise ValueError("--policy-axis cannot be combined with --spec")
         with open(args.spec) as handle:
             return SweepSpec.from_dict(json.load(handle))
+    # Canonicalize before deduplicating: "Homogeneous-8BIT" via --policy
+    # and "homogeneous-8bit" via --policy-axis are the same axis value.
+    policies = []
+    for entry in args.policies or ():
+        name = policy_name(entry)
+        if name not in policies:
+            policies.append(name)
+    if args.policy_axis:
+        for name in _policy_axis(args.policy_axis):
+            if name not in policies:
+                policies.append(name)
     return SweepSpec.grid(
         workloads=args.workloads or list(WORKLOAD_BUILDERS),
         platforms=args.platforms or PLATFORM_NAMES,
         memories=args.memories or MEMORY_NAMES,
-        policies=args.policies or ("homogeneous-8bit",),
+        policies=policies or ("homogeneous-8bit",),
         batches=args.batches or (None,),
     )
 
@@ -243,6 +332,98 @@ def _run_dse(args) -> None:
         print(render_records(records))
         print()
         print(result.summary())
+
+
+def _parse_ladder(text: str) -> tuple[int, ...]:
+    try:
+        return tuple(int(rung) for rung in str(text).split(","))
+    except ValueError:
+        raise ValueError(f"--ladder wants comma-separated ints, got {text!r}")
+
+
+def _run_quant_dse(args) -> None:
+    try:
+        result = co_explore(
+            args.workload,
+            platforms=args.platforms,
+            memories=args.memories,
+            batches=args.batches or (None,),
+            max_drops=args.max_drops or (0.0, 0.02, 0.05),
+            ladder=_parse_ladder(args.ladder),
+            seed=args.seed,
+            objective=args.objective,
+            sense=args.sense,
+            store=args.store,
+            workers=args.workers,
+            vectorize=not args.no_vectorize,
+        )
+    except (KeyError, TypeError, ValueError, OSError) as error:
+        raise SystemExit(f"quant-dse: {error}")
+    emitted = result.frontier if args.frontier_only else result.records
+
+    if args.format == "jsonl":
+        for record in emitted:
+            print(json.dumps(record, sort_keys=True))
+        return
+
+    policy_rows = [
+        (
+            p.label,
+            p.policy,
+            p.accuracy,
+            p.accuracy_drop,
+            p.search_steps,
+        )
+        for p in result.policies
+    ]
+    print("Searched bitwidth policies (greedy sensitivity search):")
+    print(
+        format_table(
+            ["Label", "Policy", "Accuracy", "Drop", "Steps"],
+            policy_rows,
+            precision=3,
+        )
+    )
+    print()
+    frontier_hashes = {record["hash"] for record in result.frontier}
+    # Canonical per-layer names grow with workload depth (54 pairs for
+    # ResNet-50); the records table shows the short search labels and
+    # leaves full names to the policies table above (and JSONL output).
+    label_by_policy: dict = {}
+    for entry in result.policies:
+        label_by_policy.setdefault(entry.policy, entry.label)
+    record_rows = [
+        (
+            "*" if record["hash"] in frontier_hashes else "",
+            record["platform"],
+            record["memory"] or "-",
+            label_by_policy.get(record["policy"], record["policy"]),
+            record["batch"] if record["batch"] is not None else "-",
+            record["metrics"]["total_seconds"] * 1e3,
+            record["metrics"]["total_energy_j"] * 1e3,
+            record["metrics"]["accuracy"],
+        )
+        for record in emitted
+    ]
+    print(f"Accuracy vs {args.objective} ('*' = Pareto frontier):")
+    print(
+        format_table(
+            [
+                "*",
+                "Platform",
+                "Memory",
+                "Policy",
+                "Batch",
+                "Time (ms)",
+                "Energy (mJ)",
+                "Accuracy",
+            ],
+            record_rows,
+            precision=3,
+        )
+    )
+    print()
+    print(result.summary())
 
 
 def _run_dse_merge(args) -> None:
@@ -325,6 +506,8 @@ def main(argv: list[str] | None = None) -> int:
             print(report)
     elif command == "dse":
         _run_dse(args)
+    elif command == "quant-dse":
+        _run_quant_dse(args)
     elif command == "dse-merge":
         _run_dse_merge(args)
     elif command == "dse-compact":

@@ -17,7 +17,13 @@ reusable engine:
   resolution streamed in completion order with optional
   multiprocessing fan-out, and ``run_sweep``, the batch API on top;
 * :mod:`~repro.dse.queries` -- Pareto frontier (batch and incremental),
-  top-k, geomean-speedup and rendering over record sets.
+  top-k, geomean-speedup, accuracy-vs-performance frontiers, and
+  rendering over record sets;
+* :mod:`~repro.dse.policies` -- bitwidth policies as first-class sweep
+  axis values: hashable :class:`~repro.dse.policies.PolicySpec`
+  per-layer assignments with self-describing ``perlayer-...`` names,
+  plus the quant--hardware co-exploration driver
+  (:func:`~repro.dse.policies.co_explore`, ``repro quant-dse``).
 
 Sweeps partition across machines by hash range (``SweepSpec.shard``):
 every process owns a disjoint slice of config hashes, evaluates it into
@@ -37,8 +43,17 @@ from .evaluate import (
     evaluate_points,
     lowered_for,
 )
+from .policies import (
+    PolicyAccuracy,
+    PolicySpec,
+    co_explore,
+    policy_name,
+    sensitivity_policies,
+)
 from .queries import (
     ParetoTracker,
+    accuracy_perf_frontier,
+    attach_policy_metric,
     geomean_speedup,
     metric,
     pareto_frontier,
@@ -77,7 +92,14 @@ __all__ = [
     "evaluate_point",
     "evaluate_points",
     "lowered_for",
+    "PolicyAccuracy",
+    "PolicySpec",
+    "co_explore",
+    "policy_name",
+    "sensitivity_policies",
     "ParetoTracker",
+    "accuracy_perf_frontier",
+    "attach_policy_metric",
     "geomean_speedup",
     "metric",
     "pareto_frontier",

@@ -78,9 +78,15 @@ def clear_caches() -> None:
     _performance.factor_pairs.cache_clear()
 
 
-@functools.lru_cache(maxsize=128)
+@functools.lru_cache(maxsize=512)
 def lowered_for(workload: str, batch: int | None, policy: str) -> LoweredNetwork:
-    """The cached lowered IR of a (workload, batch, policy) combination."""
+    """The cached lowered IR of a (workload, batch, policy) combination.
+
+    Sized above the policy-axis working set: a quant-dse-shaped sweep
+    multiplies (workload, batch) by generated per-layer policies (the
+    policy-axis bench alone holds 168 distinct IRs), and an undersized
+    LRU would evict cyclically and re-lower every warm pass.
+    """
     return lower_network(cached_network(workload, batch, policy))
 
 

@@ -12,6 +12,8 @@ __all__ = [
     "ParetoTracker",
     "top_k",
     "geomean_speedup",
+    "attach_policy_metric",
+    "accuracy_perf_frontier",
     "render_records",
 ]
 
@@ -170,6 +172,57 @@ def geomean_speedup(
     return geomean(
         metric(base[key], objective) / metric(cand[key], objective)
         for key in common
+    )
+
+
+def attach_policy_metric(
+    records: Iterable[Mapping],
+    values_by_policy: Mapping[str, float],
+    name: str = "accuracy",
+) -> list[dict]:
+    """Join a per-policy value (e.g. searched accuracy) into records.
+
+    Returns *copies* -- record dicts are shared with the engine memo and
+    the store, so augmentation must never mutate them in place.  Every
+    record's ``policy`` must have a value; a missing policy raises with
+    the known keys listed.
+    """
+    augmented = []
+    for record in records:
+        policy = record.get("policy")
+        if policy not in values_by_policy:
+            raise KeyError(
+                f"no {name} known for policy {policy!r}; "
+                f"have {sorted(values_by_policy)}"
+            )
+        augmented.append(
+            {
+                **record,
+                "metrics": {**record["metrics"], name: values_by_policy[policy]},
+            }
+        )
+    return augmented
+
+
+def accuracy_perf_frontier(
+    records: Iterable[Mapping],
+    accuracy_by_policy: Mapping[str, float],
+    objective: str = "total_seconds",
+    sense: str = "min",
+) -> list[dict]:
+    """Accuracy-vs-performance Pareto frontier of a policy-axis sweep.
+
+    The co-exploration question: which (bitwidth policy, hardware
+    point) pairs are worth keeping once both the policy's searched
+    accuracy and the point's simulated performance count?  Joins
+    ``accuracy_by_policy`` into the records (as metric ``"accuracy"``)
+    and keeps the non-dominated set under (``objective`` at ``sense``,
+    accuracy maximized).  Returned records carry the joined accuracy,
+    so downstream rendering and queries see it as a regular metric.
+    """
+    augmented = attach_policy_metric(records, accuracy_by_policy, "accuracy")
+    return pareto_frontier(
+        augmented, objectives=(objective, "accuracy"), senses=(sense, "max")
     )
 
 

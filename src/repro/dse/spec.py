@@ -26,6 +26,7 @@ from ..hw.platforms import BITFUSION, BPVEC, TPU_LIKE, AcceleratorSpec
 from ..nn.bitwidths import homogeneous_8bit, paper_heterogeneous, uniform
 from ..nn.graph import Network
 from ..nn.models import WORKLOAD_BUILDERS
+from .policies import PERLAYER_PREFIX, PolicySpec, policy_name
 
 __all__ = [
     "SweepPoint",
@@ -65,7 +66,10 @@ _UNIFORM_POLICY = re.compile(r"uniform-(\d+)x(\d+)")
 PLATFORM_NAMES = ("tpu", "bitfusion", "bpvec")
 MEMORY_NAMES = tuple(sorted(_MEMORIES))
 GPU_NAMES = tuple(sorted(_GPUS))
-POLICY_NAMES = tuple(sorted(_POLICIES)) + ("uniform-AxW (e.g. uniform-4x8)",)
+POLICY_NAMES = tuple(sorted(_POLICIES)) + (
+    "uniform-AxW (e.g. uniform-4x8)",
+    f"{PERLAYER_PREFIX}-AxW-... (e.g. {PERLAYER_PREFIX}-8x8-4x4)",
+)
 
 _WORKLOAD_KEYS = {name.lower(): name for name in WORKLOAD_BUILDERS}
 
@@ -86,6 +90,12 @@ def build_network(workload: str, batch: int | None = None) -> Network:
     return builder() if batch is None else builder(batch=batch)
 
 
+@functools.lru_cache(maxsize=64)
+def _weighted_layer_count(workload: str) -> int:
+    """How many weighted layers a workload has (batch-independent)."""
+    return len(build_network(workload).weighted_layers)
+
+
 def cached_network(
     workload: str, batch: int | None = None, policy: str = "homogeneous-8bit"
 ) -> Network:
@@ -93,10 +103,13 @@ def cached_network(
 
     Evaluating a sweep rebuilds the same handful of networks thousands of
     times; this LRU hands every evaluation of one combination the same
-    instance instead.  Treat the result as **read-only** -- callers that
-    want to mutate bitwidths should go through :func:`build_network`.
+    instance instead.  ``policy`` takes any spelling
+    :func:`~repro.dse.policies.policy_name` accepts (name,
+    :class:`~repro.dse.policies.PolicySpec`, dict, bare sequence).
+    Treat the result as **read-only** -- callers that want to mutate
+    bitwidths should go through :func:`build_network`.
     """
-    return _cached_network(resolve_workload(workload), batch, str(policy).lower())
+    return _cached_network(resolve_workload(workload), batch, policy_name(policy))
 
 
 @functools.lru_cache(maxsize=256)
@@ -140,18 +153,24 @@ def resolve_gpu(ref: str | GPUSpec | Mapping) -> GPUSpec:
     return spec
 
 
-def resolve_policy(name: str) -> Callable[[Network], Network]:
-    """Look up a bitwidth policy by name.
+def resolve_policy(
+    name: "str | PolicySpec",
+) -> Callable[[Network], Network]:
+    """Look up a bitwidth policy by name (or :class:`PolicySpec`).
 
     Policies travel across process boundaries as names, never as
-    callables, so ad-hoc ``uniform-AxW`` policies stay picklable.  The
-    lookup is memoized: every sweep point validates its policy eagerly,
-    so the engine resolves the same few names millions of times.
+    callables, so ad-hoc ``uniform-AxW`` and per-layer
+    ``perlayer-AxW-...`` policies stay picklable -- the per-layer name
+    alone reconstructs the assignment anywhere.  The lookup is memoized:
+    every sweep point validates its policy eagerly, so the engine
+    resolves the same few names millions of times.
     """
+    if isinstance(name, PolicySpec):
+        return name
     return _resolve_policy(str(name).lower())
 
 
-@functools.lru_cache(maxsize=256)
+@functools.lru_cache(maxsize=512)
 def _resolve_policy(key: str) -> Callable[[Network], Network]:
     if key in _POLICIES:
         return _POLICIES[key]
@@ -161,6 +180,11 @@ def _resolve_policy(key: str) -> Callable[[Network], Network]:
         if not (1 <= act <= 8 and 1 <= wgt <= 8):
             raise KeyError(f"uniform policy bitwidths out of range: {key!r}")
         return lambda net: uniform(net, act, wgt)
+    if key.startswith(PERLAYER_PREFIX):
+        try:
+            return PolicySpec.from_name(key)
+        except ValueError as error:
+            raise KeyError(str(error))
     raise KeyError(f"unknown policy {key!r}; choose from {POLICY_NAMES}")
 
 
@@ -211,7 +235,11 @@ class SweepPoint:
     """One fully-resolved design point.
 
     Either an ASIC point (``platform`` + ``memory``) or a GPU point
-    (``gpu`` + ``gpu_precision``); exactly one of the two.
+    (``gpu`` + ``gpu_precision``); exactly one of the two.  ``policy``
+    accepts a name, a :class:`~repro.dse.policies.PolicySpec`, a policy
+    dict, or a bare per-layer sequence; whatever the spelling, it is
+    canonicalized to a resolvable name string on construction, so the
+    point stays hashable, picklable, and stable under JSON round-trips.
     """
 
     workload: str
@@ -224,7 +252,19 @@ class SweepPoint:
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "workload", resolve_workload(self.workload))
-        resolve_policy(self.policy)  # validate eagerly
+        object.__setattr__(self, "policy", policy_name(self.policy))
+        applier = resolve_policy(self.policy)  # validate eagerly
+        if isinstance(applier, PolicySpec):
+            # Per-layer policies are workload-shaped; catching a count
+            # mismatch here turns an unusable cross-product (e.g. a
+            # multi-workload grid against one workload's policy axis)
+            # into an upfront error instead of a mid-sweep abort.
+            count = _weighted_layer_count(self.workload)
+            if applier.num_layers != count:
+                raise ValueError(
+                    f"policy {self.policy!r} assigns {applier.num_layers} "
+                    f"layers but {self.workload} has {count} weighted layers"
+                )
         if self.gpu is not None:
             if self.platform is not None or self.memory is not None:
                 raise ValueError("a point is either a GPU or an ASIC, not both")

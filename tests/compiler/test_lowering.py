@@ -1,0 +1,135 @@
+"""Dedicated unit tests for repro.compiler.lowering.
+
+The lowering pass mirrors the analytical simulator's decisions (same
+tiling planner, same bitwidth modes); these tests pin the instruction
+stream's *shape* -- what executes, in what order, with what operands --
+layer by layer, complementing the end-to-end agreement tests in
+``test_compiler.py``.
+"""
+
+import pytest
+
+from repro.compiler import (
+    Barrier,
+    GemmTile,
+    LoadTile,
+    Program,
+    SetMode,
+    StoreTile,
+    lower_layer,
+    lower_network,
+)
+from repro.compiler.lowering import BufferSplit
+from repro.hw import BPVEC
+from repro.nn import Dense, Network, Pool2D, rnn_workload, uniform
+from repro.sim.tiling import plan_traffic
+
+
+def _network(layers, batch=1, bits=(8, 8)):
+    network = Network(name="unit", layers=layers, batch=batch)
+    return uniform(network, *bits)
+
+
+class TestLowerLayer:
+    def test_compute_free_layer_lowers_to_none(self):
+        pool = Pool2D("pool", 64, kernel=3, in_size=55, stride=2)
+        network = Network(name="unit", layers=[pool])
+        assert lower_layer(pool, network, BPVEC) is None
+
+    def test_instruction_pattern_per_gemm(self):
+        layer = Dense("fc", 64, 32)
+        network = _network([layer])
+        program = lower_layer(layer, network, BPVEC)
+        kinds = [type(inst) for inst in program.instructions]
+        assert kinds == [SetMode, LoadTile, LoadTile, GemmTile, StoreTile, Barrier]
+        weights_load, acts_load = program.instructions[1:3]
+        assert weights_load.buffer == "weights"
+        assert acts_load.buffer == "activations"
+        assert program.instructions[-1].label == "fc"
+
+    def test_set_mode_carries_network_bitwidths(self):
+        layer = Dense("fc", 16, 16)
+        network = _network([layer], bits=(4, 6))
+        mode = lower_layer(layer, network, BPVEC).instructions[0]
+        assert (mode.bw_act, mode.bw_w) == (4, 6)
+
+    def test_gemm_tiles_cover_layer_macs(self):
+        layer = Dense("fc", 64, 32)
+        network = _network([layer], batch=3)
+        program = lower_layer(layer, network, BPVEC)
+        assert program.total_macs == layer.macs(3)
+
+    def test_traffic_matches_tiling_planner(self):
+        layer = Dense("fc", 512, 256)
+        network = _network([layer], bits=(4, 4))
+        program = lower_layer(layer, network, BPVEC)
+        (gemm,) = layer.gemms(1)
+        plan = plan_traffic(gemm, 4, 4, BPVEC)
+        assert program.total_load_bytes == plan.weight_traffic + plan.input_traffic
+        assert program.total_store_bytes == plan.output_traffic
+
+    def test_buffer_split_changes_the_plan_it_mirrors(self):
+        layer = Dense("fc", 4096, 4096)
+        network = _network([layer], batch=8)
+        split = BufferSplit(
+            weight_fraction=0.8, activation_fraction=0.1, accumulator_fraction=0.1
+        )
+        default = lower_layer(layer, network, BPVEC)
+        skewed = lower_layer(layer, network, BPVEC, split=split)
+        (gemm,) = layer.gemms(8)
+        expected = plan_traffic(gemm, 8, 8, BPVEC, split=split)
+        assert (
+            skewed.total_load_bytes
+            == expected.weight_traffic + expected.input_traffic
+        )
+        # The split is forwarded, not ignored: plans may differ.
+        assert skewed.total_traffic_bytes != default.total_traffic_bytes
+
+    def test_multi_gemm_layer_repeats_the_tile_pattern(self):
+        network = rnn_workload()
+        uniform(network, 8, 8)
+        layer = network.weighted_layers[0]
+        gemms = layer.gemms(network.batch)
+        program = lower_layer(layer, network, BPVEC)
+        # SetMode + 4 instructions per GEMM + Barrier.
+        assert len(program) == 1 + 4 * len(gemms) + 1
+        assert sum(
+            1 for inst in program.instructions if isinstance(inst, GemmTile)
+        ) == len(gemms)
+
+
+class TestLowerNetwork:
+    def test_concatenates_weighted_layers_in_order(self):
+        first, second = Dense("fc1", 32, 32), Dense("fc2", 32, 16)
+        pool = Pool2D("pool", 32, kernel=2, in_size=8, stride=2)
+        network = _network([first, pool, second])
+        program = lower_network(network, BPVEC)
+        barriers = [
+            inst.label
+            for inst in program.instructions
+            if isinstance(inst, Barrier)
+        ]
+        assert barriers == ["fc1", "fc2"]  # pool contributed nothing
+
+    def test_totals_are_sum_of_layer_programs(self):
+        layers = [Dense("fc1", 64, 64), Dense("fc2", 64, 32)]
+        network = _network(layers)
+        whole = lower_network(network, BPVEC)
+        parts = [lower_layer(layer, network, BPVEC) for layer in layers]
+        assert whole.total_macs == sum(p.total_macs for p in parts)
+        assert whole.total_traffic_bytes == sum(p.total_traffic_bytes for p in parts)
+        assert len(whole) == sum(len(p) for p in parts)
+
+    def test_network_without_lowerable_layers_rejected(self):
+        network = Network(
+            name="unit",
+            layers=[Pool2D("pool", 8, kernel=2, in_size=8, stride=2)],
+        )
+        with pytest.raises(ValueError, match="no lowerable layers"):
+            lower_network(network, BPVEC)
+
+    def test_lowered_program_validates(self):
+        network = _network([Dense("fc", 128, 64)])
+        program = lower_network(network, BPVEC)
+        assert isinstance(program, Program)
+        program.validate()  # executable stream: modes precede GEMMs

@@ -237,3 +237,63 @@ class TestCompact:
         blob = store.path.read_bytes()
         store.path.write_bytes(blob + gzip.compress(b'{"hash": "c"')[:-7])
         assert set(store.load()) == {"a", "b"}
+
+
+class TestPolicyConfigRoundTrip:
+    """Per-layer policy configs survive the JSON store round-trip.
+
+    JSON has no tuples: a policy spelled with per-layer tuples comes
+    back from any JSON surface (sweep-spec files, ``--policy-axis``
+    files, store-adjacent metadata) as nested lists.  PolicySpec
+    canonicalizes both spellings to one hashable spec and one canonical
+    name, so reload + re-hash is stable and a warm store keeps hitting.
+    """
+
+    def _point(self, policy):
+        from repro.dse import SweepPoint
+        from repro.hw import BPVEC, DDR4
+
+        return SweepPoint(
+            workload="RNN", policy=policy, platform=BPVEC, memory=DDR4, batch=1
+        )
+
+    def test_reload_and_rehash_is_stable(self, tmp_path):
+        from repro.dse import PolicySpec, clear_memo, run_sweep
+
+        spec = PolicySpec(layers=((8, 8), (4, 2)))
+        store = ResultStore(tmp_path / "s.jsonl")
+        clear_memo()
+        cold = run_sweep([self._point(spec)], store=store)
+        assert cold.evaluated == 1
+
+        # A JSON round-trip of the policy (tuples -> lists) re-hashes to
+        # the same config, so the store serves the warm record.
+        reloaded_policy = json.loads(json.dumps(spec.to_dict()))
+        assert isinstance(reloaded_policy["layers"][0], list)
+        clear_memo()
+        warm = run_sweep([self._point(reloaded_policy)], store=store)
+        assert warm.from_store == 1 and warm.evaluated == 0
+        assert warm.records == cold.records
+
+    def test_tuple_and_list_layers_hash_identically(self):
+        from repro.dse import PolicySpec
+
+        by_tuple = PolicySpec(layers=((8, 8), (4, 2)))
+        by_list = PolicySpec(layers=[[8, 8], [4, 2]])
+        assert by_tuple == by_list
+        assert hash(by_tuple) == hash(by_list)
+        assert (
+            self._point(by_tuple).config_hash()
+            == self._point(by_list).config_hash()
+        )
+
+    def test_stored_policy_name_resolves_back_to_the_assignment(self, tmp_path):
+        from repro.dse import PolicySpec, clear_memo, resolve_policy, run_sweep
+
+        spec = PolicySpec(layers=((8, 4), (2, 6)))
+        store = ResultStore(tmp_path / "s.jsonl")
+        clear_memo()
+        run_sweep([self._point(spec)], store=store)
+        (record,) = store.load().values()
+        # The record's policy field alone rebuilds the exact assignment.
+        assert resolve_policy(record["policy"]) == spec

@@ -1,0 +1,141 @@
+"""Property-based tests for the policy sweep axis.
+
+Two invariants pin the tentpole of the quant--hardware co-exploration:
+
+* **Round-trip**: any per-layer assignment -- whatever container
+  spelled it (tuples, lists, bare ints, JSON, canonical name) -- lands
+  on one :class:`PolicySpec` with one canonical name, one hash, and one
+  sweep-point config hash.
+* **Bit-identity**: the vectorized evaluator agrees with the scalar
+  simulator float-for-float under *arbitrary* per-layer policies, not
+  just the named ones the figures use.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dse import (
+    PolicySpec,
+    SweepPoint,
+    evaluate_point,
+    evaluate_points,
+    policy_name,
+    resolve_policy,
+)
+from repro.hw import BITFUSION, BPVEC, DDR4, HBM2, TPU_LIKE
+
+_pairs = st.tuples(
+    st.integers(min_value=1, max_value=8), st.integers(min_value=1, max_value=8)
+)
+_layer_lists = st.lists(_pairs, min_size=1, max_size=6)
+_platforms = st.sampled_from([TPU_LIKE, BITFUSION, BPVEC])
+_memories = st.sampled_from([DDR4, HBM2])
+
+# RNN has two weighted layers; small batches keep one example cheap.
+_rnn_policies = st.lists(_pairs, min_size=2, max_size=2)
+
+
+# ----------------------------------------------------------------------
+# Round-trip: every spelling is one canonical policy
+# ----------------------------------------------------------------------
+@settings(max_examples=100, deadline=None)
+@given(layers=_layer_lists)
+def test_policy_spec_round_trips_through_every_surface(layers):
+    spec = PolicySpec(layers=tuple(layers))
+
+    # Canonical name parses back to an equal (and equal-hashing) spec.
+    assert PolicySpec.from_name(spec.name) == spec
+    assert hash(PolicySpec.from_name(spec.name)) == hash(spec)
+
+    # JSON dict round-trip (tuples -> lists -> tuples) is lossless.
+    reloaded = PolicySpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+    assert reloaded == spec
+    assert reloaded.name == spec.name
+
+    # List and tuple spellings canonicalize identically.
+    assert PolicySpec(layers=[list(pair) for pair in layers]) == spec
+
+    # policy_name agrees across spec / name / dict / bare-sequence forms.
+    names = {
+        policy_name(spec),
+        policy_name(spec.name),
+        policy_name({"layers": [list(pair) for pair in layers]}),
+        policy_name([list(pair) for pair in layers]),
+    }
+    assert names == {spec.name}
+
+    # And the name resolves to an applier everywhere.
+    assert resolve_policy(spec.name) == spec
+
+
+@settings(max_examples=50, deadline=None)
+@given(layers=_rnn_policies, platform=_platforms, memory=_memories)
+def test_sweep_point_hash_invariant_under_policy_spelling(layers, platform, memory):
+    kwargs = dict(workload="RNN", platform=platform, memory=memory, batch=1)
+    spec = PolicySpec(layers=tuple(layers))
+    spellings = [
+        SweepPoint(policy=spec, **kwargs),
+        SweepPoint(policy=spec.name, **kwargs),
+        SweepPoint(policy=[list(pair) for pair in layers], **kwargs),
+        SweepPoint(
+            policy=json.loads(json.dumps({"layers": layers})), **kwargs
+        ),
+    ]
+    assert len({point.config_hash() for point in spellings}) == 1
+    assert len({point.policy for point in spellings}) == 1
+
+
+@settings(max_examples=100, deadline=None)
+@given(bits=st.lists(st.integers(min_value=1, max_value=8), min_size=1, max_size=8))
+def test_assignment_ints_round_trip(bits):
+    # The shape assign_bitwidths emits: one symmetric width per layer.
+    spec = PolicySpec.from_assignment(bits)
+    assert spec.layers == tuple((b, b) for b in bits)
+    assert PolicySpec.from_name(spec.name) == spec
+
+
+# ----------------------------------------------------------------------
+# Bit-identity: vectorized == scalar under arbitrary policies
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(
+    layers=_rnn_policies,
+    platform=_platforms,
+    memory=_memories,
+    batch=st.integers(min_value=1, max_value=4),
+)
+def test_vectorized_bit_identical_under_arbitrary_policy(
+    layers, platform, memory, batch
+):
+    point = SweepPoint(
+        workload="RNN",
+        policy=PolicySpec(layers=tuple(layers)),
+        platform=platform,
+        memory=memory,
+        batch=batch,
+    )
+    assert evaluate_points([point]) == [evaluate_point(point)]
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    policies=st.lists(_rnn_policies, min_size=2, max_size=4, unique_by=tuple),
+    memory=_memories,
+)
+def test_vectorized_chunk_of_mixed_policies_bit_identical(policies, memory):
+    # One chunk mixing several lowered keys: grouping by policy must not
+    # reorder or cross-contaminate records.
+    points = [
+        SweepPoint(
+            workload="RNN",
+            policy=PolicySpec(layers=tuple(layers)),
+            platform=platform,
+            memory=memory,
+            batch=1,
+        )
+        for layers in policies
+        for platform in (TPU_LIKE, BPVEC)
+    ]
+    assert evaluate_points(points) == [evaluate_point(p) for p in points]

@@ -1,0 +1,51 @@
+"""Dedicated unit tests for the one-command reproduction report."""
+
+import pytest
+
+from repro.experiments.report import generate_report
+
+
+@pytest.fixture(scope="module")
+def report():
+    return generate_report()
+
+
+class TestGenerateReport:
+    def test_header_identifies_the_artifact(self, report):
+        assert report.startswith("# BPVeC reproduction report")
+        assert "python -m repro report" in report
+
+    def test_every_section_present_in_paper_order(self, report):
+        sections = [line for line in report.splitlines() if line.startswith("## ")]
+        assert len(sections) == 9
+        for index, marker in enumerate(
+            [
+                "Table I",
+                "Table II",
+                "Chip-level",
+                "Figure 4",
+                "Figure 5",
+                "Figure 6",
+                "Figure 7",
+                "Figure 8",
+                "Figure 9",
+            ]
+        ):
+            assert marker in sections[index]
+
+    def test_code_fences_balanced(self, report):
+        assert report.count("```") == 2 * 9
+
+    def test_sections_carry_their_tables(self, report):
+        assert "AlexNet" in report  # Table I rows
+        assert "BPVeC" in report  # Table II platforms
+        assert "GEOMEAN" in report  # speedup tables
+        assert "mm^2" in report  # chip accounting
+        assert "vs GPU (DDR4)" in report  # Figure 9 columns
+
+    def test_fig4_section_lists_cost_breakdown_columns(self, report):
+        for column in ("Mult", "Add", "Shift", "Reg", "Total"):
+            assert column in report
+
+    def test_report_is_deterministic(self, report):
+        assert generate_report() == report

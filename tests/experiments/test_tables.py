@@ -1,0 +1,81 @@
+"""Dedicated unit tests for the Table I / Table II drivers."""
+
+import pytest
+
+from repro.baselines.gpu import RTX_2080_TI
+from repro.experiments.tables import (
+    Table1Row,
+    render_table1,
+    render_table2,
+    table1,
+    table2,
+)
+from repro.hw.platforms import ALL_ASIC_PLATFORMS
+from repro.nn.bitwidths import ALL_4BIT_MODELS, FIRST_LAST_8BIT_MODELS
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table1()
+
+    def test_covers_all_six_workloads(self, rows):
+        assert [r.model for r in rows] == [
+            "AlexNet",
+            "Inception-v1",
+            "ResNet-18",
+            "ResNet-50",
+            "RNN",
+            "LSTM",
+        ]
+
+    def test_kinds_split_cnn_and_rnn(self, rows):
+        kinds = {r.model: r.kind for r in rows}
+        assert kinds["AlexNet"] == "CNN"
+        assert kinds["RNN"] == "RNN" and kinds["LSTM"] == "RNN"
+
+    def test_sizes_and_ops_positive(self, rows):
+        for row in rows:
+            assert isinstance(row, Table1Row)
+            assert row.model_size_mb > 0
+            assert row.giga_ops > 0
+
+    def test_bitwidth_descriptions_match_policy_tables(self, rows):
+        for row in rows:
+            if row.model in FIRST_LAST_8BIT_MODELS:
+                assert row.heterogeneous_bitwidths.startswith("First and last")
+            elif row.model in ALL_4BIT_MODELS:
+                assert row.heterogeneous_bitwidths == "All layers with 4-bit"
+            else:  # pragma: no cover - every paper model is classified
+                assert row.heterogeneous_bitwidths == "n/a"
+
+    def test_alexnet_size_matches_paper_scale(self, rows):
+        alexnet = rows[0]
+        # 61M parameters at INT8 is ~61 MB (Table I's Model Size column).
+        assert alexnet.model_size_mb == pytest.approx(61, rel=0.05)
+
+    def test_render_contains_headers_and_models(self):
+        text = render_table1()
+        assert "DNN Model" in text and "Heterogeneous Bitwidths" in text
+        assert "AlexNet" in text and "LSTM" in text
+        assert len(text.splitlines()) == 2 + 6
+
+
+class TestTable2:
+    def test_returns_registry_platforms(self):
+        asics, gpu = table2()
+        assert asics == ALL_ASIC_PLATFORMS
+        assert gpu is RTX_2080_TI
+
+    def test_render_has_asic_and_gpu_sections(self):
+        text = render_table2()
+        assert "ASIC platforms" in text and "GPU platform" in text
+        for spec in ALL_ASIC_PLATFORMS:
+            assert spec.name in text
+        assert "RTX 2080 TI" in text
+
+    def test_render_reports_shared_budget_figures(self):
+        text = render_table2()
+        assert "112 KB" in text  # shared on-chip scratchpad
+        assert "500 MHz" in text and "45 nm" in text
+        assert "Systolic" in text and "Turing" in text

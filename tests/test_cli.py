@@ -232,6 +232,177 @@ class TestDseCommand:
             build_parser().parse_args(["dse", "--platform", "gpu"])
 
 
+class TestPolicyAxisFlag:
+    def _axis_file(self, tmp_path):
+        axis = tmp_path / "policies.json"
+        axis.write_text(
+            json.dumps(
+                [
+                    "homogeneous-8bit",
+                    {"layers": [[8, 8], [4, 4]], "label": "searched"},
+                    [[2, 2], [2, 2]],
+                ]
+            )
+        )
+        return axis
+
+    def test_policy_axis_file_expands_policy_axis(self, capsys, tmp_path):
+        out = run(
+            capsys,
+            "dse",
+            "--workload",
+            "RNN",
+            "--platform",
+            "bpvec",
+            "--memory",
+            "ddr4",
+            "--policy-axis",
+            str(self._axis_file(tmp_path)),
+            "--format",
+            "jsonl",
+        )
+        records = [json.loads(line) for line in out.strip().splitlines()]
+        assert [r["policy"] for r in records] == [
+            "homogeneous-8bit",
+            "perlayer-8x8-4x4",
+            "perlayer-2x2-2x2",
+        ]
+
+    def test_policy_spelling_variants_deduplicate(self, capsys, tmp_path):
+        # "Homogeneous-8BIT" via --policy and "homogeneous-8bit" via the
+        # axis file are one axis value, not two duplicate sweep points.
+        axis = tmp_path / "axis.json"
+        axis.write_text(json.dumps(["homogeneous-8bit"]))
+        out = run(
+            capsys,
+            "dse",
+            "--workload",
+            "RNN",
+            "--platform",
+            "bpvec",
+            "--memory",
+            "ddr4",
+            "--policy",
+            "Homogeneous-8BIT",
+            "--policy-axis",
+            str(axis),
+            "--format",
+            "jsonl",
+        )
+        records = [json.loads(line) for line in out.strip().splitlines()]
+        assert len(records) == 1
+
+    def test_mismatched_per_layer_policy_exits_upfront(self, tmp_path):
+        axis = tmp_path / "axis.json"
+        axis.write_text(json.dumps([[[8, 8], [4, 4]]]))  # 2-layer policy
+        with pytest.raises(SystemExit) as exc:
+            main(["dse", "--workload", "LSTM", "--policy-axis", str(axis)])
+        assert exc.value.code != 0
+
+    def test_policy_axis_rejected_with_spec(self, tmp_path):
+        spec = tmp_path / "sweep.json"
+        spec.write_text(json.dumps({"grid": {"workloads": ["RNN"]}}))
+        with pytest.raises(SystemExit) as exc:
+            main(
+                [
+                    "dse",
+                    "--spec",
+                    str(spec),
+                    "--policy-axis",
+                    str(self._axis_file(tmp_path)),
+                ]
+            )
+        assert exc.value.code != 0
+
+    @pytest.mark.parametrize("content", ["[]", '"name"', "{}"])
+    def test_bad_axis_file_exits_nonzero(self, tmp_path, content):
+        axis = tmp_path / "bad.json"
+        axis.write_text(content)
+        with pytest.raises(SystemExit) as exc:
+            main(["dse", "--workload", "RNN", "--policy-axis", str(axis)])
+        assert exc.value.code != 0
+
+
+class TestQuantDseCommand:
+    _ARGS = (
+        "quant-dse",
+        "--workload",
+        "RNN",
+        "--platform",
+        "tpu",
+        "--platform",
+        "bpvec",
+        "--memory",
+        "ddr4",
+        "--max-drop",
+        "0.0",
+        "--max-drop",
+        "0.05",
+    )
+
+    def test_end_to_end_frontier_is_dominated_free(self, capsys):
+        """Sensitivity search -> policy axis -> sweep -> Pareto query."""
+        out = run(capsys, *self._ARGS, "--format", "jsonl")
+        records = [json.loads(line) for line in out.strip().splitlines()]
+        # Generated policies went through the sweep as a first-class axis.
+        assert all(r["policy"].startswith("perlayer-") for r in records)
+        assert all("accuracy" in r["metrics"] for r in records)
+
+        capsys.readouterr()
+        frontier_out = run(capsys, *self._ARGS, "--format", "jsonl", "--frontier-only")
+        frontier = [json.loads(line) for line in frontier_out.strip().splitlines()]
+        assert frontier
+        hashes = {r["hash"] for r in records}
+        assert {r["hash"] for r in frontier} <= hashes
+
+        def vec(record):
+            return (
+                record["metrics"]["total_seconds"],
+                -record["metrics"]["accuracy"],
+            )
+
+        for a in frontier:  # no frontier member dominated by any record
+            assert not any(
+                all(x <= y for x, y in zip(vec(b), vec(a)))
+                and any(x < y for x, y in zip(vec(b), vec(a)))
+                for b in records
+            )
+
+    def test_vectorized_matches_scalar_byte_identical(self, capsys):
+        clear_memo()
+        vectorized = run(capsys, *self._ARGS, "--format", "jsonl")
+        clear_memo()
+        scalar = run(capsys, *self._ARGS, "--format", "jsonl", "--no-vectorize")
+        assert scalar == vectorized
+
+    def test_table_output_marks_frontier(self, capsys):
+        out = run(capsys, *self._ARGS)
+        assert "Searched bitwidth policies" in out
+        assert "Pareto frontier" in out
+        assert "*" in out
+        assert "frontier keeps" in out
+
+    def test_store_reuse_across_runs(self, capsys, tmp_path):
+        store = tmp_path / "quant.jsonl"
+        clear_memo()
+        cold = run(capsys, *self._ARGS, "--store", str(store))
+        assert "0 store hits" in cold
+        clear_memo()
+        warm = run(capsys, *self._ARGS, "--store", str(store))
+        assert "0 evaluated" in warm
+
+    def test_unknown_workload_exits_nonzero(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["quant-dse", "--workload", "VGG-99"])
+        assert exc.value.code != 0
+
+    def test_bad_ladder_exits_nonzero(self):
+        for ladder in ("a,b", "4,8", "8"):
+            with pytest.raises(SystemExit) as exc:
+                main(["quant-dse", "--workload", "RNN", "--ladder", ladder])
+            assert exc.value.code != 0
+
+
 class TestDseShardingCommands:
     def _shard_stores(self, capsys, tmp_path):
         paths = []
