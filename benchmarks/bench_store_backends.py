@@ -1,0 +1,154 @@
+"""Store backends at scale: SQLite vs JSONL on a 50k-record store.
+
+Acceptance bench for :mod:`repro.dse.sqlite_store`: fill both backends
+with the same >=50k synthetic DSE-shaped records, then time the path a
+served system actually pays per sweep -- the engine's warm resolution
+(:meth:`~repro.dse.store.ResultStoreBase.records_for` over a sweep-
+sized hash sample at the current ``EVAL_VERSION``).  A JSONL store must
+re-parse every line of the file to answer; the SQLite store answers
+from an indexed point lookup, so its cost tracks the sweep, not the
+store.  The gate requires the SQLite warm path to beat JSONL by at
+least ``MIN_SPEEDUP`` (3x in CI; locally the margin is far larger and
+grows linearly with store size).
+
+Full-store ``load()`` times for both backends are reported as context
+(they are JSON-parse bound and roughly at parity), and both backends
+must return bit-identical records for the sampled hashes.
+
+Emits ``BENCH_store_backends.json`` (path overridable via the
+``BENCH_STORE_BACKENDS_JSON`` env var) so CI can archive the numbers.
+"""
+
+import hashlib
+import json
+import os
+import time
+
+from repro.dse import EVAL_VERSION, ResultStore, SQLiteStore
+from repro.sim import format_table
+
+N_RECORDS = int(os.environ.get("REPRO_BENCH_STORE_RECORDS", "50000"))
+SAMPLE_SIZE = 2000  # a realistic sweep against a warm store
+MIN_SPEEDUP = float(os.environ.get("REPRO_MIN_STORE_SPEEDUP", "3.0"))
+
+_WORKLOADS = ("AlexNet", "Inception-v1", "ResNet-18", "ResNet-50", "RNN", "LSTM")
+_PLATFORMS = ("TPU-like", "BitFusion", "BPVeC")
+
+
+def _synthetic_record(index: int) -> dict:
+    """One DSE-shaped record with a unique, deterministic hash."""
+    key = hashlib.sha256(f"bench-store-{index}".encode()).hexdigest()
+    return {
+        "hash": key,
+        "version": EVAL_VERSION,
+        "kind": "asic",
+        "workload": _WORKLOADS[index % len(_WORKLOADS)],
+        "platform": _PLATFORMS[index % len(_PLATFORMS)],
+        "memory": "DDR4" if index % 2 else "HBM2",
+        "policy": "homogeneous-8bit",
+        "batch": 1 << (index % 7),
+        "metrics": {
+            "total_cycles": 10_000_000 + index,
+            "total_seconds": 0.02 + index * 1e-9,
+            "total_macs": 8_589_934_592,
+            "total_traffic_bytes": 55_555_555 + index,
+            "compute_energy_pj": 4.1e9 + index,
+            "sram_energy_pj": 2.6e9,
+            "dram_energy_pj": 7.6e10,
+            "uncore_energy_pj": 8.8e9,
+            "total_energy_pj": 9.2e10,
+            "total_energy_j": 0.092,
+            "ops_per_second": 4.8e11,
+            "average_power_w": 2.61,
+            "perf_per_watt": 1.86e11,
+            "memory_bound_fraction": 1.0,
+        },
+    }
+
+
+def test_sqlite_vs_jsonl_warm_resolution(benchmark, show, tmp_path):
+    records = [_synthetic_record(i) for i in range(N_RECORDS)]
+    # Robust to small REPRO_BENCH_STORE_RECORDS overrides: the sample
+    # shrinks with the corpus instead of crashing on a zero stride.
+    sample_size = min(SAMPLE_SIZE, N_RECORDS)
+    stride = max(1, N_RECORDS // sample_size)
+    sample = [records[i]["hash"] for i in range(0, N_RECORDS, stride)]
+    sample = sample[:sample_size]
+    assert len(sample) == sample_size
+
+    jsonl = ResultStore(tmp_path / "store.jsonl")
+    start = time.perf_counter()
+    jsonl.append(records)
+    jsonl_append_seconds = time.perf_counter() - start
+
+    sqlite = SQLiteStore(tmp_path / "store.sqlite")
+    start = time.perf_counter()
+    sqlite.append(records)
+    sqlite_append_seconds = time.perf_counter() - start
+
+    # The gated path: resolve a sweep-sized hash sample against the
+    # warm store, exactly what iter_sweep asks a store per run.
+    start = time.perf_counter()
+    jsonl_hits = jsonl.records_for(sample, version=EVAL_VERSION)
+    jsonl_resolve_seconds = time.perf_counter() - start
+
+    def sqlite_resolve():
+        return sqlite.records_for(sample, version=EVAL_VERSION)
+
+    sqlite_hits = benchmark(sqlite_resolve)
+    start = time.perf_counter()
+    sqlite_resolve()
+    sqlite_resolve_seconds = time.perf_counter() - start
+
+    assert len(jsonl_hits) == len(sqlite_hits) == sample_size
+    assert sqlite_hits == jsonl_hits  # bit-identical through either backend
+
+    # Context: full loads are JSON-parse bound on both backends.
+    start = time.perf_counter()
+    jsonl_loaded = jsonl.load()
+    jsonl_load_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    sqlite_loaded = sqlite.load()
+    sqlite_load_seconds = time.perf_counter() - start
+    assert len(jsonl_loaded) == len(sqlite_loaded) == N_RECORDS
+
+    speedup = jsonl_resolve_seconds / sqlite_resolve_seconds
+    rows = [
+        ("append 50k", jsonl_append_seconds * 1e3, sqlite_append_seconds * 1e3),
+        (
+            f"resolve {sample_size}-point sweep",
+            jsonl_resolve_seconds * 1e3,
+            sqlite_resolve_seconds * 1e3,
+        ),
+        ("full load", jsonl_load_seconds * 1e3, sqlite_load_seconds * 1e3),
+    ]
+    show(
+        f"Store backends, {N_RECORDS} records "
+        f"(warm resolution {speedup:.1f}x faster on SQLite)",
+        format_table(["Operation", "JSONL (ms)", "SQLite (ms)"], rows),
+    )
+
+    payload = {
+        "records": N_RECORDS,
+        "sample_size": sample_size,
+        "jsonl_append_seconds": round(jsonl_append_seconds, 4),
+        "sqlite_append_seconds": round(sqlite_append_seconds, 4),
+        "jsonl_resolve_seconds": round(jsonl_resolve_seconds, 4),
+        "sqlite_resolve_seconds": round(sqlite_resolve_seconds, 4),
+        "jsonl_load_seconds": round(jsonl_load_seconds, 4),
+        "sqlite_load_seconds": round(sqlite_load_seconds, 4),
+        "warm_resolution_speedup": round(speedup, 2),
+        "min_speedup_gate": MIN_SPEEDUP,
+    }
+    artifact = os.environ.get(
+        "BENCH_STORE_BACKENDS_JSON", "BENCH_store_backends.json"
+    )
+    with open(artifact, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    benchmark.extra_info.update(payload)
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"SQLite warm resolution only {speedup:.2f}x faster than JSONL "
+        f"({sqlite_resolve_seconds:.4f}s vs {jsonl_resolve_seconds:.4f}s) "
+        f"on a {N_RECORDS}-record store; gate is {MIN_SPEEDUP:.1f}x"
+    )

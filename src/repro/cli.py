@@ -12,9 +12,13 @@ Examples
     python -m repro dse --spec sweep.json --workers 4 --format jsonl
     python -m repro dse --shard 0/2 --store shard0.jsonl --stream
     python -m repro dse --workload RNN --policy-axis policies.json
+    python -m repro dse --workload LSTM --store results.sqlite --format json
     python -m repro quant-dse --workload LSTM --max-drop 0.02 --max-drop 0.05
     python -m repro dse-merge merged.jsonl shard0.jsonl shard1.jsonl
     python -m repro dse-compact merged.jsonl --gzip
+    python -m repro serve --store results.sqlite --port 8000
+    python -m repro dse --workload LSTM --server http://127.0.0.1:8000
+    python -m repro dse-launch --workload LSTM --shards 4 --store merged.jsonl
     python -m repro chips
 """
 
@@ -24,20 +28,37 @@ import argparse
 import json
 import re
 import sys
+from pathlib import Path
 
 from .dse import (
     MEMORY_NAMES,
     PLATFORM_NAMES,
-    ResultStore,
+    SweepResult,
     SweepSpec,
     co_explore,
     iter_sweep,
+    open_store,
     pareto_frontier,
     policy_name,
     render_records,
     run_sweep,
     top_k,
 )
+from .serve import (
+    ServeClient,
+    ServeError,
+    launch,
+    render_commands,
+    serve,
+    shard_commands,
+    shard_store_path,
+)
+from .serve.serializers import (
+    co_explore_payload,
+    records_payload,
+    result_summary,
+)
+from .serve.serializers import dumps as payload_json
 from .experiments import (
     fig4_design_space,
     fig5_homogeneous_ddr4,
@@ -74,6 +95,61 @@ def _workload(name: str, heterogeneous: bool, batch: int | None):
     builder = WORKLOAD_BUILDERS[key]
     net = builder() if batch is None else builder(batch=batch)
     return paper_heterogeneous(net) if heterogeneous else homogeneous_8bit(net)
+
+
+def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
+    """The sweep-building flags shared by ``dse`` and ``dse-launch``."""
+    parser.add_argument("--spec", default=None, help="JSON sweep-spec file")
+    parser.add_argument(
+        "--workload", action="append", dest="workloads", default=None
+    )
+    parser.add_argument(
+        "--platform",
+        action="append",
+        dest="platforms",
+        choices=PLATFORM_NAMES,
+        default=None,
+    )
+    parser.add_argument(
+        "--memory",
+        action="append",
+        dest="memories",
+        choices=MEMORY_NAMES,
+        default=None,
+    )
+    parser.add_argument(
+        "--policy", action="append", dest="policies", default=None
+    )
+    parser.add_argument(
+        "--policy-axis",
+        default=None,
+        metavar="FILE",
+        help="JSON file with a list of bitwidth policies (names, "
+        '{"layers": [[a, w], ...]} dicts, or bare per-layer lists) to '
+        "sweep as the policy axis, in addition to any --policy names",
+    )
+    parser.add_argument(
+        "--batch", action="append", dest="batches", type=int, default=None
+    )
+
+
+def _add_store_arguments(
+    parser: argparse.ArgumentParser, required: bool = False
+) -> None:
+    """``--store`` + ``--backend``, shared by every store-touching command."""
+    parser.add_argument(
+        "--store",
+        default=None,
+        required=required,
+        help="result store path (JSONL, or SQLite for .sqlite/.db paths)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("jsonl", "sqlite"),
+        default=None,
+        help="force the store backend instead of sniffing magic "
+        "bytes/suffix",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -118,36 +194,11 @@ def build_parser() -> argparse.ArgumentParser:
     dse = sub.add_parser(
         "dse", help="batched design-space sweep on the cached DSE engine"
     )
-    dse.add_argument("--spec", default=None, help="JSON sweep-spec file")
-    dse.add_argument("--workload", action="append", dest="workloads", default=None)
-    dse.add_argument(
-        "--platform",
-        action="append",
-        dest="platforms",
-        choices=PLATFORM_NAMES,
-        default=None,
-    )
-    dse.add_argument(
-        "--memory",
-        action="append",
-        dest="memories",
-        choices=MEMORY_NAMES,
-        default=None,
-    )
-    dse.add_argument("--policy", action="append", dest="policies", default=None)
-    dse.add_argument(
-        "--policy-axis",
-        default=None,
-        metavar="FILE",
-        help="JSON file with a list of bitwidth policies (names, "
-        '{"layers": [[a, w], ...]} dicts, or bare per-layer lists) to '
-        "sweep as the policy axis, in addition to any --policy names",
-    )
-    dse.add_argument(
-        "--batch", action="append", dest="batches", type=int, default=None
-    )
-    dse.add_argument("--store", default=None, help="JSONL result store path")
-    dse.add_argument("--workers", type=int, default=1)
+    _add_spec_arguments(dse)
+    _add_store_arguments(dse)
+    # Default None, not 1: in --server mode an unset flag must defer to
+    # the server's own configured default instead of overriding it.
+    dse.add_argument("--workers", type=int, default=None)
     dse.add_argument(
         "--no-vectorize",
         action="store_true",
@@ -165,7 +216,24 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print records as JSONL the moment each completes",
     )
-    dse.add_argument("--format", choices=("table", "jsonl"), default="table")
+    dse.add_argument(
+        "--server",
+        default=None,
+        metavar="URL",
+        help="submit the sweep to a running 'repro serve' instance instead "
+        "of evaluating locally (records are bit-identical either way)",
+    )
+    dse.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="socket timeout for --server requests (raise it when long "
+        "sweeps may queue behind others server-side)",
+    )
+    dse.add_argument(
+        "--format", choices=("table", "jsonl", "json"), default="table"
+    )
     dse.add_argument(
         "--pareto", action="store_true", help="print only the Pareto frontier"
     )
@@ -213,7 +281,7 @@ def build_parser() -> argparse.ArgumentParser:
     quant.add_argument("--seed", type=int, default=0)
     quant.add_argument("--objective", default="total_seconds")
     quant.add_argument("--sense", choices=("min", "max"), default="min")
-    quant.add_argument("--store", default=None, help="JSONL result store path")
+    _add_store_arguments(quant)
     quant.add_argument("--workers", type=int, default=1)
     quant.add_argument(
         "--no-vectorize",
@@ -221,7 +289,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluate points one-by-one on the scalar simulator instead of "
         "the batched numpy evaluator (records are bit-identical either way)",
     )
-    quant.add_argument("--format", choices=("table", "jsonl"), default="table")
+    quant.add_argument(
+        "--format", choices=("table", "jsonl", "json"), default="table"
+    )
     quant.add_argument(
         "--frontier-only",
         action="store_true",
@@ -232,9 +302,19 @@ def build_parser() -> argparse.ArgumentParser:
         "dse-merge", help="union per-shard result stores into one"
     )
     merge.add_argument("dest", help="destination store (created or extended)")
-    merge.add_argument("sources", nargs="+", help="per-shard JSONL stores")
     merge.add_argument(
-        "--gzip", action="store_true", help="write the merged store gzipped"
+        "sources", nargs="+", help="per-shard stores (either backend)"
+    )
+    merge.add_argument(
+        "--gzip",
+        action="store_true",
+        help="write the merged store gzipped (JSONL destinations only)",
+    )
+    merge.add_argument(
+        "--backend",
+        choices=("jsonl", "sqlite"),
+        default=None,
+        help="force the destination backend instead of sniffing",
     )
 
     compact = sub.add_parser(
@@ -248,6 +328,58 @@ def build_parser() -> argparse.ArgumentParser:
         "--keep-stale",
         action="store_true",
         help="keep records from older EVAL_VERSIONs",
+    )
+
+    server = sub.add_parser(
+        "serve",
+        help="serve the result store + DSE engine over HTTP (submit "
+        "sweeps, stream records, query frontiers server-side)",
+    )
+    _add_store_arguments(server)
+    server.add_argument("--host", default="127.0.0.1")
+    server.add_argument(
+        "--port", type=int, default=8000, help="0 binds an ephemeral port"
+    )
+    server.add_argument(
+        "--workers", type=int, default=1, help="default workers per sweep"
+    )
+    server.add_argument("--no-vectorize", action="store_true")
+    server.add_argument(
+        "--verbose", action="store_true", help="log every request"
+    )
+
+    dse_launch = sub.add_parser(
+        "dse-launch",
+        help="shard a sweep N ways, run every shard as a local process "
+        "(or print per-machine command lines), and auto-merge the "
+        "shard stores",
+    )
+    _add_spec_arguments(dse_launch)
+    _add_store_arguments(dse_launch, required=True)
+    dse_launch.add_argument(
+        "--shards", type=int, default=2, metavar="N", help="shard count"
+    )
+    dse_launch.add_argument(
+        "--workers", type=int, default=1, help="workers per shard process"
+    )
+    dse_launch.add_argument("--no-vectorize", action="store_true")
+    dse_launch.add_argument(
+        "--print-cmds",
+        action="store_true",
+        help="print the per-shard command lines instead of spawning them "
+        "(run each line on any machine, then 'repro dse-merge')",
+    )
+    dse_launch.add_argument(
+        "--post",
+        default=None,
+        metavar="URL",
+        help="after merging, post the merged records to a running "
+        "'repro serve' instance",
+    )
+    dse_launch.add_argument(
+        "--keep-shards",
+        action="store_true",
+        help="keep the per-shard stores after a successful merge",
     )
     return parser
 
@@ -287,6 +419,13 @@ def _dse_spec(args) -> SweepSpec:
     )
 
 
+def _open_cli_store(args):
+    """The ``--store`` flag as a store object (honoring ``--backend``)."""
+    if not args.store:
+        return None
+    return open_store(args.store, backend=args.backend)
+
+
 def _parse_shard(text: str) -> tuple[int, int]:
     match = re.fullmatch(r"(\d+)/(\d+)", text.strip())
     if not match:
@@ -294,9 +433,58 @@ def _parse_shard(text: str) -> tuple[int, int]:
     return int(match.group(1)), int(match.group(2))
 
 
+def _server_options(args) -> dict:
+    """Engine options to forward to a server: only the explicit ones.
+
+    Flags the user did not pass are omitted from the request so the
+    server's own ``--workers`` / ``--no-vectorize`` defaults apply.
+    """
+    options: dict = {}
+    if args.workers is not None:
+        options["workers"] = args.workers
+    if args.no_vectorize:
+        options["vectorize"] = False
+    return options
+
+
+def _server_sweep(args, spec) -> SweepResult:
+    """Run the sweep on a remote ``repro serve`` instance.
+
+    The server streams records in completion order; reordering them by
+    the local spec's config hashes reproduces ``run_sweep``'s
+    point-order records exactly (the parity test pins bit-identity).
+    """
+    if len(spec) == 0:
+        raise ValueError("empty sweep")  # parity with local run_sweep
+    client = ServeClient(args.server, timeout=args.timeout)
+    raw, summary = client.sweep(spec.to_dict(), **_server_options(args))
+    by_hash = {record["hash"]: record for record in raw}
+    try:
+        records = [by_hash[point.config_hash()] for point in spec.points]
+    except KeyError as missing:
+        raise SystemExit(f"dse: server response is missing record {missing}")
+    # sweep() raised already if the stream ended without a summary.
+    return SweepResult(
+        records=records,
+        evaluated=summary["evaluated"],
+        from_store=summary["store_hits"],
+        from_memo=summary["memo_hits"],
+    )
+
+
 def _run_dse(args) -> None:
-    if args.stream and (args.pareto or args.top_k is not None):
-        raise SystemExit("dse: --stream cannot be combined with --pareto/--top-k")
+    if args.stream and (
+        args.pareto or args.top_k is not None or args.format == "json"
+    ):
+        raise SystemExit(
+            "dse: --stream cannot be combined with --pareto/--top-k/"
+            "--format json (streams are JSONL by nature)"
+        )
+    if args.server and args.store:
+        raise SystemExit(
+            "dse: --server and --store are mutually exclusive "
+            "(the server owns the store)"
+        )
     try:
         spec = _dse_spec(args)
         if args.shard is not None:
@@ -309,25 +497,50 @@ def _run_dse(args) -> None:
                 )
                 return
         vectorize = not args.no_vectorize
+        # Local default; servers keep their own (0 still reaches the
+        # engine's workers >= 1 validation).
+        workers = 1 if args.workers is None else args.workers
         if args.stream:
-            for sweep_record in iter_sweep(
-                spec, store=args.store, workers=args.workers, vectorize=vectorize
-            ):
-                print(json.dumps(sweep_record.record, sort_keys=True), flush=True)
+            if args.server:
+                stream = ServeClient(args.server, timeout=args.timeout).submit(
+                    spec.to_dict(), **_server_options(args)
+                )
+            else:
+                stream = (
+                    sweep_record.record
+                    for sweep_record in iter_sweep(
+                        spec,
+                        store=_open_cli_store(args),
+                        workers=workers,
+                        vectorize=vectorize,
+                    )
+                )
+            for record in stream:
+                print(json.dumps(record, sort_keys=True), flush=True)
             return
-        result = run_sweep(
-            spec, store=args.store, workers=args.workers, vectorize=vectorize
-        )
+        if args.server:
+            result = _server_sweep(args, spec)
+        else:
+            result = run_sweep(
+                spec,
+                store=_open_cli_store(args),
+                workers=workers,
+                vectorize=vectorize,
+            )
         records = result.records
         if args.pareto:
             records = pareto_frontier(records)
         if args.top_k is not None:
             records = top_k(records, args.objective, k=args.top_k, sense=args.sense)
+    except ServeError as error:
+        raise SystemExit(f"dse: {error}")
     except (KeyError, TypeError, ValueError, OSError) as error:
         raise SystemExit(f"dse: {error}")
     if args.format == "jsonl":
         for record in records:
             print(json.dumps(record, sort_keys=True))
+    elif args.format == "json":
+        print(payload_json(records_payload(records, summary=result_summary(result))))
     else:
         print(render_records(records))
         print()
@@ -353,7 +566,7 @@ def _run_quant_dse(args) -> None:
             seed=args.seed,
             objective=args.objective,
             sense=args.sense,
-            store=args.store,
+            store=_open_cli_store(args),
             workers=args.workers,
             vectorize=not args.no_vectorize,
         )
@@ -361,6 +574,13 @@ def _run_quant_dse(args) -> None:
         raise SystemExit(f"quant-dse: {error}")
     emitted = result.frontier if args.frontier_only else result.records
 
+    if args.format == "json":
+        print(
+            payload_json(
+                co_explore_payload(result, frontier_only=args.frontier_only)
+            )
+        )
+        return
     if args.format == "jsonl":
         for record in emitted:
             print(json.dumps(record, sort_keys=True))
@@ -428,7 +648,7 @@ def _run_quant_dse(args) -> None:
 
 def _run_dse_merge(args) -> None:
     try:
-        dest = ResultStore(args.dest)
+        dest = open_store(args.dest, backend=args.backend)
         total = dest.merge(args.sources, gzip=True if args.gzip else None)
     except (TypeError, ValueError, OSError) as error:
         raise SystemExit(f"dse-merge: {error}")
@@ -436,7 +656,7 @@ def _run_dse_merge(args) -> None:
 
 
 def _run_dse_compact(args) -> None:
-    store = ResultStore(args.store)
+    store = open_store(args.store)
     if not store.exists():
         raise SystemExit(f"dse-compact: no such store: {args.store}")
     try:
@@ -451,6 +671,72 @@ def _run_dse_compact(args) -> None:
         f"compacted {args.store}: kept {kept} records, dropped {dropped} "
         f"superseded lines ({before} -> {after} bytes)"
     )
+
+
+def _run_serve(args) -> int:
+    try:
+        return serve(
+            store=_open_cli_store(args),
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            vectorize=not args.no_vectorize,
+            verbose=args.verbose,
+        )
+    except OSError as error:  # e.g. port already bound
+        raise SystemExit(f"serve: {error}")
+
+
+def _run_dse_launch(args) -> None:
+    try:
+        spec = _dse_spec(args)
+        if len(spec) == 0:
+            raise ValueError("the sweep has no points")
+        if args.shards < 1:
+            raise ValueError("shard count must be >= 1")
+        dest = Path(args.store)
+        if args.spec:
+            spec_path, temp_spec = args.spec, False
+        else:
+            # Inline grids need a spec file the shard processes (or the
+            # printed per-machine commands) can read back.
+            spec_path = dest.with_name(dest.name + ".spec.json")
+            spec_path.parent.mkdir(parents=True, exist_ok=True)
+            spec_path.write_text(json.dumps(spec.to_dict()))
+            temp_spec = not args.print_cmds
+        if args.print_cmds:
+            commands = shard_commands(
+                spec_path,
+                args.shards,
+                args.store,
+                workers=args.workers,
+                vectorize=not args.no_vectorize,
+            )
+            print(render_commands(commands))
+            shards = " ".join(
+                str(shard_store_path(args.store, i)) for i in range(args.shards)
+            )
+            print(f"# then: repro dse-merge {args.store} {shards}")
+            return
+        try:
+            result = launch(
+                spec_path,
+                args.shards,
+                args.store,
+                backend=args.backend,
+                workers=args.workers,
+                vectorize=not args.no_vectorize,
+                post=args.post,
+                keep_shards=args.keep_shards,
+            )
+        finally:
+            if temp_spec:
+                spec_path.unlink(missing_ok=True)
+    except ServeError as error:
+        raise SystemExit(f"dse-launch: {error}")
+    except (KeyError, TypeError, ValueError, OSError, RuntimeError) as error:
+        raise SystemExit(f"dse-launch: {error}")
+    print(f"dse-launch: {len(spec)} points over {result.summary()}")
 
 
 def _run_figure(command: str) -> str:
@@ -512,6 +798,10 @@ def main(argv: list[str] | None = None) -> int:
         _run_dse_merge(args)
     elif command == "dse-compact":
         _run_dse_compact(args)
+    elif command == "serve":
+        return _run_serve(args)
+    elif command == "dse-launch":
+        _run_dse_launch(args)
     elif command == "simulate":
         net = _workload(args.model, args.heterogeneous, args.batch)
         result = simulate_network(

@@ -9,10 +9,12 @@ reusable engine:
   point lists) that canonicalize to stable config hashes;
 * :mod:`~repro.dse.evaluate` -- one-point evaluation producing flat,
   JSON-able records, memoized per process;
-* :mod:`~repro.dse.store` -- an append-only JSONL result store keyed by
-  config hash, so repeated sweeps skip finished points; per-shard
-  stores merge into one (``ResultStore.merge``) and long-lived stores
-  stay small (``ResultStore.compact``, optionally gzipped);
+* :mod:`~repro.dse.store` / :mod:`~repro.dse.sqlite_store` --
+  persistent result stores keyed by config hash (append-only JSONL, or
+  SQLite with indexed point lookups for served warm paths), picked by
+  :func:`~repro.dse.store.open_store`; repeated sweeps skip finished
+  points, per-shard stores merge into one (``merge``) and long-lived
+  stores stay small (``compact``, optionally gzipped for JSONL);
 * :mod:`~repro.dse.engine` -- ``iter_sweep``: memo -> store -> simulate
   resolution streamed in completion order with optional
   multiprocessing fan-out, and ``run_sweep``, the batch API on top;
@@ -51,13 +53,16 @@ from .policies import (
     sensitivity_policies,
 )
 from .queries import (
+    QUERY_NAMES,
     ParetoTracker,
     accuracy_perf_frontier,
     attach_policy_metric,
+    filter_records,
     geomean_speedup,
     metric,
     pareto_frontier,
     render_records,
+    run_query,
     top_k,
 )
 from .spec import (
@@ -77,7 +82,8 @@ from .spec import (
     resolve_workload,
     shard_index,
 )
-from .store import ResultStore
+from .sqlite_store import SQLiteStore
+from .store import ResultStore, ResultStoreBase, StoreWarning, open_store
 
 __all__ = [
     "DSEEngine",
@@ -97,13 +103,16 @@ __all__ = [
     "co_explore",
     "policy_name",
     "sensitivity_policies",
+    "QUERY_NAMES",
     "ParetoTracker",
     "accuracy_perf_frontier",
     "attach_policy_metric",
+    "filter_records",
     "geomean_speedup",
     "metric",
     "pareto_frontier",
     "render_records",
+    "run_query",
     "top_k",
     "GPU_NAMES",
     "MEMORY_NAMES",
@@ -121,4 +130,8 @@ __all__ = [
     "resolve_workload",
     "shard_index",
     "ResultStore",
+    "ResultStoreBase",
+    "SQLiteStore",
+    "StoreWarning",
+    "open_store",
 ]

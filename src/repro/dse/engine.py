@@ -2,7 +2,8 @@
 
 ``iter_sweep`` is the primitive: it resolves every unique point of a
 sweep against three cache tiers -- the per-process memo, an optional
-persistent JSONL store, and finally a cold evaluation -- and yields a
+persistent store (JSONL or SQLite), and finally a cold evaluation --
+and yields a
 :class:`SweepRecord` per unique config *as it completes*.  Cache hits
 stream out immediately; cold evaluations follow in completion order
 (``imap_unordered`` over a ``multiprocessing`` pool when ``workers >
@@ -22,12 +23,13 @@ import contextlib
 import math
 import multiprocessing
 import os
+import threading
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 from .evaluate import _MEMO, EVAL_VERSION, evaluate_point, evaluate_points
 from .spec import SweepPoint, SweepSpec
-from .store import ResultStore
+from .store import ResultStoreBase, open_store
 
 __all__ = ["SweepRecord", "SweepResult", "DSEEngine", "iter_sweep", "run_sweep"]
 
@@ -71,10 +73,18 @@ class SweepResult:
 
 
 def _pool_context():
-    # fork shares the already-imported simulator with workers; fall back
-    # to the platform default (spawn) where fork is unavailable.
-    if "fork" in multiprocessing.get_all_start_methods():
+    # fork shares the already-imported simulator with workers -- but
+    # forking a multi-threaded process (e.g. a sweep running inside a
+    # `repro serve` handler thread) copies other threads' locks in
+    # whatever state they are in and can deadlock a child, so fork is
+    # only picked while the process is single-threaded.  Threaded
+    # processes use spawn explicitly (the platform default may still
+    # be fork); platforms without either fall back to their default.
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods and threading.active_count() == 1:
         return multiprocessing.get_context("fork")
+    if "spawn" in methods:
+        return multiprocessing.get_context("spawn")
     return multiprocessing.get_context()
 
 
@@ -103,7 +113,7 @@ def _lowered_chunks(
 
 def iter_sweep(
     sweep: SweepSpec | Iterable[SweepPoint],
-    store: ResultStore | str | os.PathLike | None = None,
+    store: ResultStoreBase | str | os.PathLike | None = None,
     workers: int = 1,
     chunk_size: int = 32,
     vectorize: bool = True,
@@ -126,15 +136,16 @@ def iter_sweep(
     if workers < 1:
         raise ValueError("workers must be >= 1")
 
-    if store is not None and not isinstance(store, ResultStore):
-        store = ResultStore(store)
+    if store is not None and not isinstance(store, ResultStoreBase):
+        store = open_store(store)
     stored: dict[str, dict] = {}
     if store is not None:
-        stored = {
-            key: record
-            for key, record in store.load().items()
-            if record.get("version") == EVAL_VERSION
-        }
+        # Only the sweep's own hashes, only at the current version: the
+        # JSONL backend answers from a full load, the SQLite backend
+        # from an indexed point lookup -- a huge warm store costs time
+        # proportional to the sweep, not the store.
+        unique = list(dict.fromkeys(point.config_hash() for point in points))
+        stored = store.records_for(unique, version=EVAL_VERSION)
 
     # One held-open append handle for the whole stream: each completed
     # record is flushed to disk without a file open (or, on gzipped
@@ -153,6 +164,9 @@ def iter_sweep(
                     persist(_MEMO[key])
                 yield SweepRecord(index, point, _MEMO[key], "memo")
             elif key in stored:
+                # A store hit warms the in-process memo: the next sweep
+                # over this config is served without touching the store.
+                _MEMO[key] = stored[key]
                 yield SweepRecord(index, point, stored[key], "store")
             else:
                 pending.append((index, point))
@@ -197,7 +211,7 @@ def iter_sweep(
 
 def run_sweep(
     sweep: SweepSpec | Iterable[SweepPoint],
-    store: ResultStore | str | os.PathLike | None = None,
+    store: ResultStoreBase | str | os.PathLike | None = None,
     workers: int = 1,
     chunk_size: int = 32,
     vectorize: bool = True,
@@ -233,7 +247,7 @@ def run_sweep(
 class DSEEngine:
     """Reusable engine configuration: store + parallelism settings."""
 
-    store: ResultStore | str | os.PathLike | None = None
+    store: ResultStoreBase | str | os.PathLike | None = None
     workers: int = 1
     chunk_size: int = 32
     vectorize: bool = True

@@ -14,7 +14,10 @@ __all__ = [
     "geomean_speedup",
     "attach_policy_metric",
     "accuracy_perf_frontier",
+    "filter_records",
+    "run_query",
     "render_records",
+    "QUERY_NAMES",
 ]
 
 DEFAULT_OBJECTIVES = ("total_seconds", "total_energy_j")
@@ -224,6 +227,89 @@ def accuracy_perf_frontier(
     return pareto_frontier(
         augmented, objectives=(objective, "accuracy"), senses=(sense, "max")
     )
+
+
+#: Query names `run_query` dispatches -- the server's /query/<name> routes.
+QUERY_NAMES = ("pareto", "top-k", "accuracy-frontier")
+
+
+def filter_records(
+    records: Iterable[Mapping], where: Mapping | None = None
+) -> list[Mapping]:
+    """Records whose top-level fields equal every ``where`` entry.
+
+    ``where={"workload": "LSTM", "memory": "DDR4"}`` keeps only that
+    slice; ``None`` or an empty mapping keeps everything.  This is the
+    shared pre-filter of every served query.
+    """
+    records = list(records)
+    if where is None:
+        return records
+    if not isinstance(where, Mapping):
+        # Type-check before the emptiness check: a falsy non-mapping
+        # ([], "", 0) is a caller bug, not "no filter".
+        raise ValueError(
+            '"where" must be an object of {field: value} equality filters, '
+            f"got {type(where).__name__}"
+        )
+    if not where:
+        return records
+    return [record for record in records if _matches(record, where)]
+
+
+def run_query(
+    records: Iterable[Mapping], query: str, params: Mapping | None = None
+) -> list[Mapping]:
+    """Dispatch one named reduction over records -- the served entry point.
+
+    ``query`` is one of :data:`QUERY_NAMES`; ``params`` carries the
+    query's keyword arguments plus an optional ``where`` equality
+    filter applied first.  Unknown queries and unknown parameters raise
+    (``KeyError`` / ``ValueError``), so a service can map them straight
+    to a client error instead of silently ignoring a typo.
+    """
+    params = dict(params or {})
+    records = filter_records(records, params.pop("where", None))
+    if query == "pareto":
+        objectives = params.pop("objectives", DEFAULT_OBJECTIVES)
+        senses = params.pop("senses", None)
+        # A bare string would iterate per character ("total_seconds" ->
+        # 13 one-letter objectives) and fail with a baffling KeyError.
+        if isinstance(objectives, str) or isinstance(senses, str):
+            raise ValueError(
+                '"objectives"/"senses" must be lists, not bare strings '
+                '(top-k takes a singular "objective")'
+            )
+        result = pareto_frontier(
+            records, objectives=tuple(objectives), senses=senses
+        )
+    elif query == "top-k":
+        result = top_k(
+            records,
+            params.pop("objective", "total_seconds"),
+            k=int(params.pop("k", 10)),
+            sense=params.pop("sense", "min"),
+        )
+    elif query == "accuracy-frontier":
+        accuracy = params.pop("accuracy_by_policy", None)
+        if not isinstance(accuracy, Mapping) or not accuracy:
+            raise ValueError(
+                "accuracy-frontier needs a non-empty accuracy_by_policy "
+                "mapping of {policy name: accuracy}"
+            )
+        result = accuracy_perf_frontier(
+            records,
+            accuracy,
+            objective=params.pop("objective", "total_seconds"),
+            sense=params.pop("sense", "min"),
+        )
+    else:
+        raise KeyError(
+            f"unknown query {query!r}; choose from {sorted(QUERY_NAMES)}"
+        )
+    if params:
+        raise ValueError(f"unknown {query} parameters: {sorted(params)}")
+    return result
 
 
 def render_records(records: Sequence[Mapping]) -> str:

@@ -310,6 +310,27 @@ class SweepPoint:
             object.__setattr__(self, "_config_hash", cached)
         return cached
 
+    def to_dict(self) -> dict:
+        """The JSON wire spelling of this point.
+
+        Round-trips through :meth:`SweepSpec.from_dict` to an identical
+        point -- same config, same hash -- so a sweep submitted to a
+        remote server (``repro dse --server``) resolves against the
+        server's caches exactly like a local run.  Hardware specs are
+        spelled as flat field dicts, never registry names, so custom
+        specs travel too.
+        """
+        data: dict = {"workload": self.workload, "policy": self.policy}
+        if self.batch is not None:
+            data["batch"] = self.batch
+        if self.gpu is not None:
+            data["gpu"] = _flat_spec_dict(self.gpu)
+            data["precision"] = self.gpu_precision
+        else:
+            data["platform"] = _flat_spec_dict(self.platform)
+            data["memory"] = _flat_spec_dict(self.memory)
+        return data
+
 
 @dataclass(frozen=True)
 class SweepSpec:
@@ -388,6 +409,16 @@ class SweepSpec:
                         )
                     )
         return cls(points=tuple(points))
+
+    def to_dict(self) -> dict:
+        """The JSON wire spelling (explicit points; grids stay local).
+
+        ``SweepSpec.from_dict(spec.to_dict())`` rebuilds an identical
+        spec: same points, same order, same config hashes.  This is the
+        payload format of ``POST /sweep`` and the per-shard spec files
+        ``repro dse-launch`` writes.
+        """
+        return {"points": [point.to_dict() for point in self.points]}
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "SweepSpec":

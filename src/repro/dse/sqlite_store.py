@@ -1,0 +1,262 @@
+"""SQLite-backed result store: one resolved row per config hash.
+
+Same contract as the JSONL :class:`~repro.dse.store.ResultStore` --
+version-aware last-write-wins, ``merge``/``compact`` parity, records
+bit-identical through the JSON round-trip -- but the resolution rule is
+applied *at write time* by a conditional upsert, so the table always
+holds exactly the surviving record per hash.  That turns the engine's
+warm path (:meth:`~repro.dse.store.ResultStoreBase.records_for`) into
+an indexed point lookup instead of a full-file parse: a million-record
+store resolves a sweep in time proportional to the sweep, not the
+store.
+
+Durability comes from SQLite's transactional writes: there is no torn
+tail to tolerate, every committed record survives a crash whole.  The
+streaming :meth:`appender` commits per record for parity with the JSONL
+flush-per-record behaviour, while bulk :meth:`append` batches one
+transaction.  Stores are plain single files, safe to copy or merge
+across machines like their JSONL siblings; ``gzip`` conversion is a
+JSONL-only concept and is rejected explicitly.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from contextlib import closing, contextmanager
+from typing import Callable, Iterable, Iterator
+
+from .store import ResultStoreBase, _source_records
+
+__all__ = ["SQLiteStore"]
+
+_SCHEMA = (
+    "CREATE TABLE IF NOT EXISTS records ("
+    " hash TEXT PRIMARY KEY,"
+    " version INTEGER NOT NULL DEFAULT 0,"
+    " record TEXT NOT NULL"
+    ") WITHOUT ROWID",
+    "CREATE INDEX IF NOT EXISTS records_version ON records (version)",
+)
+
+# The whole resolution rule in one statement: replace only when the
+# incoming version ties or beats the stored one (_supersedes in SQL).
+_UPSERT = (
+    "INSERT INTO records (hash, version, record) VALUES (?, ?, ?) "
+    "ON CONFLICT (hash) DO UPDATE SET"
+    " version = excluded.version, record = excluded.record"
+    " WHERE excluded.version >= records.version"
+)
+
+#: Point lookups batch their IN-lists to stay under SQLite's host
+#: parameter limit (999 in older builds).
+_SELECT_CHUNK = 500
+
+
+def _row(record: dict) -> tuple[str, int, str] | None:
+    """The (hash, version, json) row for a record; None when keyless."""
+    key = record.get("hash") if isinstance(record, dict) else None
+    if not key:
+        return None  # keyless records are unloadable in any backend
+    return (key, record.get("version", 0), json.dumps(record, sort_keys=True))
+
+
+class SQLiteStore(ResultStoreBase):
+    """Persistent cache of evaluated design points in a SQLite file."""
+
+    backend = "sqlite"
+
+    @contextmanager
+    def _guard(self) -> Iterator[None]:
+        """Translate sqlite3 errors (locked database, corruption) into
+        OSError at the store boundary, so callers -- the CLI's error
+        mapping, the server's 503 path -- handle store I/O failures
+        uniformly without knowing the backend."""
+        try:
+            yield
+        except sqlite3.Error as error:
+            raise OSError(f"sqlite store {self.path}: {error}") from None
+
+    def _connect(self) -> sqlite3.Connection:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        connection = sqlite3.connect(self.path)
+        # Writers from merge/ingest can overlap a streaming appender;
+        # wait for the lock instead of failing fast.
+        connection.execute("PRAGMA busy_timeout = 10000")
+        try:
+            for statement in _SCHEMA:
+                connection.execute(statement)
+        except sqlite3.OperationalError:
+            # E.g. locked past the busy timeout: a real I/O failure,
+            # mapped to OSError by the calling method's _guard.
+            connection.close()
+            raise
+        except sqlite3.DatabaseError:
+            # E.g. --backend sqlite forced onto a JSONL file.
+            connection.close()
+            raise ValueError(
+                f"{self.path} is not a SQLite store (open it with the "
+                "jsonl backend, or pick a fresh path)"
+            )
+        return connection
+
+    def load(self) -> dict[str, dict]:
+        """All stored records as ``{config_hash: record}`` (pre-resolved)."""
+        if not self.exists():
+            return {}
+        with self._guard(), closing(self._connect()) as db:
+            return {
+                key: json.loads(blob)
+                for key, blob in db.execute("SELECT hash, record FROM records")
+            }
+
+    def iter_lines(self) -> Iterator[dict]:
+        """One surviving record per hash (duplicates resolved on write)."""
+        if not self.exists():
+            return
+        with self._guard(), closing(self._connect()) as db:
+            for (blob,) in db.execute("SELECT record FROM records"):
+                yield json.loads(blob)
+
+    def append(self, records: Iterable[dict]) -> int:
+        """Upsert records in one transaction; returns how many were offered."""
+        rows = [row for row in map(_row, records) if row is not None]
+        with self._guard(), closing(self._connect()) as db, db:
+            db.executemany(_UPSERT, rows)
+        return len(rows)
+
+    @contextmanager
+    def appender(self) -> Iterator[Callable[[dict], None]]:
+        """One held-open connection, one committed transaction per record.
+
+        Commit-per-record mirrors the JSONL flush-per-record contract:
+        every completed record is durable before the next evaluation
+        starts, so an interrupted run keeps its partials.  The database
+        file is only created once something is written.
+        """
+        db: sqlite3.Connection | None = None
+        try:
+
+            def write(record: dict) -> None:
+                nonlocal db
+                row = _row(record)
+                if row is None:
+                    return
+                with self._guard():
+                    if db is None:
+                        db = self._connect()
+                    with db:
+                        db.execute(_UPSERT, row)
+
+            yield write
+        finally:
+            if db is not None:
+                db.close()
+
+    def records_for(
+        self, hashes: Iterable[str], version: int | None = None
+    ) -> dict[str, dict]:
+        """Indexed point lookup -- the engine's warm path.
+
+        Unlike the JSONL backend, only the requested rows are read and
+        parsed, so resolving a sweep against a huge warm store costs
+        time proportional to the sweep.
+        """
+        keys = list(dict.fromkeys(hashes))
+        if not keys or not self.exists():
+            return {}
+        out: dict[str, dict] = {}
+        with self._guard(), closing(self._connect()) as db:
+            for start in range(0, len(keys), _SELECT_CHUNK):
+                chunk = keys[start : start + _SELECT_CHUNK]
+                marks = ",".join("?" * len(chunk))
+                sql = f"SELECT hash, record FROM records WHERE hash IN ({marks})"
+                params: list = list(chunk)
+                if version is not None:
+                    sql += " AND version = ?"
+                    params.append(version)
+                for key, blob in db.execute(sql, params):
+                    out[key] = json.loads(blob)
+        return out
+
+    def hashes(self, version: int | None = None) -> set[str]:
+        if not self.exists():
+            return set()
+        sql = "SELECT hash FROM records"
+        params: tuple = ()
+        if version is not None:
+            sql += " WHERE version = ?"
+            params = (version,)
+        with self._guard(), closing(self._connect()) as db:
+            return {key for (key,) in db.execute(sql, params)}
+
+    def merge(
+        self,
+        sources: Iterable,
+        gzip: bool | None = None,
+    ) -> int:
+        """Upsert every source's surviving records; returns the row count.
+
+        Incremental by construction: existing rows participate through
+        the upsert's version comparison (a later source wins a
+        same-version tie), and this store's own records are never
+        re-read or re-written.  Sources may be stores of either
+        backend, paths, or already-loaded ``{hash: record}`` mappings.
+        """
+        if gzip:
+            raise ValueError("SQLite stores do not support gzip")
+        with self._guard(), closing(self._connect()) as db:
+            for items in _source_records(sources):
+                rows = [
+                    row
+                    for row in (_row(record) for _, record in items)
+                    if row is not None
+                ]
+                with db:
+                    db.executemany(_UPSERT, rows)
+            return db.execute("SELECT COUNT(*) FROM records").fetchone()[0]
+
+    def compact(
+        self, gzip: bool | None = None, drop_stale: bool = True
+    ) -> tuple[int, int]:
+        """Drop stale-version rows and vacuum; returns ``(kept, dropped)``.
+
+        Superseded duplicates never reach the table (the upsert resolves
+        them), so compaction only removes records at versions other than
+        the current ``EVAL_VERSION`` (when ``drop_stale``) and reclaims
+        the freed pages.
+        """
+        if gzip:
+            raise ValueError("SQLite stores do not support gzip")
+        if not self.exists():
+            return (0, 0)
+        with self._guard(), closing(self._connect()) as db:
+            with db:
+                total = db.execute(
+                    "SELECT COUNT(*) FROM records"
+                ).fetchone()[0]
+                if drop_stale:
+                    from .evaluate import EVAL_VERSION
+
+                    db.execute(
+                        "DELETE FROM records WHERE version != ?",
+                        (EVAL_VERSION,),
+                    )
+                kept = db.execute("SELECT COUNT(*) FROM records").fetchone()[0]
+            db.execute("VACUUM")
+        return (kept, total - kept)
+
+    def __len__(self) -> int:
+        if not self.exists():
+            return 0
+        with self._guard(), closing(self._connect()) as db:
+            return db.execute("SELECT COUNT(*) FROM records").fetchone()[0]
+
+    def __contains__(self, config_hash: str) -> bool:
+        if not self.exists():
+            return False
+        with self._guard(), closing(self._connect()) as db:
+            row = db.execute(
+                "SELECT 1 FROM records WHERE hash = ?", (config_hash,)
+            ).fetchone()
+            return row is not None

@@ -1,21 +1,30 @@
-"""Append-only JSONL result store for DSE records.
+"""Persistent result stores for DSE records: JSONL and SQLite backends.
 
-One JSON record per line, keyed by the point's config hash.  Appends are
-crash-safe in the usual JSONL sense: a torn final line is ignored on
-load, and re-appending the same hash is harmless -- on load, duplicate
-hashes resolve *version-aware last-write-wins*: a line only supersedes
-an earlier line for the same hash when its ``version`` is at least as
-new, so a stale re-append can never shadow a current record.
+Stores are keyed by the point's config hash and share one resolution
+rule, *version-aware last-write-wins*: a record only supersedes an
+earlier record for the same hash when its ``version`` is at least as
+new, so a stale re-append can never shadow a current record.  Two
+backends implement the :class:`ResultStoreBase` interface:
 
-Long-lived stores grow one line per append; :meth:`ResultStore.compact`
-rewrites the file keeping only the surviving record per hash (optionally
-gzip-compressed), and :meth:`ResultStore.merge` unions per-shard stores
-produced by a partitioned sweep (see :meth:`SweepSpec.shard
-<repro.dse.spec.SweepSpec.shard>`) into one store under the same
-resolution rules.  Gzipped stores are detected by magic bytes, so every
-operation -- load, append, merge, compact -- is transparent to whether
-the file is compressed; appends to a gzipped store add a new gzip
-member, which the multi-member reader handles natively.
+* :class:`ResultStore` -- the append-only JSONL file.  One JSON record
+  per line; appends are crash-safe in the usual JSONL sense (a torn
+  final line is skipped with a warning on load), duplicate hashes
+  resolve at load time, :meth:`~ResultStoreBase.compact` rewrites the
+  file keeping only survivors (optionally gzip-compressed, detected by
+  magic bytes on every operation).
+* :class:`~repro.dse.sqlite_store.SQLiteStore` -- one row per hash in a
+  SQLite table, with the same resolution rule applied at write time by
+  a conditional upsert.  Point lookups (:meth:`~ResultStoreBase.
+  records_for`) are indexed, so a large warm store resolves a sweep
+  without re-parsing every record the way a JSONL load must.
+
+:func:`open_store` picks the backend from an explicit name, SQLite
+magic bytes in an existing file, or the path suffix (``.sqlite`` /
+``.sqlite3`` / ``.db``), so every CLI ``--store`` flag and every
+``store=`` argument accepts either backend transparently.  Per-shard
+stores of either backend union into one via :meth:`ResultStoreBase.
+merge` under the same resolution rules (see :meth:`SweepSpec.shard
+<repro.dse.spec.SweepSpec.shard>`).
 """
 
 from __future__ import annotations
@@ -23,13 +32,25 @@ from __future__ import annotations
 import gzip as gzip_module
 import json
 import os
+import warnings
 from contextlib import contextmanager
 from pathlib import Path
-from typing import IO, Callable, Iterable, Iterator
+from typing import IO, Callable, Iterable, Iterator, Mapping
 
-__all__ = ["ResultStore"]
+__all__ = [
+    "ResultStore",
+    "ResultStoreBase",
+    "StoreWarning",
+    "open_store",
+]
 
 _GZIP_MAGIC = b"\x1f\x8b"
+_SQLITE_MAGIC = b"SQLite format 3\x00"
+_SQLITE_SUFFIXES = (".sqlite", ".sqlite3", ".db")
+
+
+class StoreWarning(UserWarning):
+    """A store file held lines that could not be parsed (and were skipped)."""
 
 
 def _supersedes(new: dict, old: dict) -> bool:
@@ -37,8 +58,16 @@ def _supersedes(new: dict, old: dict) -> bool:
     return new.get("version", 0) >= old.get("version", 0)
 
 
-class ResultStore:
-    """Persistent cache of evaluated design points."""
+class ResultStoreBase:
+    """The persistent-cache interface both store backends implement.
+
+    Subclasses provide ``load``/``append``/``appender``/``iter_lines``/
+    ``merge``/``compact``; the base supplies derived conveniences with
+    load-everything fallbacks that indexed backends override.
+    """
+
+    #: Short backend name, reported by :meth:`stats` and the CLI.
+    backend = "base"
 
     def __init__(self, path: str | os.PathLike):
         self.path = Path(path)
@@ -47,41 +76,190 @@ class ResultStore:
         return self.path.exists()
 
     def is_gzipped(self) -> bool:
+        return False
+
+    # -- interface implemented per backend -----------------------------
+    def load(self) -> dict[str, dict]:
+        raise NotImplementedError
+
+    def append(self, records: Iterable[dict]) -> int:
+        raise NotImplementedError
+
+    def appender(self) -> "contextmanager":
+        raise NotImplementedError
+
+    def iter_lines(self) -> Iterator[dict]:
+        raise NotImplementedError
+
+    def compact(
+        self, gzip: bool | None = None, drop_stale: bool = True
+    ) -> tuple[int, int]:
+        raise NotImplementedError
+
+    # -- derived queries (overridden where the backend can do better) --
+    def records_for(
+        self, hashes: Iterable[str], version: int | None = None
+    ) -> dict[str, dict]:
+        """The stored records for the given config hashes.
+
+        ``version`` restricts hits to records at exactly that
+        ``EVAL_VERSION`` -- the engine's warm path, which only wants
+        records it will not re-evaluate anyway.  The JSONL backend must
+        parse the whole file to answer; the SQLite backend answers from
+        an indexed point lookup.
+        """
+        # Missing versions count as 0, matching _supersedes and the
+        # SQLite column default -- the backends must agree on
+        # versionless records.
+        wanted = set(hashes)
+        return {
+            key: record
+            for key, record in self.load().items()
+            if key in wanted
+            and (version is None or record.get("version", 0) == version)
+        }
+
+    def hashes(self, version: int | None = None) -> set[str]:
+        """Every stored config hash (optionally at one version)."""
+        return {
+            key
+            for key, record in self.load().items()
+            if version is None or record.get("version", 0) == version
+        }
+
+    def stats(self) -> dict:
+        """Store metadata for health/stats surfaces (no record bodies)."""
+        exists = self.exists()
+        return {
+            "backend": self.backend,
+            "path": str(self.path),
+            "exists": exists,
+            "records": len(self) if exists else 0,
+            "size_bytes": self.path.stat().st_size if exists else 0,
+            "gzipped": self.is_gzipped(),
+        }
+
+    def merge(
+        self,
+        sources: Iterable["ResultStoreBase | Mapping | str | os.PathLike"],
+        gzip: bool | None = None,
+    ) -> int:
+        """Union source stores into this one; returns the record count.
+
+        Existing records in this store participate too: for each hash
+        the surviving record is picked version-aware last-write-wins
+        across self and the sources, in argument order (a later source
+        wins a same-version tie).  Sources may be either backend --
+        paths go through :func:`open_store` -- or already-loaded
+        ``{hash: record}`` mappings (a caller that just read a store
+        need not re-parse it); missing source files are skipped, so
+        empty shards that never produced a store merge cleanly.
+        """
+        merged = self.load()
+        for source in _source_records(sources):
+            for key, record in source:
+                if key not in merged or _supersedes(record, merged[key]):
+                    merged[key] = record
+        self._replace_all(merged.values(), gzip=gzip)
+        return len(merged)
+
+    def _replace_all(
+        self, records: Iterable[dict], gzip: bool | None = None
+    ) -> None:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        return len(self.load())
+
+    def __contains__(self, config_hash: str) -> bool:
+        return config_hash in self.load()
+
+
+class ResultStore(ResultStoreBase):
+    """The append-only JSONL result store (one JSON record per line).
+
+    Gzipped stores are detected by magic bytes, so every operation --
+    load, append, merge, compact -- is transparent to whether the file
+    is compressed; appends to a gzipped store add a new gzip member,
+    which the multi-member reader handles natively.
+    """
+
+    backend = "jsonl"
+
+    def is_gzipped(self) -> bool:
         """Whether the store file is gzip-compressed (magic-byte sniff)."""
         if not self.path.exists():
             return False
         with self.path.open("rb") as handle:
             return handle.read(2) == _GZIP_MAGIC
 
-    def _open_read(self) -> IO[str]:
+    def _reject_sqlite_file(self) -> None:
+        # A forced jsonl backend on a SQLite file must hard-error:
+        # treating the binary pages as torn lines would read as an
+        # empty store, and appending JSONL after them would write
+        # records no later open (which sniffs SQLite magic) can see.
+        if not self.path.exists():
+            return
+        with self.path.open("rb") as handle:
+            if handle.read(len(_SQLITE_MAGIC)) == _SQLITE_MAGIC:
+                raise ValueError(
+                    f"{self.path} is a SQLite store (open it with the "
+                    "sqlite backend, or pick a fresh path)"
+                )
+
+    def _open_read(self) -> IO[bytes]:
+        # Binary on purpose: a crash mid-append can tear a multi-byte
+        # character, and a text-mode handle would raise mid-iteration.
+        # ``json.loads`` decodes each line itself.
+        self._reject_sqlite_file()
         if self.is_gzipped():
-            return gzip_module.open(self.path, "rt", encoding="utf-8")
-        return self.path.open("r", encoding="utf-8")
+            return gzip_module.open(self.path, "rb")
+        return self.path.open("rb")
 
     def _open_append(self) -> IO[str]:
+        self._reject_sqlite_file()
         if self.is_gzipped():
             # A new gzip member; readers treat members as one stream.
             return gzip_module.open(self.path, "at", encoding="utf-8")
         return self.path.open("a", encoding="utf-8")
 
     def iter_lines(self) -> Iterator[dict]:
-        """Every parseable record line in file order (no dedup)."""
+        """Every parseable record line in file order (no dedup).
+
+        A line that fails to parse -- the torn tail of a
+        crash-interrupted append, or a mid-file corruption -- is skipped
+        with a :class:`StoreWarning` instead of aborting the load, so a
+        crashed run's store keeps serving everything that landed.
+        """
         if not self.path.exists():
             return
         try:
             with self._open_read() as handle:
-                for line in handle:
-                    line = line.strip()
-                    if not line:
+                for lineno, raw in enumerate(handle, 1):
+                    raw = raw.strip()
+                    if not raw:
                         continue
                     try:
-                        record = json.loads(line)
-                    except json.JSONDecodeError:
-                        continue  # torn write at the tail of a crashed run
+                        record = json.loads(raw)
+                    except (json.JSONDecodeError, UnicodeDecodeError):
+                        warnings.warn(
+                            f"{self.path}: skipping unparseable record on "
+                            f"line {lineno} (torn write from an interrupted "
+                            "append?)",
+                            StoreWarning,
+                            stacklevel=2,
+                        )
+                        continue
                     if isinstance(record, dict) and record.get("hash"):
                         yield record
         except (EOFError, gzip_module.BadGzipFile):
-            return  # torn gzip member at the tail; keep what parsed
+            warnings.warn(
+                f"{self.path}: torn gzip member at the tail; keeping the "
+                "records that parsed",
+                StoreWarning,
+                stacklevel=2,
+            )
+            return
 
     def load(self) -> dict[str, dict]:
         """All stored records as ``{config_hash: record}``.
@@ -144,31 +322,12 @@ class ResultStore:
                 handle.write(json.dumps(record, sort_keys=True) + "\n")
         os.replace(tmp, self.path)
 
-    def merge(
-        self,
-        sources: Iterable[ResultStore | str | os.PathLike],
-        gzip: bool | None = None,
-    ) -> int:
-        """Union per-shard stores into this one; returns the record count.
-
-        Existing records in this store participate too: for each hash
-        the surviving record is picked version-aware last-write-wins
-        across self and the sources, in argument order (a later source
-        wins a same-version tie).  Missing source files are skipped, so
-        empty shards that never produced a store merge cleanly.  The
-        merged store is rewritten compacted -- one line per hash.
-        """
-        merged = self.load()
-        for source in sources:
-            if not isinstance(source, ResultStore):
-                source = ResultStore(source)
-            for key, record in source.load().items():
-                if key not in merged or _supersedes(record, merged[key]):
-                    merged[key] = record
+    def _replace_all(
+        self, records: Iterable[dict], gzip: bool | None = None
+    ) -> None:
         if gzip is None:
             gzip = self.is_gzipped()
-        self._rewrite(merged.values(), gzip=gzip)
-        return len(merged)
+        self._rewrite(records, gzip=gzip)
 
     def compact(
         self, gzip: bool | None = None, drop_stale: bool = True
@@ -207,8 +366,56 @@ class ResultStore:
         self._rewrite(records.values(), gzip=gzip)
         return (len(records), total - len(records))
 
-    def __len__(self) -> int:
-        return len(self.load())
 
-    def __contains__(self, config_hash: str) -> bool:
-        return config_hash in self.load()
+def _source_records(
+    sources: Iterable["ResultStoreBase | Mapping | str | os.PathLike"],
+) -> Iterator[Iterable[tuple[str, dict]]]:
+    """Each merge source as ``(hash, record)`` items, in source order."""
+    for source in sources:
+        if isinstance(source, Mapping):
+            yield source.items()
+        else:
+            if not isinstance(source, ResultStoreBase):
+                source = open_store(source)
+            yield source.load().items()
+
+
+def _sniff_backend(path: Path) -> str:
+    """Pick a backend for a path: file magic first, then suffix."""
+    try:
+        if path.exists() and path.stat().st_size > 0:
+            with path.open("rb") as handle:
+                head = handle.read(len(_SQLITE_MAGIC))
+            return "sqlite" if head == _SQLITE_MAGIC else "jsonl"
+    except OSError:
+        pass
+    return "sqlite" if path.suffix.lower() in _SQLITE_SUFFIXES else "jsonl"
+
+
+def open_store(
+    path: "ResultStoreBase | str | os.PathLike", backend: str | None = None
+) -> ResultStoreBase:
+    """Open a result store, picking the backend when not forced.
+
+    ``backend`` is ``"jsonl"``, ``"sqlite"``, or ``None`` to decide from
+    the file itself: an existing non-empty file goes by its magic bytes
+    (so a mis-suffixed store still opens correctly), a fresh path by its
+    suffix (``.sqlite`` / ``.sqlite3`` / ``.db`` select SQLite,
+    anything else JSONL).  An already-constructed store passes through
+    untouched, so every ``store=`` argument accepts paths and store
+    objects interchangeably.
+    """
+    if isinstance(path, ResultStoreBase):
+        return path
+    resolved = Path(path)
+    if backend is None:
+        backend = _sniff_backend(resolved)
+    if backend == "sqlite":
+        from .sqlite_store import SQLiteStore
+
+        return SQLiteStore(resolved)
+    if backend == "jsonl":
+        return ResultStore(resolved)
+    raise ValueError(
+        f"unknown store backend {backend!r}; choose 'jsonl' or 'sqlite'"
+    )

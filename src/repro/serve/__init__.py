@@ -1,0 +1,56 @@
+"""``repro.serve`` -- the sweep service built over the DSE engine.
+
+The file-based DSE cache served as a system: a long-lived HTTP process
+that owns a warm result store and hands records, frontiers, and
+rankings to many clients, plus the shard orchestration that feeds it.
+
+* :mod:`~repro.serve.server` -- the stdlib-only HTTP service
+  (:class:`SweepService` state + :class:`SweepServer` +
+  blocking :func:`serve`): submit sweeps, stream records in completion
+  order, run Pareto / top-k / accuracy-frontier reductions server-side,
+  ingest merged shard stores, health and store stats;
+* :mod:`~repro.serve.client` -- :class:`ServeClient`, the thin urllib
+  client behind ``repro dse --server URL`` (records bit-identical to a
+  local run);
+* :mod:`~repro.serve.launch` -- ``repro dse-launch`` shard
+  orchestration: spawn N local shard processes or print per-machine
+  command lines, auto-merge shard stores, optionally post the merge to
+  a running server;
+* :mod:`~repro.serve.serializers` -- the JSON shapes shared between
+  the HTTP endpoints and the CLI's ``--format json``.
+"""
+
+from .client import ServeClient, ServeError
+from .launch import (
+    LaunchResult,
+    launch,
+    render_commands,
+    shard_commands,
+    shard_store_path,
+)
+from .serializers import (
+    co_explore_payload,
+    dumps,
+    records_payload,
+    result_summary,
+    summary_payload,
+)
+from .server import SweepServer, SweepService, serve
+
+__all__ = [
+    "ServeClient",
+    "ServeError",
+    "LaunchResult",
+    "launch",
+    "render_commands",
+    "shard_commands",
+    "shard_store_path",
+    "co_explore_payload",
+    "dumps",
+    "records_payload",
+    "result_summary",
+    "summary_payload",
+    "SweepServer",
+    "SweepService",
+    "serve",
+]

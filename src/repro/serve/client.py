@@ -1,0 +1,230 @@
+"""Thin stdlib HTTP client for the sweep service.
+
+Speaks the plain JSON/NDJSON protocol of :mod:`repro.serve.server`
+with nothing beyond ``urllib``.  ``repro dse --server URL`` runs on
+this client; scripts can too::
+
+    client = ServeClient("http://127.0.0.1:8000")
+    records, summary = client.sweep({"grid": {"workloads": ["LSTM"]}})
+    frontier = client.pareto(where={"workload": "LSTM"})
+"""
+
+from __future__ import annotations
+
+import json
+from http.client import HTTPException
+from typing import Iterator, Mapping
+from urllib import request as _request
+from urllib.error import HTTPError, URLError
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """The server rejected a request or could not be reached."""
+
+
+class ServeClient:
+    """One server, many requests; no connection state to manage.
+
+    ``timeout`` bounds every socket operation, including the wait for
+    the next streamed record -- sweeps queue server-side, so raise it
+    when long sweeps may sit behind others (``repro dse --server``
+    exposes this as ``--timeout``).
+    """
+
+    def __init__(self, base_url: str, timeout: float = 600.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        #: Tier summary of the most recent streamed sweep.
+        self.last_summary: dict | None = None
+
+    # -- plumbing ------------------------------------------------------
+    def _open(self, path: str, payload=None):
+        data = None
+        headers = {}
+        if payload is not None:
+            data = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        req = _request.Request(
+            self.base_url + path, data=data, headers=headers
+        )
+        try:
+            return _request.urlopen(req, timeout=self.timeout)
+        except HTTPError as error:
+            detail = ""
+            try:
+                detail = json.loads(error.read()).get("error", "")
+            except (ValueError, OSError):
+                pass
+            raise ServeError(
+                f"{path}: HTTP {error.code}"
+                + (f": {detail}" if detail else "")
+            ) from None
+        except URLError as error:
+            raise ServeError(
+                f"cannot reach sweep server at {self.base_url}: "
+                f"{error.reason}"
+            ) from None
+        except (HTTPException, OSError) as error:
+            # E.g. RemoteDisconnected or ConnectionResetError: the
+            # server dropped the connection before sending a status
+            # line (urlopen only wraps errors from the *send* side
+            # into URLError; response-read failures escape raw).
+            raise ServeError(
+                f"sweep server at {self.base_url} dropped the "
+                f"connection: {error or type(error).__name__}"
+            ) from None
+
+    def _json(self, path: str, payload=None) -> dict:
+        with self._open(path, payload) as response:
+            try:
+                return json.load(response)
+            except (OSError, HTTPException, ValueError) as error:
+                raise ServeError(
+                    f"{path}: invalid or truncated response: {error}"
+                ) from None
+
+    def _ndjson(self, path: str, payload=None) -> Iterator[dict]:
+        # Read-side failures (server killed mid-stream, socket timeout,
+        # torn final line) must surface as ServeError like every other
+        # transport problem, not as raw JSONDecodeError/OSError.
+        with self._open(path, payload) as response:
+            while True:
+                try:
+                    line = response.readline()
+                except (OSError, HTTPException) as error:
+                    raise ServeError(
+                        f"{path}: stream interrupted: "
+                        f"{error or type(error).__name__}"
+                    ) from None
+                if not line:
+                    return
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except ValueError as error:
+                    raise ServeError(
+                        f"{path}: torn stream line: {error}"
+                    ) from None
+
+    # -- endpoints -----------------------------------------------------
+    def health(self) -> dict:
+        return self._json("/healthz")
+
+    def stats(self) -> dict:
+        return self._json("/stats")
+
+    def records(self) -> list[dict]:
+        """Every current-version record the server holds.
+
+        The stream is close-delimited, so the terminal ``count`` line
+        is required: a connection dropped mid-stream raises instead of
+        silently returning a truncated list.
+        """
+        records: list[dict] = []
+        count: int | None = None
+        for item in self._ndjson("/records"):
+            if "hash" in item:
+                records.append(item)
+            elif "error" in item:
+                raise ServeError(f"/records: {item['error']}")
+            elif "count" in item:
+                count = item["count"]
+        if count is None or count != len(records):
+            raise ServeError(
+                f"/records stream truncated: got {len(records)} records, "
+                f"terminal count {count}"
+            )
+        return records
+
+    def submit(
+        self,
+        spec: Mapping,
+        workers: int | None = None,
+        vectorize: bool | None = None,
+    ) -> Iterator[dict]:
+        """Submit a sweep spec; yield records in completion order.
+
+        ``spec`` is the JSON sweep-spec format (``{"grid": ...}`` or
+        ``{"points": ...}``, e.g. ``SweepSpec.to_dict()``).  Records
+        stream as the server resolves them -- cache hits immediately,
+        cold evaluations as they land.  The trailing summary object is
+        captured on :attr:`last_summary` rather than yielded; an
+        in-band ``error`` object raises :class:`ServeError`.
+        """
+        payload: dict = {"spec": dict(spec)}
+        if workers is not None:
+            payload["workers"] = workers
+        if vectorize is not None:
+            payload["vectorize"] = vectorize
+        self.last_summary = None
+        for item in self._ndjson("/sweep", payload):
+            if "hash" in item:
+                yield item
+            elif "summary" in item:
+                self.last_summary = item["summary"]
+            elif "error" in item:
+                raise ServeError(f"/sweep: {item['error']}")
+        if self.last_summary is None:
+            # Streams are close-delimited; no trailing summary means
+            # the connection died before the sweep finished.
+            raise ServeError(
+                "/sweep stream ended without a summary (truncated?)"
+            )
+
+    def sweep(
+        self,
+        spec: Mapping,
+        workers: int | None = None,
+        vectorize: bool | None = None,
+    ) -> tuple[list[dict], dict | None]:
+        """Drain :meth:`submit`; returns ``(records, summary)``."""
+        records = list(self.submit(spec, workers=workers, vectorize=vectorize))
+        return records, self.last_summary
+
+    def query(self, name: str, **params) -> list[dict]:
+        """Run a named server-side reduction; returns its records."""
+        body = {k: v for k, v in params.items() if v is not None}
+        return self._json(f"/query/{name}", body)["records"]
+
+    def pareto(self, objectives=None, senses=None, where=None) -> list[dict]:
+        return self.query(
+            "pareto", objectives=objectives, senses=senses, where=where
+        )
+
+    def top_k(
+        self,
+        objective: str = "total_seconds",
+        k: int = 10,
+        sense: str = "min",
+        where=None,
+    ) -> list[dict]:
+        return self.query(
+            "top-k", objective=objective, k=k, sense=sense, where=where
+        )
+
+    def accuracy_frontier(
+        self,
+        accuracy_by_policy: Mapping[str, float],
+        objective: str = "total_seconds",
+        sense: str = "min",
+        where=None,
+    ) -> list[dict]:
+        return self.query(
+            "accuracy-frontier",
+            accuracy_by_policy=dict(accuracy_by_policy),
+            objective=objective,
+            sense=sense,
+            where=where,
+        )
+
+    def post_records(self, records: list[dict]) -> dict:
+        """Ingest records into the server's store (shard upload path)."""
+        return self._json("/records", {"records": list(records)})
+
+    def shutdown(self) -> dict:
+        """Ask the server to stop serving cleanly."""
+        return self._json("/shutdown", {})

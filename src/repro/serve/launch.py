@@ -1,0 +1,233 @@
+"""Shard orchestration: run one sweep as N coordinated shard processes.
+
+``repro dse-launch`` turns the coordination-free hash-range partition
+(:meth:`SweepSpec.shard <repro.dse.spec.SweepSpec.shard>`) into a
+one-command workflow: shard the spec ``n`` ways, spawn one local
+``repro dse --shard i/n`` process per shard (or ``--print-cmds`` the
+exact per-machine command lines), auto-merge the per-shard stores into
+the destination store on completion, and optionally post the merged
+records to a running sweep server
+(:mod:`repro.serve.server`).  Every shard evaluates into its own JSONL
+store, so a crashed shard keeps its partials and a re-launch resumes
+warm.
+"""
+
+from __future__ import annotations
+
+import os
+import shlex
+import subprocess
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..dse.store import ResultStoreBase, open_store
+
+__all__ = [
+    "LaunchResult",
+    "launch",
+    "shard_commands",
+    "shard_store_path",
+]
+
+#: Records per /records upload request when posting a merged store to a
+#: server -- keeps each body far under the server's request-size cap no
+#: matter how large the merge is.
+POST_CHUNK_RECORDS = 20_000
+
+
+def shard_store_path(dest: str | os.PathLike, index: int) -> Path:
+    """Where shard ``index``'s private store lives, next to the dest store."""
+    dest = Path(dest)
+    return dest.with_name(f"{dest.name}.shard{index}.jsonl")
+
+
+def _shard_argv(
+    spec_path: str | os.PathLike,
+    index: int,
+    count: int,
+    store_path: str | os.PathLike,
+    workers: int = 1,
+    vectorize: bool = True,
+) -> list[str]:
+    argv = [
+        "dse",
+        "--spec",
+        str(spec_path),
+        "--shard",
+        f"{index}/{count}",
+        "--store",
+        str(store_path),
+        "--workers",
+        str(workers),
+        "--format",
+        "jsonl",
+    ]
+    if not vectorize:
+        argv.append("--no-vectorize")
+    return argv
+
+
+def shard_commands(
+    spec_path: str | os.PathLike,
+    count: int,
+    dest: str | os.PathLike,
+    workers: int = 1,
+    vectorize: bool = True,
+    program: tuple[str, ...] = ("repro",),
+) -> list[list[str]]:
+    """The ``count`` command lines that together cover the sweep.
+
+    Each line is independent -- run them on one machine or many, in any
+    order; the hash-range partition guarantees disjoint coverage.  The
+    default ``program`` spells the installed console script (what
+    ``--print-cmds`` emits for other machines); the launcher itself
+    substitutes ``sys.executable -m repro`` so it works from a source
+    tree too.
+    """
+    return [
+        list(program)
+        + _shard_argv(
+            spec_path,
+            index,
+            count,
+            shard_store_path(dest, index),
+            workers=workers,
+            vectorize=vectorize,
+        )
+        for index in range(count)
+    ]
+
+
+def render_commands(commands: list[list[str]]) -> str:
+    """Shell-quoted, one command per line (the ``--print-cmds`` output)."""
+    return "\n".join(shlex.join(command) for command in commands)
+
+
+@dataclass
+class LaunchResult:
+    """What one orchestrated launch produced."""
+
+    shards: int
+    merged_records: int
+    store_path: Path
+    shard_paths: list[Path]
+    posted: int | None = None  # records posted to --post, if any
+
+    def summary(self) -> str:
+        text = (
+            f"{self.shards} shards -> merged {self.merged_records} records "
+            f"into {self.store_path}"
+        )
+        if self.posted is not None:
+            text += f"; posted {self.posted} records to the server"
+        return text
+
+
+def _subprocess_env() -> dict[str, str]:
+    """Child env that can import this exact ``repro``, installed or not.
+
+    The launcher may run from a source tree (``PYTHONPATH=src``) where
+    the child's ``python -m repro`` would otherwise not resolve; put the
+    package's parent directory first on the child's path either way.
+    """
+    src_dir = str(Path(__file__).resolve().parents[2])
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src_dir if not existing else src_dir + os.pathsep + existing
+    )
+    return env
+
+
+def launch(
+    spec_path: str | os.PathLike,
+    shards: int,
+    store: "ResultStoreBase | str | os.PathLike",
+    backend: str | None = None,
+    workers: int = 1,
+    vectorize: bool = True,
+    post: str | None = None,
+    keep_shards: bool = False,
+) -> LaunchResult:
+    """Run every shard of ``spec_path`` locally and merge the stores.
+
+    Spawns ``shards`` child processes (each ``repro dse --shard i/n``
+    against its own JSONL shard store), waits for all of them, then
+    merges the shard stores into ``store`` (either backend, forced by
+    ``backend`` or sniffed from the path).  Any shard failure raises
+    ``RuntimeError`` naming the shard and its last stderr line --
+    after all children have exited, so no orphans.  With ``post``, the
+    records this launch produced (the shard delta, not the whole
+    destination store) are uploaded to a running server's ``/records``
+    endpoint in chunks.  Shard stores are deleted after a successful
+    merge unless ``keep_shards``.
+    """
+    if shards < 1:
+        raise ValueError("shard count must be >= 1")
+    dest = open_store(store, backend=backend)
+    commands = shard_commands(
+        spec_path,
+        shards,
+        dest.path,
+        workers=workers,
+        vectorize=vectorize,
+        program=(sys.executable, "-m", "repro"),
+    )
+    env = _subprocess_env()
+    processes = [
+        subprocess.Popen(
+            command,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+            env=env,
+        )
+        for command in commands
+    ]
+    failures = []
+    for index, process in enumerate(processes):
+        _, stderr = process.communicate()
+        if process.returncode != 0:
+            detail = stderr.decode(errors="replace").strip().splitlines()
+            failures.append(
+                f"shard {index}/{shards} exited {process.returncode}"
+                + (f": {detail[-1]}" if detail else "")
+            )
+    if failures:
+        raise RuntimeError("; ".join(failures))
+
+    shard_paths = [shard_store_path(dest.path, i) for i in range(shards)]
+    # Parse each shard store once: the same loaded records feed the
+    # merge and (when posting) the upload delta.  Shards are
+    # hash-disjoint, so a plain union is exact.
+    delta: dict[str, dict] = {}
+    for path in shard_paths:
+        if path.exists():
+            delta.update(open_store(path).load())
+    merged_records = dest.merge([delta])
+
+    posted = None
+    if post:
+        from .client import ServeClient
+
+        client = ServeClient(post)
+        # Only this launch's delta goes up, not everything the
+        # destination store accumulated over earlier runs -- chunked,
+        # so one giant delta never exceeds the server's body cap.
+        records = list(delta.values())
+        posted = 0
+        for start in range(0, len(records), POST_CHUNK_RECORDS):
+            chunk = records[start : start + POST_CHUNK_RECORDS]
+            posted += client.post_records(chunk)["appended"]
+
+    if not keep_shards:
+        for path in shard_paths:
+            path.unlink(missing_ok=True)
+
+    return LaunchResult(
+        shards=shards,
+        merged_records=merged_records,
+        store_path=dest.path,
+        shard_paths=shard_paths,
+        posted=posted,
+    )

@@ -1,0 +1,88 @@
+"""Shared JSON shapes for served and machine-readable sweep output.
+
+The HTTP endpoints (:mod:`repro.serve.server`) and the CLI's
+``--format json`` emit the *same* payloads through these helpers, so a
+script written against ``repro dse --format json`` parses a server's
+``/query/*`` responses unchanged -- and vice versa.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Mapping, Sequence
+
+__all__ = [
+    "dumps",
+    "records_payload",
+    "summary_payload",
+    "result_summary",
+    "co_explore_payload",
+]
+
+
+def dumps(payload) -> str:
+    """Canonical JSON text: sorted keys, 2-space indent, exact floats."""
+    return json.dumps(payload, sort_keys=True, indent=2)
+
+
+def summary_payload(
+    *, points: int, evaluated: int, store_hits: int, memo_hits: int
+) -> dict:
+    """Per-sweep tier accounting in one flat, self-describing object."""
+    return {
+        "points": points,
+        "unique_points": evaluated + store_hits + memo_hits,
+        "evaluated": evaluated,
+        "store_hits": store_hits,
+        "memo_hits": memo_hits,
+    }
+
+
+def result_summary(result) -> dict:
+    """The summary payload of a :class:`~repro.dse.engine.SweepResult`."""
+    return summary_payload(
+        points=len(result.records),
+        evaluated=result.evaluated,
+        store_hits=result.from_store,
+        memo_hits=result.from_memo,
+    )
+
+
+def records_payload(
+    records: Sequence[Mapping], summary: Mapping | None = None
+) -> dict:
+    """A record list wrapped with its count (and optional sweep summary)."""
+    payload: dict = {"count": len(records), "records": list(records)}
+    if summary is not None:
+        payload["summary"] = dict(summary)
+    return payload
+
+
+def _policy_payload(entry) -> dict:
+    """One searched policy of a co-exploration run, flattened."""
+    return {
+        "label": entry.label,
+        "policy": entry.policy,
+        "max_drop": entry.max_drop,
+        "accuracy": entry.accuracy,
+        "float_accuracy": entry.float_accuracy,
+        "accuracy_drop": entry.accuracy_drop,
+        "bits_per_layer": list(entry.bits_per_layer),
+        "search_steps": entry.search_steps,
+    }
+
+
+def co_explore_payload(result, frontier_only: bool = False) -> dict:
+    """The machine-readable shape of a quant--hardware co-exploration.
+
+    Mirrors the human-readable ``repro quant-dse`` tables: the searched
+    policies, the swept records (unless ``frontier_only``), and the
+    accuracy/performance frontier, plus the tier summary.
+    """
+    records: Iterable[Mapping] = () if frontier_only else result.records
+    # CoExploreResult is SweepResult-shaped for summary purposes.
+    payload = records_payload(list(records), summary=result_summary(result))
+    payload["workload"] = result.workload
+    payload["policies"] = [_policy_payload(p) for p in result.policies]
+    payload["frontier"] = list(result.frontier)
+    return payload

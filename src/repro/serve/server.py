@@ -1,0 +1,448 @@
+"""The sweep service: a stdlib-only HTTP server over the DSE engine.
+
+One long-lived process owns a result store and the warm in-process memo;
+many clients submit sweeps, stream records, and run server-side
+reductions against the shared cache instead of each re-evaluating (or
+re-loading) the design space.  The protocol is deliberately plain --
+JSON requests, JSON or NDJSON responses, ``http.server`` underneath --
+so any HTTP client works; :class:`repro.serve.client.ServeClient` is
+the thin reference client.
+
+Endpoints
+---------
+``GET /healthz``
+    Liveness: status, ``EVAL_VERSION``, sweeps served so far.
+``GET /stats``
+    Store metadata (backend, records, bytes) + memo size.
+``GET /records``
+    Every current-version record, streamed as NDJSON, ending with a
+    ``{"count": n}`` terminal line (truncation detection).
+``POST /sweep``
+    Body ``{"spec": {...}, "workers"?: n, "vectorize"?: bool}`` where
+    ``spec`` is the JSON sweep-spec format (grid or explicit points).
+    Streams one NDJSON record per unique config *in completion order*
+    (chunked over :func:`~repro.dse.engine.iter_sweep`), then a final
+    ``{"summary": {...}}`` line with the tier counts.  Fresh records
+    land in the server's store as they stream.
+``POST /query/pareto`` / ``POST /query/top-k`` /
+``POST /query/accuracy-frontier``
+    Server-side reductions over the stored records via
+    :func:`~repro.dse.queries.run_query`; the body carries the query's
+    parameters plus an optional ``where`` equality filter.
+``POST /records``
+    Ingest a JSON list of records (e.g. a merged shard store posted by
+    ``repro dse-launch --post``).
+``POST /shutdown``
+    Stop serving after the response -- the clean-exit path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Iterator, Mapping
+from urllib.parse import urlsplit
+
+from ..dse.engine import iter_sweep
+from ..dse.evaluate import _MEMO, EVAL_VERSION
+from ..dse.queries import run_query
+from ..dse.spec import SweepSpec
+from ..dse.store import ResultStoreBase, open_store
+from .serializers import dumps, records_payload, summary_payload
+
+__all__ = ["SweepService", "SweepServer", "serve"]
+
+#: Reject request bodies past this size (a million-point explicit spec
+#: is ~300 MB of JSON; nobody submits that in one request by accident).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class SweepService:
+    """The service state: one store, one memo, one sweep at a time.
+
+    Handlers delegate here; the class is HTTP-free so tests (and other
+    frontends) can drive it directly.  Sweeps serialize on a lock --
+    records stream to the submitting client while it holds the engine --
+    but every read endpoint stays concurrent under the threading server.
+    """
+
+    def __init__(
+        self,
+        store: ResultStoreBase | str | os.PathLike | None = None,
+        workers: int = 1,
+        vectorize: bool = True,
+    ):
+        self.store = open_store(store) if store is not None else None
+        self.workers = workers
+        self.vectorize = vectorize
+        self.sweeps_served = 0
+        self._sweep_lock = threading.Lock()
+        self._records_cache: tuple | None = None  # (stat key, records)
+        self._stats_cache: tuple | None = None  # (stat key, store stats)
+
+    def health(self) -> dict:
+        return {
+            "status": "ok",
+            "eval_version": EVAL_VERSION,
+            "sweeps_served": self.sweeps_served,
+        }
+
+    def _invalidate_caches(self) -> None:
+        """Drop cached records/stats after a write this process made."""
+        self._records_cache = None
+        self._stats_cache = None
+
+    def _stat_key(self) -> tuple | None:
+        """The store file's (mtime, size) -- the cache-invalidation key."""
+        try:
+            stat = self.store.path.stat()
+        except OSError:
+            return None
+        return (stat.st_mtime_ns, stat.st_size)
+
+    def stats(self) -> dict:
+        store_stats = None
+        if self.store is not None:
+            # Cached like records(): a JSONL store's record count is a
+            # full parse, and /stats is the endpoint monitors poll.
+            key = self._stat_key()
+            cached = self._stats_cache
+            if key is not None and cached is not None and cached[0] == key:
+                store_stats = cached[1]
+            else:
+                store_stats = self.store.stats()
+                if key is not None:
+                    self._stats_cache = (key, store_stats)
+        return {
+            "eval_version": EVAL_VERSION,
+            "sweeps_served": self.sweeps_served,
+            "memo_records": len(_MEMO),
+            "store": store_stats,
+        }
+
+    def records(self) -> list[dict]:
+        """Every current-version record the service can serve.
+
+        Backed by the store when there is one, else by the in-process
+        memo -- a storeless server still answers queries over what it
+        evaluated this lifetime.  Store loads are cached against the
+        file's (mtime, size), so back-to-back queries over a large
+        unchanged store parse it once; any append -- a sweep, an
+        ingest, an external writer -- changes the file and invalidates
+        naturally.
+        """
+        if self.store is None:
+            # Snapshot first: a concurrent sweep thread appends to the
+            # memo while we filter.
+            memo = list(_MEMO.values())
+            return [r for r in memo if r.get("version") == EVAL_VERSION]
+        key = self._stat_key()
+        cached = self._records_cache
+        if key is not None and cached is not None and cached[0] == key:
+            return cached[1]
+        records = [
+            r
+            for r in self.store.load().values()
+            if r.get("version") == EVAL_VERSION
+        ]
+        if key is not None:
+            self._records_cache = (key, records)
+        return records
+
+    def query(self, name: str, params: Mapping | None = None) -> list[dict]:
+        return run_query(self.records(), name, params)
+
+    def ingest(self, records: list) -> dict:
+        """Append posted records to the store (shard-merge upload path)."""
+        if self.store is None:
+            raise ValueError("server has no store to ingest records into")
+        if not isinstance(records, list) or not all(
+            isinstance(r, dict) and r.get("hash") for r in records
+        ):
+            raise ValueError(
+                'ingest wants a JSON list of record objects with "hash" keys'
+            )
+        # Under the sweep lock: a concurrent sweep holds an open append
+        # handle on the same store, and interleaved JSONL writes (worse,
+        # interleaved gzip members) would tear records.  SQLite locks
+        # itself, but serializing both backends keeps one rule.
+        with self._sweep_lock:
+            appended = self.store.append(records)
+        # Invalidate explicitly: stat-key invalidation alone can miss a
+        # same-size upsert inside one coarse mtime tick.
+        self._invalidate_caches()
+        # Only report what this request did: a total record count would
+        # be a full-store parse per uploaded chunk on the JSONL backend
+        # (GET /stats serves cached totals).
+        return {"appended": appended}
+
+    def sweep(self, payload: Mapping) -> Iterator[dict]:
+        """Validate a sweep request and return its record stream.
+
+        The spec parses *before* the stream starts, so malformed
+        submissions fail as client errors instead of torn streams.  The
+        generator yields record dicts in completion order and ends with
+        one ``{"summary": ...}`` object.
+        """
+        if not isinstance(payload, Mapping):
+            raise ValueError('sweep wants a JSON object body: {"spec": ...}')
+        spec = SweepSpec.from_dict(payload.get("spec") or {})
+        workers = payload.get("workers")
+        workers = self.workers if workers is None else int(workers)
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        vectorize = payload.get("vectorize")
+        if vectorize is None:
+            vectorize = self.vectorize
+        return self._stream(spec, workers, bool(vectorize))
+
+    def _stream(
+        self, spec: SweepSpec, workers: int, vectorize: bool
+    ) -> Iterator[dict]:
+        counts = {"memo": 0, "store": 0, "evaluated": 0}
+        with self._sweep_lock:
+            self.sweeps_served += 1
+            try:
+                for sweep_record in iter_sweep(
+                    spec, store=self.store, workers=workers, vectorize=vectorize
+                ):
+                    counts[sweep_record.source] += 1
+                    yield sweep_record.record
+            finally:
+                # The sweep appended records; drop the query caches
+                # even when mtime/size would not notice.
+                self._invalidate_caches()
+        yield {
+            "summary": summary_payload(
+                points=len(spec),
+                evaluated=counts["evaluated"],
+                store_hits=counts["store"],
+                memo_hits=counts["memo"],
+            )
+        }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Route HTTP requests onto the :class:`SweepService`."""
+
+    server_version = "repro-serve/1.0"
+    # HTTP/1.0: streamed responses are close-delimited, no chunked
+    # framing needed, and every stdlib client reads them naturally.
+    protocol_version = "HTTP/1.0"
+    # Socket timeout (reads AND writes): a client that stops reading
+    # mid-stream with a full TCP window must eventually error out --
+    # otherwise a sweep stream suspended in wfile.write() would hold
+    # the service's sweep lock forever.
+    timeout = 600
+
+    @property
+    def service(self) -> SweepService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if getattr(self.server, "verbose", False):  # pragma: no cover
+            super().log_message(format, *args)
+
+    # -- response helpers ----------------------------------------------
+    def _send_json(self, payload, status: int = 200) -> None:
+        body = (dumps(payload) + "\n").encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_ndjson(self, items) -> None:
+        """Stream dicts as NDJSON, one flushed line per item.
+
+        Streams are close-delimited (HTTP/1.0), so every streamed
+        endpoint ends with a terminal object (``summary`` for /sweep,
+        ``count`` for /records) that clients require -- a truncated
+        connection is then distinguishable from a complete response.
+        """
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.end_headers()
+        try:
+            for item in items:
+                self.wfile.write(
+                    (json.dumps(item, sort_keys=True) + "\n").encode()
+                )
+                self.wfile.flush()
+        except Exception as error:  # noqa: BLE001 - headers are gone
+            # Mid-stream failure of any kind (evaluation error, store
+            # I/O, database lock): the status line is sent, so signal
+            # in-band; clients treat an "error" object as fatal.
+            try:
+                self.wfile.write(
+                    (json.dumps({"error": str(error)}) + "\n").encode()
+                )
+            except OSError:  # pragma: no cover - client went away too
+                pass
+        finally:
+            # Deterministically close an abandoned sweep generator so
+            # its `with service._sweep_lock` exits now, not at GC time.
+            close = getattr(items, "close", None)
+            if close is not None:
+                close()
+
+    def _read_json(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise ValueError(f"request body over {MAX_BODY_BYTES} bytes")
+        body = self.rfile.read(length) if length > 0 else b""
+        if not body:
+            return {}
+        data = json.loads(body)
+        if not isinstance(data, (dict, list)):
+            raise ValueError("request body must be a JSON object or list")
+        return data
+
+    # -- routes --------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        path = urlsplit(self.path).path
+        try:
+            if path == "/healthz":
+                self._send_json(self.service.health())
+            elif path == "/stats":
+                self._send_json(self.service.stats())
+            elif path == "/records":
+                records = self.service.records()
+                terminal: list[dict] = [{"count": len(records)}]
+                self._send_ndjson(iter(records + terminal))
+            elif path == "/":
+                self._send_json({"endpoints": sorted(_ENDPOINTS)})
+            else:
+                self._not_found(path)
+        except BrokenPipeError:  # pragma: no cover - client went away
+            pass
+        except (KeyError, TypeError, ValueError) as error:
+            # Same mapping as do_POST: e.g. a store backend forced onto
+            # the wrong file raises ValueError from the read path too.
+            self._send_json({"error": str(error)}, status=400)
+        except OSError as error:
+            # Store I/O failure (e.g. SQLite locked past its timeout):
+            # transient server-side trouble, not a bad request.
+            self._send_json({"error": str(error)}, status=503)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        path = urlsplit(self.path).path
+        try:
+            if path == "/sweep":
+                self._send_ndjson(self.service.sweep(self._read_json()))
+            elif path == "/records":
+                data = self._read_json()
+                if isinstance(data, dict):
+                    data = data.get("records")
+                self._send_json(self.service.ingest(data))
+            elif path.startswith("/query/"):
+                name = path[len("/query/") :]
+                params = self._read_json()
+                self._send_json(
+                    records_payload(self.service.query(name, params))
+                )
+            elif path == "/shutdown":
+                self._send_json({"status": "shutting down"})
+                threading.Thread(
+                    target=self.server.shutdown, daemon=True
+                ).start()
+            else:
+                self._not_found(path)
+        except BrokenPipeError:  # pragma: no cover - client went away
+            pass
+        except (KeyError, TypeError, ValueError) as error:
+            self._send_json({"error": str(error)}, status=400)
+        except OSError as error:
+            self._send_json({"error": str(error)}, status=503)
+
+    def _not_found(self, path: str) -> None:
+        self._send_json(
+            {"error": f"no such endpoint: {path}", "endpoints": sorted(_ENDPOINTS)},
+            status=404,
+        )
+
+
+_ENDPOINTS = (
+    "GET /healthz",
+    "GET /stats",
+    "GET /records",
+    "POST /sweep",
+    "POST /records",
+    "POST /query/pareto",
+    "POST /query/top-k",
+    "POST /query/accuracy-frontier",
+    "POST /shutdown",
+)
+
+
+class SweepServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`SweepService`.
+
+    ``port=0`` binds an ephemeral port; read :attr:`url` for the real
+    address.  Handler threads are daemonic so a hard exit never hangs
+    on a slow client.
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        service: SweepService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        verbose: bool = False,
+    ):
+        self.service = service
+        self.verbose = verbose
+        super().__init__((host, port), _Handler)
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def _announce_stdout(message: str) -> None:
+    # flush=True: the announce line must reach a redirected log while
+    # serve_forever still blocks (CI polls the log for the bound URL).
+    print(message, flush=True)
+
+
+def serve(
+    store: ResultStoreBase | str | os.PathLike | None = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    workers: int = 1,
+    vectorize: bool = True,
+    verbose: bool = False,
+    announce=_announce_stdout,
+    ready=None,
+) -> int:
+    """Blocking entry point behind ``repro serve``.
+
+    Announces the bound URL (ephemeral ports resolve before serving),
+    then serves until ``POST /shutdown`` or Ctrl-C; returns 0 on a
+    clean shutdown.  ``ready``, when given, receives the
+    :class:`SweepServer` right before the loop starts -- the hook tests
+    and embedders use to reach the live server object.
+    """
+    service = SweepService(store=store, workers=workers, vectorize=vectorize)
+    server = SweepServer(service, host=host, port=port, verbose=verbose)
+    where = (
+        f"store: {service.store.backend}:{service.store.path}"
+        if service.store is not None
+        else "no store: serving from the in-process memo"
+    )
+    announce(f"serving DSE sweeps on {server.url} ({where})")
+    if ready is not None:
+        ready(server)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    finally:
+        server.server_close()
+    announce("server shut down cleanly")
+    return 0

@@ -7,10 +7,12 @@ import pytest
 from repro.dse import (
     SweepSpec,
     clear_memo,
+    filter_records,
     geomean_speedup,
     metric,
     pareto_frontier,
     render_records,
+    run_query,
     run_sweep,
     top_k,
 )
@@ -131,6 +133,70 @@ class TestGeomeanSpeedup:
             candidate={"platform": "BPVeC"},
         )
         assert speedup > 0.5  # well-defined, positive
+
+
+class TestRunQuery:
+    """The served dispatcher over the same query functions."""
+
+    def _records(self):
+        return [
+            _rec("a", 1.0, 3.0, workload="RNN"),
+            _rec("b", 2.0, 2.0, workload="LSTM"),
+            _rec("c", 3.0, 1.0, workload="RNN"),
+            _rec("d", 3.0, 3.0, workload="RNN"),  # dominated
+        ]
+
+    def test_pareto_dispatch_matches_direct_call(self):
+        records = self._records()
+        assert run_query(records, "pareto") == pareto_frontier(records)
+
+    def test_top_k_dispatch(self):
+        best = run_query(
+            self._records(),
+            "top-k",
+            {"objective": "total_seconds", "k": 2, "sense": "min"},
+        )
+        assert [r["hash"] for r in best] == ["a", "b"]
+
+    def test_where_filter_applies_first(self):
+        only = run_query(
+            self._records(), "pareto", {"where": {"workload": "LSTM"}}
+        )
+        assert [r["hash"] for r in only] == ["b"]
+
+    def test_accuracy_frontier_dispatch(self):
+        result = run_query(
+            self._records(),
+            "accuracy-frontier",
+            {"accuracy_by_policy": {"homogeneous-8bit": 0.9}},
+        )
+        assert result
+        assert all(r["metrics"]["accuracy"] == 0.9 for r in result)
+
+    def test_unknown_query_and_leftover_params_raise(self):
+        with pytest.raises(KeyError, match="unknown query"):
+            run_query([], "bogus")
+        with pytest.raises(ValueError, match="parameters"):
+            run_query([], "pareto", {"bogus": 1})
+        with pytest.raises(ValueError, match="accuracy_by_policy"):
+            run_query([], "accuracy-frontier")
+
+    def test_string_objectives_rejected_not_exploded(self):
+        # tuple("total_seconds") would silently become 13 one-letter
+        # objectives; the dispatcher must reject bare strings upfront.
+        with pytest.raises(ValueError, match="lists, not bare strings"):
+            run_query(self._records(), "pareto", {"objectives": "total_seconds"})
+        with pytest.raises(ValueError, match="lists, not bare strings"):
+            run_query(self._records(), "pareto", {"senses": "min"})
+
+    def test_non_mapping_where_rejected(self):
+        # Falsy non-mappings ([] / "" / 0) are caller bugs, not "no
+        # filter" -- only None and {} mean unfiltered.
+        for bad in ("LSTM", [], "", 0, False):
+            with pytest.raises(ValueError, match="where"):
+                filter_records(self._records(), bad)
+        assert filter_records(self._records(), None) == self._records()
+        assert filter_records(self._records(), {}) == self._records()
 
 
 class TestRenderRecords:

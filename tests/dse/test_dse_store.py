@@ -1,75 +1,381 @@
-"""Tests for the append-only JSONL result store: load semantics,
-version-aware duplicate resolution, shard merge, and compaction."""
+"""Result-store tests, parametrized over both backends.
+
+Every semantic the engine relies on -- load resolution, version-aware
+duplicate handling, merge, compaction, streaming appends, engine
+round-trips that keep the memo warm -- runs against the JSONL *and* the
+SQLite backend through one shared suite.  Backend-specific behaviour
+(gzip, torn-line tolerance, indexed point lookups) gets its own
+classes below.
+"""
 
 import gzip
 import json
 
-from repro.dse import EVAL_VERSION, ResultStore
+import pytest
+
+from repro.dse import (
+    EVAL_VERSION,
+    ResultStore,
+    SQLiteStore,
+    StoreWarning,
+    clear_memo,
+    open_store,
+    run_sweep,
+)
+
+BACKENDS = ("jsonl", "sqlite")
+_SUFFIX = {"jsonl": ".jsonl", "sqlite": ".sqlite"}
 
 
 def _record(key, value=1.0, version=1):
     return {"hash": key, "version": version, "metrics": {"total_seconds": value}}
 
 
-class TestResultStore:
-    def test_missing_file_loads_empty(self, tmp_path):
-        store = ResultStore(tmp_path / "absent.jsonl")
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    return request.param
+
+
+@pytest.fixture
+def make_store(backend, tmp_path):
+    """A factory for fresh stores of the parametrized backend."""
+
+    def _make(name="s"):
+        return open_store(tmp_path / f"{name}{_SUFFIX[backend]}", backend=backend)
+
+    _make.backend = backend
+    return _make
+
+
+class TestStoreSemantics:
+    """The shared contract: either backend is a drop-in for the other."""
+
+    def test_backend_name_matches_fixture(self, make_store):
+        assert make_store().backend == make_store.backend
+
+    def test_missing_file_loads_empty(self, make_store):
+        store = make_store("absent")
         assert store.load() == {}
         assert not store.exists()
         assert len(store) == 0
+        assert store.hashes() == set()
+        assert store.records_for(["a"]) == {}
 
-    def test_append_and_load(self, tmp_path):
-        store = ResultStore(tmp_path / "s.jsonl")
+    def test_append_and_load(self, make_store):
+        store = make_store()
         written = store.append([_record("a"), _record("b")])
         assert written == 2
         loaded = store.load()
         assert set(loaded) == {"a", "b"}
         assert "a" in store
+        assert "zzz" not in store
 
-    def test_append_creates_parent_dirs(self, tmp_path):
-        store = ResultStore(tmp_path / "deep" / "nested" / "s.jsonl")
+    def test_append_creates_parent_dirs(self, backend, tmp_path):
+        store = open_store(
+            tmp_path / "deep" / "nested" / f"s{_SUFFIX[backend]}", backend=backend
+        )
         store.append([_record("a")])
         assert store.exists()
 
-    def test_last_record_wins(self, tmp_path):
-        store = ResultStore(tmp_path / "s.jsonl")
+    def test_last_record_wins(self, make_store):
+        store = make_store()
         store.append([_record("a", 1.0)])
         store.append([_record("a", 2.0)])
         assert store.load()["a"]["metrics"]["total_seconds"] == 2.0
 
-    def test_stale_version_never_shadows_current(self, tmp_path):
-        # Regression: load() used to keep whichever duplicate-hash line
-        # came last regardless of version, so a stale re-append could
-        # shadow a current record.  Last-write-wins is version-aware.
-        store = ResultStore(tmp_path / "s.jsonl")
+    def test_stale_version_never_shadows_current(self, make_store):
+        store = make_store()
         store.append([_record("a", 1.0, version=2)])
         store.append([_record("a", 9.0, version=1)])
         survivor = store.load()["a"]
         assert survivor["version"] == 2
         assert survivor["metrics"]["total_seconds"] == 1.0
 
-    def test_newer_version_supersedes_regardless_of_order(self, tmp_path):
-        store = ResultStore(tmp_path / "s.jsonl")
+    def test_newer_version_supersedes_regardless_of_order(self, make_store):
+        store = make_store()
         store.append([_record("a", 9.0, version=1), _record("a", 1.0, version=2)])
         assert store.load()["a"]["version"] == 2
 
-    def test_versionless_record_treated_as_oldest(self, tmp_path):
-        store = ResultStore(tmp_path / "s.jsonl")
+    def test_versionless_record_treated_as_oldest(self, make_store):
+        store = make_store()
         store.append([_record("a", 1.0, version=1)])
         record = _record("a", 9.0)
         del record["version"]
         store.append([record])
         assert store.load()["a"]["version"] == 1
 
-    def test_torn_trailing_line_ignored(self, tmp_path):
+    def test_float_roundtrip_is_exact(self, make_store):
+        store = make_store()
+        value = 0.1234567890123456789 / 3.0
+        store.append([_record("a", value)])
+        assert store.load()["a"]["metrics"]["total_seconds"] == value
+
+    def test_records_for_filters_hashes_and_version(self, make_store):
+        store = make_store()
+        store.append(
+            [_record("a", version=1), _record("b", version=2), _record("c")]
+        )
+        assert set(store.records_for(["a", "b", "nope"])) == {"a", "b"}
+        assert set(store.records_for(["a", "b"], version=2)) == {"b"}
+        assert store.records_for([]) == {}
+
+    def test_versionless_records_filter_as_version_zero(self, make_store):
+        # Both backends must agree: a missing version counts as 0
+        # (matching _supersedes and the SQLite column default).
+        store = make_store()
+        record = _record("a")
+        del record["version"]
+        store.append([record])
+        assert set(store.records_for(["a"], version=0)) == {"a"}
+        assert store.hashes(version=0) == {"a"}
+        assert store.records_for(["a"], version=1) == {}
+
+    def test_hashes_by_version(self, make_store):
+        store = make_store()
+        store.append([_record("a", version=1), _record("b", version=2)])
+        assert store.hashes() == {"a", "b"}
+        assert store.hashes(version=2) == {"b"}
+
+    def test_stats_shape(self, make_store):
+        store = make_store()
+        store.append([_record("a")])
+        stats = store.stats()
+        assert stats["backend"] == make_store.backend
+        assert stats["records"] == 1
+        assert stats["exists"] is True
+        assert stats["size_bytes"] > 0
+
+    def test_appender_streams_incrementally(self, make_store):
+        store = make_store()
+        with store.appender() as persist:
+            persist(_record("a"))
+            # Flushed mid-stream: a concurrent reader already sees it.
+            assert set(open_store(store.path).load()) == {"a"}
+            persist(_record("b"))
+        assert set(store.load()) == {"a", "b"}
+
+    def test_appender_without_writes_creates_no_file(self, make_store):
+        store = make_store()
+        with store.appender():
+            pass
+        assert not store.exists()
+
+
+class TestMerge:
+    def test_union_of_disjoint_shards(self, make_store):
+        s0, s1 = make_store("shard0"), make_store("shard1")
+        s0.append([_record("a"), _record("b")])
+        s1.append([_record("c")])
+        dest = make_store("merged")
+        assert dest.merge([s0, s1.path]) == 3  # stores or raw paths
+        assert set(dest.load()) == {"a", "b", "c"}
+
+    def test_missing_sources_skipped(self, make_store, tmp_path):
+        dest = make_store("merged")
+        src = make_store()
+        src.append([_record("a")])
+        assert dest.merge([src, tmp_path / "absent.jsonl"]) == 1
+
+    def test_existing_dest_records_participate(self, make_store):
+        dest = make_store("merged")
+        dest.append([_record("a", 1.0, version=2), _record("b")])
+        src = make_store()
+        src.append([_record("a", 9.0, version=1), _record("c")])
+        assert dest.merge([src]) == 3
+        merged = dest.load()
+        assert merged["a"]["version"] == 2  # stale source loses
+        assert set(merged) == {"a", "b", "c"}
+
+    def test_duplicate_hash_newer_version_wins(self, make_store):
+        s0, s1 = make_store("shard0"), make_store("shard1")
+        s0.append([_record("a", 9.0, version=1)])
+        s1.append([_record("a", 1.0, version=2)])
+        dest = make_store("merged")
+        dest.merge([s1, s0])  # stale store listed last must still lose
+        assert dest.load()["a"]["version"] == 2
+
+    def test_same_version_tie_later_source_wins(self, make_store):
+        s0, s1 = make_store("shard0"), make_store("shard1")
+        s0.append([_record("a", 1.0)])
+        s1.append([_record("a", 2.0)])
+        dest = make_store("merged")
+        dest.merge([s0, s1])
+        assert dest.load()["a"]["metrics"]["total_seconds"] == 2.0
+
+    def test_merged_store_is_compact(self, make_store):
+        src = make_store()
+        src.append([_record("a", 1.0), _record("a", 2.0), _record("b")])
+        dest = make_store("merged")
+        dest.merge([src])
+        assert sum(1 for _ in dest.iter_lines()) == 2
+
+    def test_merge_from_loaded_mapping(self, make_store):
+        # Callers that already hold a loaded store (e.g. dse-launch
+        # building its upload delta) merge the dict without re-parsing.
+        dest = make_store("merged")
+        dest.append([_record("a", 1.0, version=2)])
+        loaded = {
+            "a": _record("a", 9.0, version=1),  # stale: must lose
+            "b": _record("b"),
+        }
+        assert dest.merge([loaded]) == 2
+        merged = dest.load()
+        assert merged["a"]["version"] == 2
+        assert set(merged) == {"a", "b"}
+
+    def test_cross_backend_merge(self, backend, tmp_path):
+        """A dest of either backend unions sources of the *other* one."""
+        other = "sqlite" if backend == "jsonl" else "jsonl"
+        src = open_store(tmp_path / f"src{_SUFFIX[other]}", backend=other)
+        src.append([_record("a"), _record("b")])
+        dest = open_store(tmp_path / f"dest{_SUFFIX[backend]}", backend=backend)
+        dest.append([_record("c")])
+        assert dest.merge([src.path]) == 3
+        assert set(dest.load()) == {"a", "b", "c"}
+
+
+class TestCompact:
+    def test_drops_stale_versions_by_default(self, make_store):
+        store = make_store()
+        store.append(
+            [
+                _record("a", version=EVAL_VERSION),
+                _record("b", version=EVAL_VERSION - 1),
+            ]
+        )
+        kept, dropped = store.compact()
+        assert (kept, dropped) == (1, 1)
+        assert set(store.load()) == {"a"}
+
+    def test_keep_stale_option(self, make_store):
+        store = make_store()
+        store.append(
+            [
+                _record("a", version=EVAL_VERSION),
+                _record("b", version=EVAL_VERSION - 1),
+            ]
+        )
+        kept, dropped = store.compact(drop_stale=False)
+        assert (kept, dropped) == (2, 0)
+
+    def test_missing_store_is_noop(self, make_store):
+        assert make_store("absent").compact() == (0, 0)
+
+    def test_compact_preserves_survivors(self, make_store):
+        store = make_store()
+        store.append(
+            [
+                _record("a", 1.0, version=EVAL_VERSION),
+                _record("b", 2.0, version=EVAL_VERSION),
+            ]
+        )
+        store.append([_record("a", 3.0, version=EVAL_VERSION)])
+        before = store.load()
+        store.compact()
+        assert store.load() == before
+
+
+class TestEngineRoundTrip:
+    """The satellite contract: both backends behave identically under
+    the engine -- cold fill, stale supersede, and a store reload that
+    keeps the memo warm."""
+
+    def _points(self):
+        from repro.dse import SweepPoint
+        from repro.hw import BPVEC, DDR4, HBM2
+
+        return [
+            SweepPoint(workload="RNN", platform=BPVEC, memory=DDR4, batch=1),
+            SweepPoint(workload="RNN", platform=BPVEC, memory=HBM2, batch=1),
+        ]
+
+    def test_cold_then_warm_is_bit_identical(self, make_store):
+        store = make_store()
+        clear_memo()
+        cold = run_sweep(self._points(), store=store)
+        assert (cold.evaluated, cold.from_store) == (2, 0)
+        clear_memo()
+        warm = run_sweep(self._points(), store=store)
+        assert (warm.evaluated, warm.from_store) == (0, 2)
+        assert warm.records == cold.records  # bit-identical through JSON
+
+    def test_store_reload_keeps_memo_warm(self, make_store):
+        store = make_store()
+        clear_memo()
+        run_sweep(self._points(), store=store)
+        clear_memo()
+        reloaded = run_sweep(self._points(), store=store)
+        assert reloaded.from_store == 2
+        # The reload warmed the memo: the next run never touches disk.
+        again = run_sweep(self._points(), store=store)
+        assert (again.from_memo, again.from_store, again.evaluated) == (2, 0, 0)
+        assert again.records == reloaded.records
+
+    def test_stale_version_reevaluated_and_superseded(self, make_store):
+        from repro.dse import evaluate_point
+
+        store = make_store()
+        (point, _) = self._points()
+        stale = dict(evaluate_point(point), version=EVAL_VERSION - 1)
+        store.append([stale])
+        clear_memo()
+        result = run_sweep([point], store=store)
+        assert result.evaluated == 1
+        assert store.load()[point.config_hash()]["version"] == EVAL_VERSION
+        # And the stale line can never shadow the fresh record again.
+        store.append([stale])
+        assert store.load()[point.config_hash()]["version"] == EVAL_VERSION
+
+    def test_sharded_merge_matches_unsharded(self, make_store):
+        from repro.dse import SweepSpec
+
+        spec = SweepSpec.grid(
+            workloads=("RNN", "LSTM"),
+            platforms=("bpvec", "tpu"),
+            memories=("ddr4",),
+            batches=(1,),
+        )
+        clear_memo()
+        single = make_store("single")
+        run_sweep(spec, store=single)
+        shards = []
+        for index in range(2):
+            clear_memo()
+            shard_store = make_store(f"shard{index}")
+            run_sweep(spec.shard(index, 2), store=shard_store)
+            shards.append(shard_store)
+        merged = make_store("merged")
+        merged.merge(shards)
+        assert merged.load() == single.load()
+
+
+class TestJsonlSpecific:
+    """Torn-line tolerance, gzip transparency, appender member counts."""
+
+    def test_torn_trailing_line_ignored_with_warning(self, tmp_path):
         path = tmp_path / "s.jsonl"
         store = ResultStore(path)
         store.append([_record("a"), _record("b")])
         with path.open("a") as handle:
             handle.write('{"hash": "c", "metr')  # crashed mid-write
-        assert set(store.load()) == {"a", "b"}
+        with pytest.warns(StoreWarning, match="torn write"):
+            assert set(store.load()) == {"a", "b"}
 
-    def test_blank_lines_and_keyless_records_skipped(self, tmp_path):
+    def test_torn_multibyte_tail_ignored_with_warning(self, tmp_path):
+        # A crash can tear a multi-byte character in half; the loader
+        # must warn and skip instead of raising UnicodeDecodeError.
+        path = tmp_path / "s.jsonl"
+        store = ResultStore(path)
+        store.append([_record("a")])
+        line = json.dumps({"hash": "b", "note": "café"}) + "\n"
+        with path.open("ab") as handle:
+            handle.write(line.encode()[:-3])  # cut inside the é
+        with pytest.warns(StoreWarning):
+            assert set(store.load()) == {"a"}
+
+    def test_blank_lines_and_keyless_records_skipped_silently(self, tmp_path):
+        import warnings
+
         path = tmp_path / "s.jsonl"
         path.write_text(
             "\n"
@@ -78,69 +384,11 @@ class TestResultStore:
             + json.dumps(_record("a"))
             + "\n"
         )
-        assert set(ResultStore(path).load()) == {"a"}
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # valid JSON never warns
+            assert set(ResultStore(path).load()) == {"a"}
 
-    def test_float_roundtrip_is_exact(self, tmp_path):
-        store = ResultStore(tmp_path / "s.jsonl")
-        value = 0.1234567890123456789 / 3.0
-        store.append([_record("a", value)])
-        assert store.load()["a"]["metrics"]["total_seconds"] == value
-
-
-class TestMerge:
-    def test_union_of_disjoint_shards(self, tmp_path):
-        s0 = ResultStore(tmp_path / "shard0.jsonl")
-        s1 = ResultStore(tmp_path / "shard1.jsonl")
-        s0.append([_record("a"), _record("b")])
-        s1.append([_record("c")])
-        dest = ResultStore(tmp_path / "merged.jsonl")
-        assert dest.merge([s0, s1.path]) == 3  # stores or raw paths
-        assert set(dest.load()) == {"a", "b", "c"}
-
-    def test_missing_sources_skipped(self, tmp_path):
-        dest = ResultStore(tmp_path / "merged.jsonl")
-        src = ResultStore(tmp_path / "s.jsonl")
-        src.append([_record("a")])
-        assert dest.merge([src, tmp_path / "absent.jsonl"]) == 1
-
-    def test_existing_dest_records_participate(self, tmp_path):
-        dest = ResultStore(tmp_path / "merged.jsonl")
-        dest.append([_record("a", 1.0, version=2), _record("b")])
-        src = ResultStore(tmp_path / "s.jsonl")
-        src.append([_record("a", 9.0, version=1), _record("c")])
-        assert dest.merge([src]) == 3
-        merged = dest.load()
-        assert merged["a"]["version"] == 2  # stale source loses
-        assert set(merged) == {"a", "b", "c"}
-
-    def test_duplicate_hash_newer_version_wins(self, tmp_path):
-        s0 = ResultStore(tmp_path / "shard0.jsonl")
-        s1 = ResultStore(tmp_path / "shard1.jsonl")
-        s0.append([_record("a", 9.0, version=1)])
-        s1.append([_record("a", 1.0, version=2)])
-        dest = ResultStore(tmp_path / "merged.jsonl")
-        dest.merge([s1, s0])  # stale store listed last must still lose
-        assert dest.load()["a"]["version"] == 2
-
-    def test_same_version_tie_later_source_wins(self, tmp_path):
-        s0 = ResultStore(tmp_path / "shard0.jsonl")
-        s1 = ResultStore(tmp_path / "shard1.jsonl")
-        s0.append([_record("a", 1.0)])
-        s1.append([_record("a", 2.0)])
-        dest = ResultStore(tmp_path / "merged.jsonl")
-        dest.merge([s0, s1])
-        assert dest.load()["a"]["metrics"]["total_seconds"] == 2.0
-
-    def test_merged_store_is_compact(self, tmp_path):
-        src = ResultStore(tmp_path / "s.jsonl")
-        src.append([_record("a", 1.0), _record("a", 2.0), _record("b")])
-        dest = ResultStore(tmp_path / "merged.jsonl")
-        dest.merge([src])
-        assert sum(1 for _ in dest.iter_lines()) == 2
-
-
-class TestCompact:
-    def test_drops_superseded_lines_keeps_queries(self, tmp_path):
+    def test_compact_drops_superseded_lines(self, tmp_path):
         store = ResultStore(tmp_path / "s.jsonl")
         store.append(
             [
@@ -156,37 +404,9 @@ class TestCompact:
         assert store.load() == before
         assert store.path.stat().st_size < before_size
 
-    def test_drops_stale_versions_by_default(self, tmp_path):
-        store = ResultStore(tmp_path / "s.jsonl")
-        store.append(
-            [
-                _record("a", version=EVAL_VERSION),
-                _record("b", version=EVAL_VERSION - 1),
-            ]
-        )
-        kept, dropped = store.compact()
-        assert (kept, dropped) == (1, 1)
-        assert set(store.load()) == {"a"}
-
-    def test_keep_stale_option(self, tmp_path):
-        store = ResultStore(tmp_path / "s.jsonl")
-        store.append(
-            [
-                _record("a", version=EVAL_VERSION),
-                _record("b", version=EVAL_VERSION - 1),
-            ]
-        )
-        kept, dropped = store.compact(drop_stale=False)
-        assert (kept, dropped) == (2, 0)
-
-    def test_missing_store_is_noop(self, tmp_path):
-        assert ResultStore(tmp_path / "absent.jsonl").compact() == (0, 0)
-
     def test_gzip_roundtrip_and_append(self, tmp_path):
         store = ResultStore(tmp_path / "s.jsonl")
-        store.append(
-            [_record(f"k{i}", version=EVAL_VERSION) for i in range(50)]
-        )
+        store.append([_record(f"k{i}", version=EVAL_VERSION) for i in range(50)])
         plain = store.load()
         plain_size = store.path.stat().st_size
         store.compact(gzip=True)
@@ -203,21 +423,6 @@ class TestCompact:
         assert not store.is_gzipped()
         assert set(store.load()) == set(plain) | {"extra"}
 
-    def test_appender_streams_incrementally(self, tmp_path):
-        store = ResultStore(tmp_path / "s.jsonl")
-        with store.appender() as persist:
-            persist(_record("a"))
-            # Flushed mid-stream: a concurrent reader already sees it.
-            assert set(ResultStore(store.path).load()) == {"a"}
-            persist(_record("b"))
-        assert set(store.load()) == {"a", "b"}
-
-    def test_appender_without_writes_creates_no_file(self, tmp_path):
-        store = ResultStore(tmp_path / "s.jsonl")
-        with store.appender():
-            pass
-        assert not store.exists()
-
     def test_appender_on_gzipped_store_adds_one_member(self, tmp_path):
         store = ResultStore(tmp_path / "s.jsonl")
         store.append([_record("a", version=EVAL_VERSION)])
@@ -230,13 +435,122 @@ class TestCompact:
         assert members == base_members + 1  # one member for the whole run
         assert len(store.load()) == 21
 
-    def test_torn_gzip_tail_ignored(self, tmp_path):
+    def test_torn_gzip_tail_ignored_with_warning(self, tmp_path):
         store = ResultStore(tmp_path / "s.jsonl")
         store.append([_record("a"), _record("b")])
         store.compact(gzip=True, drop_stale=False)
         blob = store.path.read_bytes()
         store.path.write_bytes(blob + gzip.compress(b'{"hash": "c"')[:-7])
-        assert set(store.load()) == {"a", "b"}
+        with pytest.warns(StoreWarning, match="gzip"):
+            assert set(store.load()) == {"a", "b"}
+
+
+class TestSqliteSpecific:
+    def test_gzip_is_rejected(self, tmp_path):
+        store = SQLiteStore(tmp_path / "s.sqlite")
+        store.append([_record("a")])
+        with pytest.raises(ValueError, match="gzip"):
+            store.compact(gzip=True)
+        with pytest.raises(ValueError, match="gzip"):
+            store.merge([], gzip=True)
+        assert not store.is_gzipped()
+
+    def test_duplicates_never_reach_the_table(self, tmp_path):
+        store = SQLiteStore(tmp_path / "s.sqlite")
+        store.append([_record("a", 1.0), _record("a", 2.0)])
+        store.append([_record("a", 3.0)])
+        assert sum(1 for _ in store.iter_lines()) == 1
+        assert store.load()["a"]["metrics"]["total_seconds"] == 3.0
+
+    def test_keyless_records_are_skipped(self, tmp_path):
+        store = SQLiteStore(tmp_path / "s.sqlite")
+        assert store.append([{"no_hash": True}, _record("a")]) == 1
+        assert set(store.load()) == {"a"}
+
+    def test_forcing_sqlite_onto_a_jsonl_file_is_a_clean_error(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        ResultStore(path).append([_record("a")])
+        with pytest.raises(ValueError, match="not a SQLite store"):
+            SQLiteStore(path).load()
+
+    def test_forcing_jsonl_onto_a_sqlite_file_is_a_clean_error(self, tmp_path):
+        # Reading SQLite pages as torn JSONL lines would report an
+        # empty store, and appended lines would be invisible to every
+        # later (magic-sniffed) open -- silent data loss.  Hard error.
+        path = tmp_path / "s.sqlite"
+        SQLiteStore(path).append([_record("a")])
+        forced = open_store(path, backend="jsonl")
+        with pytest.raises(ValueError, match="is a SQLite store"):
+            forced.load()
+        with pytest.raises(ValueError, match="is a SQLite store"):
+            forced.append([_record("b")])
+
+    def test_sqlite_errors_surface_as_oserror(self, tmp_path, monkeypatch):
+        import sqlite3
+
+        store = SQLiteStore(tmp_path / "s.sqlite")
+        store.append([_record("a")])
+
+        def locked(*args, **kwargs):
+            raise sqlite3.OperationalError("database is locked")
+
+        monkeypatch.setattr("repro.dse.sqlite_store.sqlite3.connect", locked)
+        with pytest.raises(OSError, match="database is locked"):
+            store.load()
+        with pytest.raises(OSError, match="database is locked"):
+            store.append([_record("b")])
+
+    def test_compact_reclaims_space(self, tmp_path):
+        store = SQLiteStore(tmp_path / "s.sqlite")
+        store.append(
+            [_record(f"k{i}", "x" * 200, version=EVAL_VERSION - 1) for i in range(500)]
+        )
+        before = store.path.stat().st_size
+        kept, dropped = store.compact()
+        assert (kept, dropped) == (0, 500)
+        assert store.path.stat().st_size < before
+
+
+class TestOpenStore:
+    def test_suffix_selects_backend(self, tmp_path):
+        assert isinstance(open_store(tmp_path / "s.jsonl"), ResultStore)
+        for suffix in (".sqlite", ".sqlite3", ".db", ".DB"):
+            assert isinstance(open_store(tmp_path / f"s{suffix}"), SQLiteStore)
+
+    def test_magic_bytes_beat_suffix(self, tmp_path):
+        # A mis-suffixed existing store opens by what it *is*.
+        jsonl_path = tmp_path / "actually-jsonl.db"
+        ResultStore(jsonl_path).append([_record("a")])
+        assert isinstance(open_store(jsonl_path), ResultStore)
+
+        sqlite_path = tmp_path / "actually-sqlite.jsonl"
+        SQLiteStore(sqlite_path).append([_record("a")])
+        assert isinstance(open_store(sqlite_path), SQLiteStore)
+        assert set(open_store(sqlite_path).load()) == {"a"}
+
+    def test_explicit_backend_wins(self, tmp_path):
+        assert isinstance(
+            open_store(tmp_path / "s.jsonl", backend="sqlite"), SQLiteStore
+        )
+        assert isinstance(
+            open_store(tmp_path / "s.sqlite", backend="jsonl"), ResultStore
+        )
+
+    def test_store_objects_pass_through(self, tmp_path):
+        store = SQLiteStore(tmp_path / "s.sqlite")
+        assert open_store(store) is store
+
+    def test_unknown_backend_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="backend"):
+            open_store(tmp_path / "s.jsonl", backend="lmdb")
+
+    def test_gzipped_jsonl_still_sniffs_as_jsonl(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        store.append([_record("a")])
+        store.compact(gzip=True, drop_stale=False)
+        reopened = open_store(store.path)
+        assert isinstance(reopened, ResultStore)
+        assert reopened.is_gzipped()
 
 
 class TestPolicyConfigRoundTrip:
@@ -257,11 +571,11 @@ class TestPolicyConfigRoundTrip:
             workload="RNN", policy=policy, platform=BPVEC, memory=DDR4, batch=1
         )
 
-    def test_reload_and_rehash_is_stable(self, tmp_path):
+    def test_reload_and_rehash_is_stable(self, make_store):
         from repro.dse import PolicySpec, clear_memo, run_sweep
 
         spec = PolicySpec(layers=((8, 8), (4, 2)))
-        store = ResultStore(tmp_path / "s.jsonl")
+        store = make_store()
         clear_memo()
         cold = run_sweep([self._point(spec)], store=store)
         assert cold.evaluated == 1
@@ -287,11 +601,11 @@ class TestPolicyConfigRoundTrip:
             == self._point(by_list).config_hash()
         )
 
-    def test_stored_policy_name_resolves_back_to_the_assignment(self, tmp_path):
+    def test_stored_policy_name_resolves_back_to_the_assignment(self, make_store):
         from repro.dse import PolicySpec, clear_memo, resolve_policy, run_sweep
 
         spec = PolicySpec(layers=((8, 4), (2, 6)))
-        store = ResultStore(tmp_path / "s.jsonl")
+        store = make_store()
         clear_memo()
         run_sweep([self._point(spec)], store=store)
         (record,) = store.load().values()

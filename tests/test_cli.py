@@ -487,6 +487,12 @@ class TestDseShardingCommands:
         with pytest.raises(SystemExit):
             main(["dse", "--workload", "LSTM", "--stream", "--pareto"])
 
+    def test_stream_rejects_json_format(self):
+        # --stream emits JSONL by nature; a single-document --format
+        # json request must error, not silently emit the wrong shape.
+        with pytest.raises(SystemExit):
+            main(["dse", "--workload", "LSTM", "--stream", "--format", "json"])
+
     def test_compact_shrinks_duplicated_store(self, capsys, tmp_path):
         store = tmp_path / "s.jsonl"
         argv = (
@@ -534,6 +540,122 @@ class TestDseShardingCommands:
         with pytest.raises(SystemExit) as exc:
             main(["dse-compact", str(tmp_path / "absent.jsonl")])
         assert exc.value.code != 0
+
+
+class TestStoreBackendFlags:
+    """--backend / suffix-sniffed SQLite stores through every subcommand."""
+
+    _ARGS = ("dse", "--workload", "RNN", "--platform", "bpvec", "--memory", "ddr4")
+
+    def test_sqlite_suffix_store_warm_rerun(self, capsys, tmp_path):
+        store = tmp_path / "results.sqlite"
+        clear_memo()
+        cold = run(capsys, *self._ARGS, "--store", str(store))
+        assert "1 evaluated" in cold
+        clear_memo()
+        warm = run(capsys, *self._ARGS, "--store", str(store))
+        assert "0 evaluated" in warm and "1 store hits" in warm
+
+    def test_backend_flag_forces_sqlite_on_any_suffix(self, capsys, tmp_path):
+        from repro.dse import SQLiteStore, open_store
+
+        store = tmp_path / "results.dat"
+        clear_memo()
+        run(capsys, *self._ARGS, "--store", str(store), "--backend", "sqlite")
+        # Magic-byte sniffing reopens the mis-suffixed store correctly.
+        assert isinstance(open_store(store), SQLiteStore)
+        clear_memo()
+        warm = run(capsys, *self._ARGS, "--store", str(store))
+        assert "1 store hits" in warm
+
+    def test_merge_jsonl_shards_into_sqlite_dest(self, capsys, tmp_path):
+        shard = tmp_path / "shard.jsonl"
+        clear_memo()
+        run(capsys, *self._ARGS, "--store", str(shard))
+        dest = tmp_path / "merged.sqlite"
+        out = run(capsys, "dse-merge", str(dest), str(shard))
+        assert "1 records" in out
+        clear_memo()
+        warm = run(capsys, *self._ARGS, "--store", str(dest))
+        assert "1 store hits" in warm
+
+    def test_compact_sqlite_store(self, capsys, tmp_path):
+        store = tmp_path / "s.sqlite"
+        clear_memo()
+        run(capsys, *self._ARGS, "--store", str(store))
+        out = run(capsys, "dse-compact", str(store))
+        assert "kept 1 records" in out
+
+    def test_compact_sqlite_rejects_gzip(self, capsys, tmp_path):
+        store = tmp_path / "s.sqlite"
+        clear_memo()
+        run(capsys, *self._ARGS, "--store", str(store))
+        with pytest.raises(SystemExit) as exc:
+            main(["dse-compact", str(store), "--gzip"])
+        assert exc.value.code != 0
+
+    def test_quant_dse_sqlite_store_reuse(self, capsys, tmp_path):
+        store = tmp_path / "quant.sqlite"
+        argv = (
+            "quant-dse", "--workload", "RNN", "--platform", "bpvec",
+            "--memory", "ddr4", "--max-drop", "0.05", "--store", str(store),
+        )
+        clear_memo()
+        run(capsys, *argv)
+        clear_memo()
+        warm = run(capsys, *argv)
+        assert "0 evaluated" in warm
+
+
+class TestJsonFormat:
+    """--format json: the shared machine-readable payload shape."""
+
+    def test_dse_json_payload(self, capsys):
+        out = run(
+            capsys, "dse", "--workload", "LSTM", "--platform", "bpvec",
+            "--memory", "ddr4", "--format", "json",
+        )
+        payload = json.loads(out)
+        assert payload["count"] == 1
+        assert payload["records"][0]["workload"] == "LSTM"
+        summary = payload["summary"]
+        assert summary["points"] == summary["unique_points"] == 1
+        assert {"evaluated", "store_hits", "memo_hits"} <= set(summary)
+
+    def test_dse_json_matches_jsonl_records(self, capsys):
+        argv = ("dse", "--workload", "RNN", "--platform", "tpu")
+        from_json = json.loads(run(capsys, *argv, "--format", "json"))
+        jsonl = [
+            json.loads(line)
+            for line in run(capsys, *argv, "--format", "jsonl").splitlines()
+        ]
+        assert from_json["records"] == jsonl
+
+    def test_quant_dse_json_payload(self, capsys):
+        out = run(
+            capsys, "quant-dse", "--workload", "RNN", "--platform", "bpvec",
+            "--memory", "ddr4", "--max-drop", "0.0", "--max-drop", "0.05",
+            "--format", "json",
+        )
+        payload = json.loads(out)
+        assert payload["workload"] == "RNN"
+        assert payload["policies"]
+        assert {"label", "policy", "accuracy", "bits_per_layer"} <= set(
+            payload["policies"][0]
+        )
+        frontier_hashes = {r["hash"] for r in payload["frontier"]}
+        assert frontier_hashes <= {r["hash"] for r in payload["records"]}
+
+    def test_quant_dse_json_frontier_only_omits_records(self, capsys):
+        out = run(
+            capsys, "quant-dse", "--workload", "RNN", "--platform", "bpvec",
+            "--memory", "ddr4", "--max-drop", "0.05",
+            "--format", "json", "--frontier-only",
+        )
+        payload = json.loads(out)
+        assert payload["records"] == [] and payload["count"] == 0
+        assert payload["frontier"]
+        assert payload["summary"]["points"] > 0
 
 
 class TestExitCodes:
