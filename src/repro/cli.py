@@ -18,6 +18,7 @@ Examples
     python -m repro dse-compact merged.jsonl --gzip
     python -m repro serve --store results.sqlite --port 8000
     python -m repro dse --workload LSTM --server http://127.0.0.1:8000
+    python -m repro dse --spec big.json --server http://127.0.0.1:8000 --detach
     python -m repro dse-launch --workload LSTM --shards 4 --store merged.jsonl
     python -m repro chips
 """
@@ -232,6 +233,21 @@ def build_parser() -> argparse.ArgumentParser:
         "sweeps may queue behind others server-side)",
     )
     dse.add_argument(
+        "--detach",
+        action="store_true",
+        help="with --server: submit the sweep as a job and print its id "
+        "instead of streaming it to completion (poll GET /jobs/{id}, "
+        "stream /jobs/{id}/records, cancel with POST /jobs/{id}/cancel)",
+    )
+    dse.add_argument(
+        "--priority",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --server: job priority (lower schedules sooner; "
+        "FIFO within a level)",
+    )
+    dse.add_argument(
         "--format", choices=("table", "jsonl", "json"), default="table"
     )
     dse.add_argument(
@@ -343,6 +359,22 @@ def build_parser() -> argparse.ArgumentParser:
     server.add_argument(
         "--workers", type=int, default=1, help="default workers per sweep"
     )
+    server.add_argument(
+        "--job-workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="sweep jobs that may run concurrently (the bounded worker "
+        "pool behind POST /sweep)",
+    )
+    server.add_argument(
+        "--client-timeout",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="socket timeout per client connection -- a stalled client "
+        "frees its handler thread after this long",
+    )
     server.add_argument("--no-vectorize", action="store_true")
     server.add_argument(
         "--verbose", action="store_true", help="log every request"
@@ -380,6 +412,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--keep-shards",
         action="store_true",
         help="keep the per-shard stores after a successful merge",
+    )
+    dse_launch.add_argument(
+        "--no-fail-fast",
+        action="store_true",
+        help="let surviving shards run to completion when one crashes "
+        "instead of terminating them promptly (partial shard stores "
+        "are kept either way)",
     )
     return parser
 
@@ -444,6 +483,8 @@ def _server_options(args) -> dict:
         options["workers"] = args.workers
     if args.no_vectorize:
         options["vectorize"] = False
+    if getattr(args, "priority", None) is not None:
+        options["priority"] = args.priority
     return options
 
 
@@ -485,6 +526,13 @@ def _run_dse(args) -> None:
             "dse: --server and --store are mutually exclusive "
             "(the server owns the store)"
         )
+    if args.detach and not args.server:
+        raise SystemExit("dse: --detach requires --server")
+    if args.detach and args.stream:
+        raise SystemExit(
+            "dse: --detach and --stream are mutually exclusive "
+            "(stream the job later via GET /jobs/{id}/records)"
+        )
     try:
         spec = _dse_spec(args)
         if args.shard is not None:
@@ -500,6 +548,21 @@ def _run_dse(args) -> None:
         # Local default; servers keep their own (0 still reaches the
         # engine's workers >= 1 validation).
         workers = 1 if args.workers is None else args.workers
+        if args.detach:
+            if len(spec) == 0:
+                raise ValueError("empty sweep")
+            client = ServeClient(args.server, timeout=args.timeout)
+            job = client.submit_job(spec.to_dict(), **_server_options(args))
+            # Just the id on stdout (scriptable); where to follow it on
+            # stderr for humans.
+            print(job["job"])
+            print(
+                f"dse: submitted job {job['job']} ({len(spec)} points, "
+                f"state {job['state']}); follow it at "
+                f"{args.server}/jobs/{job['job']}",
+                file=sys.stderr,
+            )
+            return
         if args.stream:
             if args.server:
                 stream = ServeClient(args.server, timeout=args.timeout).submit(
@@ -681,6 +744,8 @@ def _run_serve(args) -> int:
             port=args.port,
             workers=args.workers,
             vectorize=not args.no_vectorize,
+            job_workers=args.job_workers,
+            client_timeout=args.client_timeout,
             verbose=args.verbose,
         )
     except OSError as error:  # e.g. port already bound
@@ -728,6 +793,7 @@ def _run_dse_launch(args) -> None:
                 vectorize=not args.no_vectorize,
                 post=args.post,
                 keep_shards=args.keep_shards,
+                fail_fast=not args.no_fail_fast,
             )
         finally:
             if temp_spec:

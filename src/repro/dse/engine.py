@@ -25,7 +25,7 @@ import multiprocessing
 import os
 import threading
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import Callable, Iterable, Iterator
 
 from .evaluate import _MEMO, EVAL_VERSION, evaluate_point, evaluate_points
 from .spec import SweepPoint, SweepSpec
@@ -117,6 +117,7 @@ def iter_sweep(
     workers: int = 1,
     chunk_size: int = 32,
     vectorize: bool = True,
+    should_cancel: Callable[[], bool] | None = None,
 ) -> Iterator[SweepRecord]:
     """Stream a sweep's records in completion order, one per unique config.
 
@@ -131,10 +132,20 @@ def iter_sweep(
     lowered-workload chunks through the numpy evaluator -- workers
     receive whole chunks instead of single points.  ``vectorize=False``
     is the scalar escape hatch; records are bit-identical either way.
+
+    ``should_cancel`` is polled at record boundaries -- after a record
+    is appended and yielded, before the next one is touched.  When it
+    turns true the generator returns early: every record already
+    yielded is fully persisted, nothing half-written follows, and a
+    worker pool mid-chunk is torn down on exit.  The sweep-service job
+    queue uses this for cooperative ``POST /jobs/{id}/cancel``.
     """
     points = list(sweep.points) if isinstance(sweep, SweepSpec) else list(sweep)
     if workers < 1:
         raise ValueError("workers must be >= 1")
+
+    def cancelled() -> bool:
+        return should_cancel is not None and should_cancel()
 
     if store is not None and not isinstance(store, ResultStoreBase):
         store = open_store(store)
@@ -155,6 +166,8 @@ def iter_sweep(
         seen: set[str] = set()
         pending: list[tuple[int, SweepPoint]] = []
         for index, point in enumerate(points):
+            if cancelled():
+                return
             key = point.config_hash()
             if key in seen:
                 continue
@@ -171,7 +184,7 @@ def iter_sweep(
             else:
                 pending.append((index, point))
 
-        if not pending:
+        if not pending or cancelled():
             return
         by_hash = {point.config_hash(): (index, point) for index, point in pending}
 
@@ -186,14 +199,23 @@ def iter_sweep(
         if vectorize:
             chunks = _lowered_chunks(pending_points, chunk_size)
             if workers > 1 and len(chunks) > 1:
+                # An early return inside the `with` tears the pool down
+                # (terminate), so a cancelled sweep does not burn the
+                # remaining chunks.
                 with _pool_context().Pool(workers) as pool:
                     for records in pool.imap_unordered(evaluate_points, chunks):
                         for record in records:
                             yield _emit(record)
+                            if cancelled():
+                                return
             else:
                 for chunk in chunks:
+                    if cancelled():
+                        return
                     for record in evaluate_points(chunk):
                         yield _emit(record)
+                        if cancelled():
+                            return
         elif workers > 1 and len(pending) > 1:
             chunk = max(1, min(chunk_size, math.ceil(len(pending) / workers)))
             with _pool_context().Pool(workers) as pool:
@@ -204,8 +226,12 @@ def iter_sweep(
                 )
                 for record in results:
                     yield _emit(record)
+                    if cancelled():
+                        return
         else:
             for point in pending_points:
+                if cancelled():
+                    return
                 yield _emit(evaluate_point(point))
 
 

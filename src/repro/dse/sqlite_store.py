@@ -22,7 +22,9 @@ JSONL-only concept and is rejected explicitly.
 from __future__ import annotations
 
 import json
+import os
 import sqlite3
+import threading
 from contextlib import closing, contextmanager
 from typing import Callable, Iterable, Iterator
 
@@ -65,6 +67,51 @@ class SQLiteStore(ResultStoreBase):
     """Persistent cache of evaluated design points in a SQLite file."""
 
     backend = "sqlite"
+
+    def __init__(self, path: "str | os.PathLike"):
+        super().__init__(path)
+        # change_token() holds one long-lived connection: PRAGMA
+        # data_version only moves relative to a *held* connection (a
+        # fresh connection always reads the same initial value).  The
+        # connection is shared across handler threads under a lock.
+        self._token_db: sqlite3.Connection | None = None
+        self._token_ino: int | None = None
+        self._token_lock = threading.Lock()
+
+    def change_token(self) -> tuple | None:
+        """``(data_version, mtime, size)`` -- the cache-invalidation key.
+
+        ``PRAGMA data_version`` increments whenever *another* connection
+        commits to the database, which catches the case a stat key
+        cannot: an external same-size upsert landing inside one coarse
+        mtime tick (every store write in this codebase opens its own
+        connection, so the service's own appends count as "another
+        connection" too).  The stat fields catch the file being
+        replaced wholesale, in which case the held connection -- now
+        pointing at the old inode -- is reopened.
+        """
+        try:
+            stat = self.path.stat()
+        except OSError:
+            return None
+        with self._token_lock:
+            try:
+                if self._token_db is None or self._token_ino != stat.st_ino:
+                    if self._token_db is not None:
+                        self._token_db.close()
+                    self._token_db = sqlite3.connect(
+                        self.path, check_same_thread=False
+                    )
+                    self._token_ino = stat.st_ino
+                (version,) = self._token_db.execute(
+                    "PRAGMA data_version"
+                ).fetchone()
+            except sqlite3.Error:
+                if self._token_db is not None:
+                    self._token_db.close()
+                    self._token_db = None
+                return None
+        return (version, stat.st_mtime_ns, stat.st_size)
 
     @contextmanager
     def _guard(self) -> Iterator[None]:

@@ -30,6 +30,7 @@ merge` under the same resolution rules (see :meth:`SweepSpec.shard
 from __future__ import annotations
 
 import gzip as gzip_module
+import hashlib
 import json
 import os
 import warnings
@@ -47,6 +48,12 @@ __all__ = [
 _GZIP_MAGIC = b"\x1f\x8b"
 _SQLITE_MAGIC = b"SQLite format 3\x00"
 _SQLITE_SUFFIXES = (".sqlite", ".sqlite3", ".db")
+
+#: How much of each end of the file the content fingerprint hashes.
+#: JSONL stores only ever change by appending (tail) or atomic rewrite
+#: (everything shifts), so head+tail+size pins the content without a
+#: full read of a million-record store.
+_FINGERPRINT_BYTES = 64 * 1024
 
 
 class StoreWarning(UserWarning):
@@ -126,6 +133,33 @@ class ResultStoreBase:
             for key, record in self.load().items()
             if version is None or record.get("version", 0) == version
         }
+
+    def change_token(self) -> tuple | None:
+        """An opaque value that changes whenever the contents may have.
+
+        The cache-invalidation key for read caches over this store
+        (e.g. the sweep service's ``/stats`` and query caches): equal
+        tokens mean the cached view is still valid, ``None`` means
+        "cannot tell, do not cache".  A bare ``(mtime, size)`` stat key
+        is not enough -- an external same-size upsert inside one coarse
+        mtime tick is invisible to it -- so the JSONL backend hashes
+        the file's head and tail into a content fingerprint, and the
+        SQLite backend overrides this with ``PRAGMA data_version``.
+        """
+        try:
+            stat = self.path.stat()
+        except OSError:
+            return None
+        digest = hashlib.sha256()
+        try:
+            with self.path.open("rb") as handle:
+                digest.update(handle.read(_FINGERPRINT_BYTES))
+                if stat.st_size > 2 * _FINGERPRINT_BYTES:
+                    handle.seek(stat.st_size - _FINGERPRINT_BYTES)
+                digest.update(handle.read(_FINGERPRINT_BYTES))
+        except OSError:
+            return None
+        return (stat.st_mtime_ns, stat.st_size, digest.hexdigest())
 
     def stats(self) -> dict:
         """Store metadata for health/stats surfaces (no record bodies)."""

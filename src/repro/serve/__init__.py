@@ -6,9 +6,12 @@ rankings to many clients, plus the shard orchestration that feeds it.
 
 * :mod:`~repro.serve.server` -- the stdlib-only HTTP service
   (:class:`SweepService` state + :class:`SweepServer` +
-  blocking :func:`serve`): submit sweeps, stream records in completion
-  order, run Pareto / top-k / accuracy-frontier reductions server-side,
-  ingest merged shard stores, health and store stats;
+  blocking :func:`serve`): submit sweeps as jobs, poll/stream/cancel
+  them by id, run Pareto / top-k / accuracy-frontier reductions
+  server-side, ingest merged shard stores, health and store stats;
+* :mod:`~repro.serve.jobs` -- the job queue under the service:
+  :class:`Job` (queued -> running -> done/failed/cancelled) and
+  :class:`JobManager`, the bounded priority-FIFO worker pool;
 * :mod:`~repro.serve.client` -- :class:`ServeClient`, the thin urllib
   client behind ``repro dse --server URL`` (records bit-identical to a
   local run);
@@ -21,6 +24,7 @@ rankings to many clients, plus the shard orchestration that feeds it.
 """
 
 from .client import ServeClient, ServeError
+from .jobs import Job, JobManager
 from .launch import (
     LaunchResult,
     launch,
@@ -40,6 +44,8 @@ from .server import SweepServer, SweepService, serve
 __all__ = [
     "ServeClient",
     "ServeError",
+    "Job",
+    "JobManager",
     "LaunchResult",
     "launch",
     "render_commands",

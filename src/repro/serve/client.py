@@ -7,6 +7,15 @@ this client; scripts can too::
     client = ServeClient("http://127.0.0.1:8000")
     records, summary = client.sweep({"grid": {"workloads": ["LSTM"]}})
     frontier = client.pareto(where={"workload": "LSTM"})
+
+Sweeps are server-side jobs: :meth:`ServeClient.submit_job` returns a
+job id immediately, :meth:`~ServeClient.job_status` polls it,
+:meth:`~ServeClient.stream_job` follows its records live (resumable
+with ``after=``), and :meth:`~ServeClient.cancel_job` stops it at the
+next record boundary.  :meth:`~ServeClient.submit` and
+:meth:`~ServeClient.sweep` compose submit + stream, so their
+records-in, records-out contract (bit-identical to a local run) is
+unchanged from the lock-serialized protocol they replaced.
 """
 
 from __future__ import annotations
@@ -140,49 +149,105 @@ class ServeClient:
             )
         return records
 
-    def submit(
+    # -- the job API ---------------------------------------------------
+    def submit_job(
         self,
         spec: Mapping,
         workers: int | None = None,
         vectorize: bool | None = None,
-    ) -> Iterator[dict]:
-        """Submit a sweep spec; yield records in completion order.
+        priority: int | None = None,
+    ) -> dict:
+        """Submit a sweep spec as a job; returns its status object.
 
         ``spec`` is the JSON sweep-spec format (``{"grid": ...}`` or
-        ``{"points": ...}``, e.g. ``SweepSpec.to_dict()``).  Records
-        stream as the server resolves them -- cache hits immediately,
-        cold evaluations as they land.  The trailing summary object is
-        captured on :attr:`last_summary` rather than yielded; an
-        in-band ``error`` object raises :class:`ServeError`.
+        ``{"points": ...}``, e.g. ``SweepSpec.to_dict()``).  The server
+        validates, enqueues, and answers immediately -- the returned
+        dict's ``"job"`` field is the id to poll, stream, or cancel.
+        Lower ``priority`` numbers schedule sooner (FIFO within a
+        level).
         """
         payload: dict = {"spec": dict(spec)}
         if workers is not None:
             payload["workers"] = workers
         if vectorize is not None:
             payload["vectorize"] = vectorize
+        if priority is not None:
+            payload["priority"] = priority
+        return self._json("/sweep", payload)
+
+    def job_status(self, job_id: str) -> dict:
+        """One job's state, progress counts, and frontier-so-far."""
+        return self._json(f"/jobs/{job_id}")
+
+    def jobs(self) -> list[dict]:
+        """Every job the server knows, oldest first."""
+        return self._json("/jobs")["jobs"]
+
+    def cancel_job(self, job_id: str) -> dict:
+        """Request cooperative cancellation of a job."""
+        return self._json(f"/jobs/{job_id}/cancel", {})
+
+    def stream_job(self, job_id: str, after: int = 0) -> Iterator[dict]:
+        """Follow a job's records live, from index ``after``.
+
+        Yields completed records in completion order until the job is
+        terminal; a dropped stream resumes exactly with
+        ``after=<records already seen>``.  A ``done`` job ends by
+        capturing the tier summary on :attr:`last_summary`; ``failed``
+        and ``cancelled`` terminals raise :class:`ServeError` (the
+        records yielded so far are valid either way).
+        """
+        path = f"/jobs/{job_id}/records"
+        if after:
+            path += f"?after={int(after)}"
         self.last_summary = None
-        for item in self._ndjson("/sweep", payload):
+        for item in self._ndjson(path):
             if "hash" in item:
                 yield item
+            elif item.get("cancelled"):
+                raise ServeError(f"job {job_id} was cancelled")
             elif "summary" in item:
                 self.last_summary = item["summary"]
             elif "error" in item:
-                raise ServeError(f"/sweep: {item['error']}")
+                raise ServeError(f"job {job_id}: {item['error']}")
         if self.last_summary is None:
-            # Streams are close-delimited; no trailing summary means
-            # the connection died before the sweep finished.
+            # Streams are close-delimited; no terminal line means the
+            # connection died before the job finished.
             raise ServeError(
-                "/sweep stream ended without a summary (truncated?)"
+                f"job {job_id} stream ended without a summary (truncated?)"
             )
+
+    def submit(
+        self,
+        spec: Mapping,
+        workers: int | None = None,
+        vectorize: bool | None = None,
+        priority: int | None = None,
+    ) -> Iterator[dict]:
+        """Submit a sweep and follow it: records in completion order.
+
+        Submit-then-stream over the job queue; the trailing summary is
+        captured on :attr:`last_summary` rather than yielded, exactly
+        like the pre-job-queue streaming protocol.
+        """
+        job = self.submit_job(
+            spec, workers=workers, vectorize=vectorize, priority=priority
+        )
+        yield from self.stream_job(job["job"])
 
     def sweep(
         self,
         spec: Mapping,
         workers: int | None = None,
         vectorize: bool | None = None,
+        priority: int | None = None,
     ) -> tuple[list[dict], dict | None]:
         """Drain :meth:`submit`; returns ``(records, summary)``."""
-        records = list(self.submit(spec, workers=workers, vectorize=vectorize))
+        records = list(
+            self.submit(
+                spec, workers=workers, vectorize=vectorize, priority=priority
+            )
+        )
         return records, self.last_summary
 
     def query(self, name: str, **params) -> list[dict]:

@@ -1,0 +1,395 @@
+"""The sweep service's job queue: submitted work as first-class state.
+
+``POST /sweep`` used to hold the HTTP connection (and a global lock)
+for the whole sweep -- one slow co-design grid head-of-line blocked
+every other client.  This module is the replacement architecture: a
+submission validates, becomes a :class:`Job`, and returns immediately;
+a bounded pool of worker threads leases jobs off a priority queue
+(FIFO within each priority level) and runs them against the shared
+engine; clients poll or stream a job by id and can cancel it
+cooperatively at any record boundary.
+
+The state machine is deliberately small::
+
+    queued ──▶ running ──▶ done
+       │           ├─────▶ failed
+       └───────────┴─────▶ cancelled
+
+``queued -> cancelled`` is the only shortcut (cancelling a job the
+pool never started).  Terminal states are final.
+
+Concurrent jobs must not interleave half-written records into the
+shared store.  SQLite stores are safe to write directly -- the
+conditional upsert resolves conflicts row-by-row and SQLite serializes
+writers itself -- but JSONL appends from two threads can tear lines,
+so JSONL-backed jobs write into a private *staging* store
+(:class:`StagedWrites`) that is merged into the shared store exactly
+once, when the job leaves the running state (done, failed, or
+cancelled alike: completed records are kept, like a crashed local run
+keeps its partials).
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+import uuid
+from typing import Callable, Iterator
+
+from ..dse.spec import SweepSpec
+from ..dse.store import ResultStoreBase
+
+__all__ = [
+    "Job",
+    "JobManager",
+    "StagedWrites",
+    "QUEUED",
+    "RUNNING",
+    "DONE",
+    "FAILED",
+    "CANCELLED",
+    "TERMINAL_STATES",
+    "DEFAULT_PRIORITY",
+]
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: States a job can never leave.
+TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
+
+#: Default submission priority; lower numbers schedule sooner.
+DEFAULT_PRIORITY = 10
+
+#: Seconds between keepalive blank lines on an idle record stream --
+#: frequent enough that a vanished client is detected (the blank-line
+#: write raises) long before a slow job finishes.
+STREAM_KEEPALIVE_SECONDS = 1.0
+
+
+def new_job_id() -> str:
+    """A short, URL-safe, collision-improbable job id."""
+    return uuid.uuid4().hex[:12]
+
+
+class Job:
+    """One unit of submitted work and everything observable about it.
+
+    Thread model: exactly one worker thread mutates the job while it
+    runs; any number of handler threads read it (status polls, record
+    streams).  All shared mutation happens under one condition
+    variable, which also wakes streamers when a record lands or the
+    state goes terminal.
+    """
+
+    kind = "sweep"
+
+    def __init__(
+        self,
+        spec: SweepSpec | None,
+        workers: int = 1,
+        vectorize: bool = True,
+        priority: int = DEFAULT_PRIORITY,
+        job_id: str | None = None,
+    ):
+        self.id = job_id or new_job_id()
+        self.spec = spec
+        self.workers = workers
+        self.vectorize = vectorize
+        self.priority = priority
+        self.state = QUEUED
+        self.error: str | None = None
+        self.records: list[dict] = []  # completed records, completion order
+        self.counts = {"memo": 0, "store": 0, "evaluated": 0}
+        self.submitted_at = time.time()
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self._cancel = threading.Event()
+        self._changed = threading.Condition()
+
+    # -- lifecycle (worker side) ---------------------------------------
+    def mark_running(self) -> bool:
+        """queued -> running; False when the job was cancelled first."""
+        with self._changed:
+            if self.state != QUEUED:
+                return False
+            self.state = RUNNING
+            self.started_at = time.time()
+            self._changed.notify_all()
+            return True
+
+    def append(self, record: dict, source: str) -> None:
+        """Record one completed point (memo/store/evaluated tier)."""
+        with self._changed:
+            self.records.append(record)
+            self.counts[source] += 1
+            self._changed.notify_all()
+
+    def finish(self, state: str, error: str | None = None) -> None:
+        """Enter a terminal state (idempotent; the first one sticks)."""
+        if state not in TERMINAL_STATES:
+            raise ValueError(f"not a terminal job state: {state!r}")
+        with self._changed:
+            if self.state in TERMINAL_STATES:
+                return
+            self.state = state
+            self.error = error
+            self.finished_at = time.time()
+            self._changed.notify_all()
+
+    # -- cancellation ---------------------------------------------------
+    def cancel(self) -> str:
+        """Request cooperative cancellation; returns the current state.
+
+        A queued job dies immediately; a running one stops at the next
+        record boundary (the engine polls :meth:`cancel_requested`
+        between store appends); a terminal job is left untouched.
+        """
+        self._cancel.set()
+        with self._changed:
+            if self.state == QUEUED:
+                self.state = CANCELLED
+                self.finished_at = time.time()
+                self._changed.notify_all()
+            return self.state
+
+    def cancel_requested(self) -> bool:
+        return self._cancel.is_set()
+
+    # -- observation (handler side) ------------------------------------
+    @property
+    def done(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the job is terminal; True when it got there."""
+        with self._changed:
+            return self._changed.wait_for(lambda: self.done, timeout)
+
+    def completed(self) -> int:
+        with self._changed:
+            return len(self.records)
+
+    def snapshot_records(self, after: int = 0) -> list[dict]:
+        """The completed records past index ``after`` (a copy)."""
+        with self._changed:
+            return list(self.records[after:])
+
+    def stream(
+        self, after: int = 0, keepalive: float = STREAM_KEEPALIVE_SECONDS
+    ) -> Iterator[dict | None]:
+        """Yield completed records from index ``after`` until terminal.
+
+        Blocks between records; yields ``None`` after ``keepalive``
+        seconds of silence so a transport can touch its socket (and
+        notice a vanished client) while the job is still working.  The
+        terminal state is *not* yielded -- the caller reads
+        ``job.state`` after the iterator ends, at which point every
+        record is guaranteed delivered (records never land after a
+        terminal state).
+        """
+        cursor = max(0, after)
+        while True:
+            with self._changed:
+                self._changed.wait_for(
+                    lambda: len(self.records) > cursor or self.done,
+                    timeout=keepalive,
+                )
+                batch = list(self.records[cursor:])
+                finished = self.done
+            if not batch and not finished:
+                yield None  # keepalive tick
+                continue
+            yield from batch
+            cursor += len(batch)
+            if finished:
+                return
+
+    def progress(self) -> dict:
+        """The countable facts: total points and per-tier completions."""
+        with self._changed:
+            return {
+                "points": len(self.spec) if self.spec is not None else 0,
+                "completed": len(self.records),
+                "evaluated": self.counts["evaluated"],
+                "store_hits": self.counts["store"],
+                "memo_hits": self.counts["memo"],
+            }
+
+    def status(self) -> dict:
+        """The ``GET /jobs/{id}`` body (sans frontier, which is derived)."""
+        return {
+            "job": self.id,
+            "kind": self.kind,
+            "state": self.state,
+            "priority": self.priority,
+            "error": self.error,
+            "progress": self.progress(),
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+
+
+class IngestJob(Job):
+    """A ``POST /records`` upload, tracked in the same job table.
+
+    Ingests run inline in the handler thread -- they are quick appends
+    that must not queue behind long sweeps -- but registering them as
+    jobs makes uploads first-class: visible in ``GET /jobs`` and the
+    ``/stats`` job counters, with the same terminal states.
+    """
+
+    kind = "ingest"
+
+    def __init__(self, offered: int):
+        super().__init__(spec=None, priority=0)
+        self.offered = offered
+        self.appended = 0
+
+    def progress(self) -> dict:
+        with self._changed:
+            return {"offered": self.offered, "appended": self.appended}
+
+
+class StagedWrites(ResultStoreBase):
+    """A store view that reads shared state but stages its appends.
+
+    Handed to :func:`~repro.dse.engine.iter_sweep` in place of a
+    JSONL-backed shared store: warm lookups (``records_for``) resolve
+    against the shared store so cache hits still hit, while the
+    streaming appender lands every completed record in a private
+    per-job staging store.  The job runner merges the staging file into
+    the shared store -- under the service's store lock, through the
+    normal version-aware resolution -- exactly once, after the job
+    stops running, so concurrent jobs can never interleave (or tear)
+    lines in the shared file.
+    """
+
+    backend = "staged"
+
+    def __init__(self, shared: ResultStoreBase, staging: ResultStoreBase):
+        super().__init__(shared.path)
+        self.shared = shared
+        self.staging = staging
+
+    def records_for(self, hashes, version=None):
+        return self.shared.records_for(hashes, version=version)
+
+    def appender(self):
+        return self.staging.appender()
+
+
+class JobManager:
+    """A bounded worker pool draining a priority queue of jobs.
+
+    ``runner(job)`` does the actual work (the service supplies it); the
+    manager owns scheduling: FIFO within each priority level (lower
+    number first), at most ``pool_size`` jobs running at once, lazy
+    worker startup, and cooperative teardown.  The job table keeps
+    terminal jobs around for status/record queries until the process
+    exits -- this is a sweep service, not a message broker; result
+    retention is the point.
+    """
+
+    def __init__(
+        self,
+        runner: Callable[[Job], None],
+        pool_size: int = 2,
+    ):
+        if pool_size < 1:
+            raise ValueError("job pool size must be >= 1")
+        self.runner = runner
+        self.pool_size = pool_size
+        self._jobs: dict[str, Job] = {}
+        self._queue: queue.PriorityQueue = queue.PriorityQueue()
+        self._seq = itertools.count()  # FIFO tie-break within a priority
+        self._lock = threading.Lock()
+        self._threads: list[threading.Thread] = []
+        self._stop = threading.Event()
+
+    # -- submission and lookup -----------------------------------------
+    def submit(self, job: Job) -> Job:
+        """Enqueue a job for the worker pool (starting it lazily)."""
+        with self._lock:
+            if self._stop.is_set():
+                raise RuntimeError("job manager is shut down")
+            self._jobs[job.id] = job
+            self._ensure_threads()
+        self._queue.put((job.priority, next(self._seq), job))
+        return job
+
+    def register(self, job: Job) -> Job:
+        """Track a job the caller runs itself (inline ingest jobs)."""
+        with self._lock:
+            self._jobs[job.id] = job
+        return job
+
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list[Job]:
+        """Every known job, oldest submission first."""
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda j: j.submitted_at)
+
+    def counts(self) -> dict:
+        """Jobs per state -- the ``/stats`` surface."""
+        tally = {state: 0 for state in (QUEUED, RUNNING, *TERMINAL_STATES)}
+        for job in self.jobs():
+            tally[job.state] += 1
+        tally["total"] = sum(tally.values())
+        return tally
+
+    # -- the pool ------------------------------------------------------
+    def _ensure_threads(self) -> None:
+        # Called under self._lock.  Daemonic like the HTTP handler
+        # threads: a hard process exit never hangs on a long sweep.
+        while len(self._threads) < self.pool_size:
+            thread = threading.Thread(
+                target=self._work,
+                name=f"sweep-job-worker-{len(self._threads)}",
+                daemon=True,
+            )
+            self._threads.append(thread)
+            thread.start()
+
+    def _work(self) -> None:
+        while not self._stop.is_set():
+            try:
+                _, _, job = self._queue.get(timeout=0.1)
+            except queue.Empty:
+                continue
+            if not job.mark_running():
+                continue  # cancelled while queued
+            try:
+                self.runner(job)
+            except Exception as error:  # noqa: BLE001 - job boundary
+                job.finish(FAILED, error=str(error))
+            finally:
+                # A runner that returned without finishing the job is a
+                # bug; fail loudly rather than leaving it running forever.
+                if not job.done:
+                    job.finish(FAILED, error="job runner never finished")
+
+    def close(self, cancel: bool = True, timeout: float = 5.0) -> None:
+        """Stop the pool: optionally cancel live jobs, then join workers.
+
+        Running jobs see the cancel at their next record boundary; a
+        job stuck inside one long evaluation chunk is abandoned to its
+        daemon thread after ``timeout`` (process exit reaps it).
+        """
+        if cancel:
+            for job in self.jobs():
+                if not job.done:
+                    job.cancel()
+        self._stop.set()
+        deadline = time.time() + timeout
+        for thread in self._threads:
+            thread.join(max(0.0, deadline - time.time()))

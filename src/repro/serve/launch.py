@@ -18,6 +18,7 @@ import os
 import shlex
 import subprocess
 import sys
+import time
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -140,6 +141,54 @@ def _subprocess_env() -> dict[str, str]:
     return env
 
 
+def _wait_for_shards(
+    processes: list[subprocess.Popen],
+    shards: int,
+    fail_fast: bool,
+    poll_interval: float = 0.05,
+) -> list[str]:
+    """Wait for shard children; returns failure descriptions (if any).
+
+    With ``fail_fast`` the first non-zero exit terminates every still
+    running sibling immediately, so a poisoned shard surfaces in
+    seconds instead of after the surviving N-1 shards burn to
+    completion.  Terminated siblings are reaped but not reported as
+    failures -- the shard that actually crashed is the story.  Without
+    ``fail_fast`` every child runs to its own exit (the pre-existing
+    behaviour, kept behind ``--no-fail-fast`` for runs where maximal
+    partial coverage matters more than fast failure).
+    """
+    terminated: set[int] = set()
+    if fail_fast:
+        pending = set(range(len(processes)))
+        while pending:
+            crashed = False
+            for index in sorted(pending):
+                code = processes[index].poll()
+                if code is None:
+                    continue
+                pending.discard(index)
+                if code != 0:
+                    crashed = True
+            if crashed:
+                for index in pending:
+                    processes[index].terminate()
+                    terminated.add(index)
+                break
+            if pending:
+                time.sleep(poll_interval)
+    failures = []
+    for index, process in enumerate(processes):
+        _, stderr = process.communicate()
+        if process.returncode != 0 and index not in terminated:
+            detail = stderr.decode(errors="replace").strip().splitlines()
+            failures.append(
+                f"shard {index}/{shards} exited {process.returncode}"
+                + (f": {detail[-1]}" if detail else "")
+            )
+    return failures
+
+
 def launch(
     spec_path: str | os.PathLike,
     shards: int,
@@ -149,19 +198,23 @@ def launch(
     vectorize: bool = True,
     post: str | None = None,
     keep_shards: bool = False,
+    fail_fast: bool = True,
 ) -> LaunchResult:
     """Run every shard of ``spec_path`` locally and merge the stores.
 
     Spawns ``shards`` child processes (each ``repro dse --shard i/n``
-    against its own JSONL shard store), waits for all of them, then
-    merges the shard stores into ``store`` (either backend, forced by
-    ``backend`` or sniffed from the path).  Any shard failure raises
-    ``RuntimeError`` naming the shard and its last stderr line --
-    after all children have exited, so no orphans.  With ``post``, the
-    records this launch produced (the shard delta, not the whole
-    destination store) are uploaded to a running server's ``/records``
-    endpoint in chunks.  Shard stores are deleted after a successful
-    merge unless ``keep_shards``.
+    against its own JSONL shard store), waits for them, then merges the
+    shard stores into ``store`` (either backend, forced by ``backend``
+    or sniffed from the path).  A shard failure raises ``RuntimeError``
+    naming the shard and its last stderr line; with ``fail_fast`` (the
+    default) the failure surfaces promptly -- surviving siblings are
+    terminated instead of burning to completion -- while
+    ``fail_fast=False`` waits for every child.  Either way the
+    per-shard partial stores are kept on failure, so a re-launch
+    resumes warm.  With ``post``, the records this launch produced
+    (the shard delta, not the whole destination store) are uploaded to
+    a running server's ``/records`` endpoint in chunks.  Shard stores
+    are deleted after a successful merge unless ``keep_shards``.
     """
     if shards < 1:
         raise ValueError("shard count must be >= 1")
@@ -184,15 +237,7 @@ def launch(
         )
         for command in commands
     ]
-    failures = []
-    for index, process in enumerate(processes):
-        _, stderr = process.communicate()
-        if process.returncode != 0:
-            detail = stderr.decode(errors="replace").strip().splitlines()
-            failures.append(
-                f"shard {index}/{shards} exited {process.returncode}"
-                + (f": {detail[-1]}" if detail else "")
-            )
+    failures = _wait_for_shards(processes, shards, fail_fast=fail_fast)
     if failures:
         raise RuntimeError("; ".join(failures))
 

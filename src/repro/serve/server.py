@@ -1,29 +1,46 @@
 """The sweep service: a stdlib-only HTTP server over the DSE engine.
 
-One long-lived process owns a result store and the warm in-process memo;
-many clients submit sweeps, stream records, and run server-side
+One long-lived process owns a result store and the warm in-process
+memo; many clients submit sweeps, stream records, and run server-side
 reductions against the shared cache instead of each re-evaluating (or
 re-loading) the design space.  The protocol is deliberately plain --
 JSON requests, JSON or NDJSON responses, ``http.server`` underneath --
 so any HTTP client works; :class:`repro.serve.client.ServeClient` is
 the thin reference client.
 
+Sweeps run through an async job queue (:mod:`repro.serve.jobs`):
+``POST /sweep`` validates the spec and returns a job id immediately,
+a bounded worker pool runs jobs concurrently (FIFO within priority
+levels), and clients poll ``GET /jobs/{id}``, stream
+``GET /jobs/{id}/records``, or ``POST /jobs/{id}/cancel``.  A slow
+sweep no longer head-of-line blocks anyone.
+
 Endpoints
 ---------
 ``GET /healthz``
     Liveness: status, ``EVAL_VERSION``, sweeps served so far.
 ``GET /stats``
-    Store metadata (backend, records, bytes) + memo size.
+    Store metadata (backend, records, bytes) + memo size + job counts.
 ``GET /records``
     Every current-version record, streamed as NDJSON, ending with a
     ``{"count": n}`` terminal line (truncation detection).
 ``POST /sweep``
-    Body ``{"spec": {...}, "workers"?: n, "vectorize"?: bool}`` where
-    ``spec`` is the JSON sweep-spec format (grid or explicit points).
-    Streams one NDJSON record per unique config *in completion order*
-    (chunked over :func:`~repro.dse.engine.iter_sweep`), then a final
-    ``{"summary": {...}}`` line with the tier counts.  Fresh records
-    land in the server's store as they stream.
+    Body ``{"spec": {...}, "workers"?: n, "vectorize"?: bool,
+    "priority"?: n}`` where ``spec`` is the JSON sweep-spec format
+    (grid or explicit points).  Validates, enqueues, and immediately
+    returns the job's status object (its ``job`` field is the id).
+``GET /jobs`` / ``GET /jobs/{id}``
+    The job table / one job's status, progress counts, and
+    Pareto-frontier-so-far over its completed records.
+``GET /jobs/{id}/records``
+    NDJSON stream of the job's completed records in completion order,
+    live until the job is terminal; ``?after=N`` skips the first N
+    records so a dropped client resumes exactly where it left off.
+    Ends with one terminal line: ``{"summary": ...}`` (done),
+    ``{"error": ...}`` (failed), or ``{"cancelled": true, ...}``.
+``POST /jobs/{id}/cancel``
+    Cooperative cancellation: queued jobs die immediately, running
+    jobs stop at the next record boundary (nothing half-appended).
 ``POST /query/pareto`` / ``POST /query/top-k`` /
 ``POST /query/accuracy-frontier``
     Server-side reductions over the stored records via
@@ -31,7 +48,7 @@ Endpoints
     parameters plus an optional ``where`` equality filter.
 ``POST /records``
     Ingest a JSON list of records (e.g. a merged shard store posted by
-    ``repro dse-launch --post``).
+    ``repro dse-launch --post``); tracked as an ingest job.
 ``POST /shutdown``
     Stop serving after the response -- the clean-exit path.
 """
@@ -40,16 +57,27 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Iterator, Mapping
-from urllib.parse import urlsplit
+from urllib.parse import parse_qs, urlsplit
 
 from ..dse.engine import iter_sweep
 from ..dse.evaluate import _MEMO, EVAL_VERSION
-from ..dse.queries import run_query
+from ..dse.queries import pareto_frontier, run_query
 from ..dse.spec import SweepSpec
-from ..dse.store import ResultStoreBase, open_store
+from ..dse.store import ResultStore, ResultStoreBase, open_store
+from .jobs import (
+    CANCELLED,
+    DEFAULT_PRIORITY,
+    DONE,
+    FAILED,
+    IngestJob,
+    Job,
+    JobManager,
+    StagedWrites,
+)
 from .serializers import dumps, records_payload, summary_payload
 
 __all__ = ["SweepService", "SweepServer", "serve"]
@@ -58,14 +86,20 @@ __all__ = ["SweepService", "SweepServer", "serve"]
 #: is ~300 MB of JSON; nobody submits that in one request by accident).
 MAX_BODY_BYTES = 64 * 1024 * 1024
 
+#: Default socket timeout for handler connections; override per server
+#: with ``repro serve --client-timeout``.
+DEFAULT_CLIENT_TIMEOUT = 600.0
+
+_JOB_PATH = re.compile(r"^/jobs/([0-9a-f]+)(/records|/cancel)?$")
+
 
 class SweepService:
-    """The service state: one store, one memo, one sweep at a time.
+    """The service state: one store, one memo, one job queue.
 
     Handlers delegate here; the class is HTTP-free so tests (and other
-    frontends) can drive it directly.  Sweeps serialize on a lock --
-    records stream to the submitting client while it holds the engine --
-    but every read endpoint stays concurrent under the threading server.
+    frontends) can drive it directly.  Sweeps are jobs on a bounded
+    worker pool -- ``job_workers`` of them run concurrently while every
+    read endpoint stays lock-free under the threading server.
     """
 
     def __init__(
@@ -73,14 +107,22 @@ class SweepService:
         store: ResultStoreBase | str | os.PathLike | None = None,
         workers: int = 1,
         vectorize: bool = True,
+        job_workers: int = 2,
     ):
         self.store = open_store(store) if store is not None else None
         self.workers = workers
         self.vectorize = vectorize
         self.sweeps_served = 0
-        self._sweep_lock = threading.Lock()
-        self._records_cache: tuple | None = None  # (stat key, records)
-        self._stats_cache: tuple | None = None  # (stat key, store stats)
+        self.jobs = JobManager(self._run_sweep_job, pool_size=job_workers)
+        # Serializes every *direct* write to the shared store (ingest
+        # appends, staged-job merges).  JSONL needs it -- interleaved
+        # appends tear lines and a merge rewrites the file wholesale --
+        # and holding SQLite to the same rule keeps one invariant.
+        # Sweep jobs never take it: SQLite jobs go through the upsert,
+        # JSONL jobs write to private staging stores.
+        self._store_lock = threading.Lock()
+        self._records_cache: tuple | None = None  # (change token, records)
+        self._stats_cache: tuple | None = None  # (change token, store stats)
 
     def health(self) -> dict:
         return {
@@ -94,20 +136,23 @@ class SweepService:
         self._records_cache = None
         self._stats_cache = None
 
-    def _stat_key(self) -> tuple | None:
-        """The store file's (mtime, size) -- the cache-invalidation key."""
-        try:
-            stat = self.store.path.stat()
-        except OSError:
-            return None
-        return (stat.st_mtime_ns, stat.st_size)
+    def _store_token(self) -> tuple | None:
+        """The store's change token -- the cache-invalidation key.
+
+        ``None`` (no store file yet, or the token read failed) disables
+        caching for that call.  SQLite tokens carry ``PRAGMA
+        data_version``, JSONL tokens a head/tail content fingerprint,
+        so an external same-size upsert inside one coarse mtime tick
+        still invalidates -- a bare ``(mtime, size)`` key would not.
+        """
+        return self.store.change_token()
 
     def stats(self) -> dict:
         store_stats = None
         if self.store is not None:
             # Cached like records(): a JSONL store's record count is a
             # full parse, and /stats is the endpoint monitors poll.
-            key = self._stat_key()
+            key = self._store_token()
             cached = self._stats_cache
             if key is not None and cached is not None and cached[0] == key:
                 store_stats = cached[1]
@@ -120,6 +165,7 @@ class SweepService:
             "sweeps_served": self.sweeps_served,
             "memo_records": len(_MEMO),
             "store": store_stats,
+            "jobs": self.jobs.counts(),
         }
 
     def records(self) -> list[dict]:
@@ -128,17 +174,16 @@ class SweepService:
         Backed by the store when there is one, else by the in-process
         memo -- a storeless server still answers queries over what it
         evaluated this lifetime.  Store loads are cached against the
-        file's (mtime, size), so back-to-back queries over a large
-        unchanged store parse it once; any append -- a sweep, an
-        ingest, an external writer -- changes the file and invalidates
-        naturally.
+        store's change token, so back-to-back queries over a large
+        unchanged store parse it once; any write -- a job, an ingest,
+        an external process -- moves the token and invalidates.
         """
         if self.store is None:
-            # Snapshot first: a concurrent sweep thread appends to the
+            # Snapshot first: concurrent job threads append to the
             # memo while we filter.
             memo = list(_MEMO.values())
             return [r for r in memo if r.get("version") == EVAL_VERSION]
-        key = self._stat_key()
+        key = self._store_token()
         cached = self._records_cache
         if key is not None and cached is not None and cached[0] == key:
             return cached[1]
@@ -155,7 +200,12 @@ class SweepService:
         return run_query(self.records(), name, params)
 
     def ingest(self, records: list) -> dict:
-        """Append posted records to the store (shard-merge upload path)."""
+        """Append posted records to the store (shard-merge upload path).
+
+        Runs inline -- an upload is a quick append that must not queue
+        behind long sweeps -- but is tracked as an ingest job so
+        ``/jobs`` and the ``/stats`` counters see every write path.
+        """
         if self.store is None:
             raise ValueError("server has no store to ingest records into")
         if not isinstance(records, list) or not all(
@@ -164,27 +214,33 @@ class SweepService:
             raise ValueError(
                 'ingest wants a JSON list of record objects with "hash" keys'
             )
-        # Under the sweep lock: a concurrent sweep holds an open append
-        # handle on the same store, and interleaved JSONL writes (worse,
-        # interleaved gzip members) would tear records.  SQLite locks
-        # itself, but serializing both backends keeps one rule.
-        with self._sweep_lock:
-            appended = self.store.append(records)
-        # Invalidate explicitly: stat-key invalidation alone can miss a
-        # same-size upsert inside one coarse mtime tick.
+        job = self.jobs.register(IngestJob(offered=len(records)))
+        job.mark_running()
+        try:
+            with self._store_lock:
+                appended = self.store.append(records)
+        except Exception as error:
+            job.finish(FAILED, error=str(error))
+            raise
+        job.appended = appended
+        job.finish(DONE)
+        # Invalidate explicitly: our own write is visible to us before
+        # any token read, and tokens only protect against *external*
+        # writers.
         self._invalidate_caches()
         # Only report what this request did: a total record count would
         # be a full-store parse per uploaded chunk on the JSONL backend
         # (GET /stats serves cached totals).
-        return {"appended": appended}
+        return {"appended": appended, "job": job.id}
 
-    def sweep(self, payload: Mapping) -> Iterator[dict]:
-        """Validate a sweep request and return its record stream.
+    # -- the job queue --------------------------------------------------
+    def submit(self, payload: Mapping) -> Job:
+        """Validate a sweep request and enqueue it as a job.
 
-        The spec parses *before* the stream starts, so malformed
-        submissions fail as client errors instead of torn streams.  The
-        generator yields record dicts in completion order and ends with
-        one ``{"summary": ...}`` object.
+        The spec parses *before* the job exists, so malformed
+        submissions fail as client errors and never occupy the queue.
+        Returns the queued :class:`Job` immediately -- the worker pool
+        runs it; poll or stream it by id.
         """
         if not isinstance(payload, Mapping):
             raise ValueError('sweep wants a JSON object body: {"spec": ...}')
@@ -196,46 +252,128 @@ class SweepService:
         vectorize = payload.get("vectorize")
         if vectorize is None:
             vectorize = self.vectorize
-        return self._stream(spec, workers, bool(vectorize))
+        priority = payload.get("priority")
+        priority = DEFAULT_PRIORITY if priority is None else int(priority)
+        job = Job(
+            spec=spec,
+            workers=workers,
+            vectorize=bool(vectorize),
+            priority=priority,
+        )
+        self.sweeps_served += 1
+        return self.jobs.submit(job)
 
-    def _stream(
-        self, spec: SweepSpec, workers: int, vectorize: bool
-    ) -> Iterator[dict]:
-        counts = {"memo": 0, "store": 0, "evaluated": 0}
-        with self._sweep_lock:
-            self.sweeps_served += 1
-            try:
-                for sweep_record in iter_sweep(
-                    spec, store=self.store, workers=workers, vectorize=vectorize
-                ):
-                    counts[sweep_record.source] += 1
-                    yield sweep_record.record
-            finally:
-                # The sweep appended records; drop the query caches
-                # even when mtime/size would not notice.
-                self._invalidate_caches()
-        yield {
-            "summary": summary_payload(
-                points=len(spec),
-                evaluated=counts["evaluated"],
-                store_hits=counts["store"],
-                memo_hits=counts["memo"],
-            )
-        }
+    def job(self, job_id: str) -> Job | None:
+        return self.jobs.get(job_id)
+
+    def job_status(self, job: Job) -> dict:
+        """One job's status body, including its frontier-so-far."""
+        status = job.status()
+        if job.kind == "sweep":
+            status["frontier"] = pareto_frontier(job.snapshot_records())
+        return status
+
+    def cancel(self, job: Job) -> dict:
+        """Request cancellation; reports the state the request found."""
+        state = job.cancel()
+        return {"job": job.id, "state": state, "cancel_requested": True}
+
+    def _staging_store(self, job: Job) -> ResultStore:
+        """The private JSONL store a staged job appends into."""
+        path = self.store.path
+        return ResultStore(path.with_name(f"{path.name}.job-{job.id}.staging"))
+
+    def _run_sweep_job(self, job: Job) -> None:
+        """Execute one sweep job on a pool worker thread.
+
+        SQLite-backed jobs write straight to the shared store (the
+        conditional upsert makes concurrent appenders safe); JSONL jobs
+        stage privately and merge under the store lock when they stop,
+        whatever the reason -- completed records are always kept, the
+        way an interrupted local run keeps its partials.
+        """
+        staging: ResultStore | None = None
+        store: ResultStoreBase | None = self.store
+        if store is not None and store.backend == "jsonl":
+            staging = self._staging_store(job)
+            store = StagedWrites(store, staging)
+        error: str | None = None
+        try:
+            for sweep_record in iter_sweep(
+                job.spec,
+                store=store,
+                workers=job.workers,
+                vectorize=job.vectorize,
+                should_cancel=job.cancel_requested,
+            ):
+                job.append(sweep_record.record, sweep_record.source)
+        except Exception as failure:  # noqa: BLE001 - job boundary
+            error = str(failure)
+        finally:
+            if staging is not None and staging.exists():
+                with self._store_lock:
+                    self.store.merge([staging])
+                staging.path.unlink(missing_ok=True)
+            self._invalidate_caches()
+        if error is not None:
+            job.finish(FAILED, error=error)
+        elif job.cancel_requested():
+            job.finish(CANCELLED)
+        else:
+            job.finish(DONE)
+
+    def job_summary(self, job: Job) -> dict:
+        """The tier summary of a job's (possibly partial) record set."""
+        progress = job.progress()
+        return summary_payload(
+            points=progress["points"],
+            evaluated=progress["evaluated"],
+            store_hits=progress["store_hits"],
+            memo_hits=progress["memo_hits"],
+        )
+
+    def job_record_stream(
+        self, job: Job, after: int = 0
+    ) -> Iterator[dict | None]:
+        """The ``GET /jobs/{id}/records`` NDJSON stream.
+
+        Records from index ``after`` in completion order (live while
+        the job runs; ``None`` keepalive ticks let the transport probe
+        the socket), then exactly one terminal line so a client can
+        tell completion from a torn connection.
+        """
+        if after < 0:
+            raise ValueError("after must be >= 0")
+        yield from job.stream(after=after)
+        if job.state == DONE:
+            yield {"summary": self.job_summary(job)}
+        elif job.state == FAILED:
+            yield {"error": job.error or "job failed"}
+        else:
+            yield {"cancelled": True, "summary": self.job_summary(job)}
+
+    def close(self) -> None:
+        """Stop the job pool (cancelling live jobs) -- shutdown path."""
+        self.jobs.close(cancel=True)
 
 
 class _Handler(BaseHTTPRequestHandler):
     """Route HTTP requests onto the :class:`SweepService`."""
 
-    server_version = "repro-serve/1.0"
+    server_version = "repro-serve/2.0"
     # HTTP/1.0: streamed responses are close-delimited, no chunked
     # framing needed, and every stdlib client reads them naturally.
     protocol_version = "HTTP/1.0"
-    # Socket timeout (reads AND writes): a client that stops reading
-    # mid-stream with a full TCP window must eventually error out --
-    # otherwise a sweep stream suspended in wfile.write() would hold
-    # the service's sweep lock forever.
-    timeout = 600
+
+    def setup(self) -> None:
+        # Socket timeout (reads AND writes), configurable per server
+        # (``repro serve --client-timeout``): a client that stops
+        # reading mid-stream with a full TCP window must error out and
+        # free this handler thread instead of pinning it for good.
+        self.timeout = getattr(
+            self.server, "client_timeout", DEFAULT_CLIENT_TIMEOUT
+        )
+        super().setup()
 
     @property
     def service(self) -> SweepService:
@@ -258,22 +396,28 @@ class _Handler(BaseHTTPRequestHandler):
         """Stream dicts as NDJSON, one flushed line per item.
 
         Streams are close-delimited (HTTP/1.0), so every streamed
-        endpoint ends with a terminal object (``summary`` for /sweep,
-        ``count`` for /records) that clients require -- a truncated
-        connection is then distinguishable from a complete response.
+        endpoint ends with a terminal object (``summary``/``error``/
+        ``cancelled`` for job streams, ``count`` for /records) that
+        clients require -- a truncated connection is then
+        distinguishable from a complete response.  A ``None`` item is
+        a keepalive: a blank line (NDJSON readers skip it) whose write
+        detects a vanished client while the stream is otherwise idle.
         """
         self.send_response(200)
         self.send_header("Content-Type", "application/x-ndjson")
         self.end_headers()
         try:
             for item in items:
-                self.wfile.write(
-                    (json.dumps(item, sort_keys=True) + "\n").encode()
-                )
+                if item is None:
+                    self.wfile.write(b"\n")
+                else:
+                    self.wfile.write(
+                        (json.dumps(item, sort_keys=True) + "\n").encode()
+                    )
                 self.wfile.flush()
         except Exception as error:  # noqa: BLE001 - headers are gone
-            # Mid-stream failure of any kind (evaluation error, store
-            # I/O, database lock): the status line is sent, so signal
+            # Mid-stream failure of any kind (store I/O, a dead socket,
+            # database lock): the status line is sent, so signal
             # in-band; clients treat an "error" object as fatal.
             try:
                 self.wfile.write(
@@ -282,8 +426,8 @@ class _Handler(BaseHTTPRequestHandler):
             except OSError:  # pragma: no cover - client went away too
                 pass
         finally:
-            # Deterministically close an abandoned sweep generator so
-            # its `with service._sweep_lock` exits now, not at GC time.
+            # Deterministically close an abandoned stream generator so
+            # anything it holds open is released now, not at GC time.
             close = getattr(items, "close", None)
             if close is not None:
                 close()
@@ -300,9 +444,18 @@ class _Handler(BaseHTTPRequestHandler):
             raise ValueError("request body must be a JSON object or list")
         return data
 
+    def _job_or_404(self, job_id: str):
+        job = self.service.job(job_id)
+        if job is None:
+            self._send_json(
+                {"error": f"no such job: {job_id}"}, status=404
+            )
+        return job
+
     # -- routes --------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-        path = urlsplit(self.path).path
+        parts = urlsplit(self.path)
+        path = parts.path
         try:
             if path == "/healthz":
                 self._send_json(self.service.health())
@@ -312,6 +465,24 @@ class _Handler(BaseHTTPRequestHandler):
                 records = self.service.records()
                 terminal: list[dict] = [{"count": len(records)}]
                 self._send_ndjson(iter(records + terminal))
+            elif path == "/jobs":
+                self._send_json(
+                    {"jobs": [job.status() for job in self.service.jobs.jobs()]}
+                )
+            elif match := _JOB_PATH.match(path):
+                job_id, tail = match.groups()
+                job = self._job_or_404(job_id)
+                if job is None:
+                    return
+                if tail == "/records":
+                    after = self._after_param(parts.query)
+                    self._send_ndjson(
+                        self.service.job_record_stream(job, after=after)
+                    )
+                elif tail is None:
+                    self._send_json(self.service.job_status(job))
+                else:  # GET on /cancel
+                    self._not_found(path)
             elif path == "/":
                 self._send_json({"endpoints": sorted(_ENDPOINTS)})
             else:
@@ -327,11 +498,27 @@ class _Handler(BaseHTTPRequestHandler):
             # transient server-side trouble, not a bad request.
             self._send_json({"error": str(error)}, status=503)
 
+    def _after_param(self, query: str) -> int:
+        values = parse_qs(query).get("after", ["0"])
+        after = int(values[-1])
+        if after < 0:
+            raise ValueError("after must be >= 0")
+        return after
+
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         path = urlsplit(self.path).path
         try:
             if path == "/sweep":
-                self._send_ndjson(self.service.sweep(self._read_json()))
+                job = self.service.submit(self._read_json())
+                self._send_json(job.status(), status=202)
+            elif match := _JOB_PATH.match(path):
+                job_id, tail = match.groups()
+                if tail != "/cancel":
+                    self._not_found(path)
+                    return
+                job = self._job_or_404(job_id)
+                if job is not None:
+                    self._send_json(self.service.cancel(job))
             elif path == "/records":
                 data = self._read_json()
                 if isinstance(data, dict):
@@ -368,7 +555,11 @@ _ENDPOINTS = (
     "GET /healthz",
     "GET /stats",
     "GET /records",
+    "GET /jobs",
+    "GET /jobs/{id}",
+    "GET /jobs/{id}/records",
     "POST /sweep",
+    "POST /jobs/{id}/cancel",
     "POST /records",
     "POST /query/pareto",
     "POST /query/top-k",
@@ -382,7 +573,8 @@ class SweepServer(ThreadingHTTPServer):
 
     ``port=0`` binds an ephemeral port; read :attr:`url` for the real
     address.  Handler threads are daemonic so a hard exit never hangs
-    on a slow client.
+    on a slow client.  ``client_timeout`` bounds every handler socket
+    operation (``repro serve --client-timeout``).
     """
 
     daemon_threads = True
@@ -393,9 +585,11 @@ class SweepServer(ThreadingHTTPServer):
         host: str = "127.0.0.1",
         port: int = 0,
         verbose: bool = False,
+        client_timeout: float = DEFAULT_CLIENT_TIMEOUT,
     ):
         self.service = service
         self.verbose = verbose
+        self.client_timeout = client_timeout
         super().__init__((host, port), _Handler)
 
     @property
@@ -416,6 +610,8 @@ def serve(
     port: int = 0,
     workers: int = 1,
     vectorize: bool = True,
+    job_workers: int = 2,
+    client_timeout: float = DEFAULT_CLIENT_TIMEOUT,
     verbose: bool = False,
     announce=_announce_stdout,
     ready=None,
@@ -424,12 +620,25 @@ def serve(
 
     Announces the bound URL (ephemeral ports resolve before serving),
     then serves until ``POST /shutdown`` or Ctrl-C; returns 0 on a
-    clean shutdown.  ``ready``, when given, receives the
-    :class:`SweepServer` right before the loop starts -- the hook tests
-    and embedders use to reach the live server object.
+    clean shutdown (live jobs are cancelled at their next record
+    boundary and their completed records kept).  ``ready``, when
+    given, receives the :class:`SweepServer` right before the loop
+    starts -- the hook tests and embedders use to reach the live
+    server object.
     """
-    service = SweepService(store=store, workers=workers, vectorize=vectorize)
-    server = SweepServer(service, host=host, port=port, verbose=verbose)
+    service = SweepService(
+        store=store,
+        workers=workers,
+        vectorize=vectorize,
+        job_workers=job_workers,
+    )
+    server = SweepServer(
+        service,
+        host=host,
+        port=port,
+        verbose=verbose,
+        client_timeout=client_timeout,
+    )
     where = (
         f"store: {service.store.backend}:{service.store.path}"
         if service.store is not None
@@ -444,5 +653,6 @@ def serve(
         pass
     finally:
         server.server_close()
+        service.close()
     announce("server shut down cleanly")
     return 0

@@ -354,3 +354,61 @@ class TestVectorizedEvaluation:
         clear_memo()
         vector_engine = DSEEngine(vectorize=True)
         assert vector_engine.run(points).records == scalar.records
+
+
+class TestShouldCancel:
+    """Cooperative cancellation: the hook behind POST /jobs/{id}/cancel."""
+
+    def test_cancelled_before_start_yields_nothing(self):
+        run_sweep(_points("LSTM"))  # even a warm memo must not leak out
+        stream = iter_sweep(_points("LSTM"), should_cancel=lambda: True)
+        assert list(stream) == []
+
+    def test_cancel_after_first_record_keeps_only_it(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        yielded = []
+        stream = iter_sweep(
+            _points("LSTM", "RNN"),
+            store=store,
+            should_cancel=lambda: len(yielded) >= 1,
+        )
+        for sweep_record in stream:
+            yielded.append(sweep_record)
+        assert len(yielded) == 1
+        # The one yielded record is fully persisted; nothing half-done
+        # follows it -- cancel lands exactly on a record boundary.
+        assert set(store.load()) == {yielded[0].hash}
+
+    def test_scalar_path_honours_cancel(self):
+        yielded = []
+        stream = iter_sweep(
+            _points("LSTM", "RNN"),
+            vectorize=False,
+            should_cancel=lambda: len(yielded) >= 1,
+        )
+        for sweep_record in stream:
+            yielded.append(sweep_record)
+        assert len(yielded) == 1
+
+    def test_pool_path_honours_cancel(self):
+        yielded = []
+        stream = iter_sweep(
+            _points("LSTM", "RNN", "AlexNet"),
+            workers=2,
+            should_cancel=lambda: len(yielded) >= 1,
+        )
+        for sweep_record in stream:
+            yielded.append(sweep_record)
+        # The early return tears the pool down mid-sweep: strictly
+        # fewer records than the full three-chunk run.
+        assert len(yielded) == 1
+
+    def test_uncancelled_hook_changes_nothing(self):
+        points = _points("LSTM", "RNN")
+        plain = [sr.record for sr in iter_sweep(points)]
+        clear_memo()
+        hooked = [
+            sr.record
+            for sr in iter_sweep(points, should_cancel=lambda: False)
+        ]
+        assert hooked == plain

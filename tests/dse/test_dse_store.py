@@ -10,6 +10,7 @@ classes below.
 
 import gzip
 import json
+import os
 
 import pytest
 
@@ -611,3 +612,70 @@ class TestPolicyConfigRoundTrip:
         (record,) = store.load().values()
         # The record's policy field alone rebuilds the exact assignment.
         assert resolve_policy(record["policy"]) == spec
+
+
+class TestChangeToken:
+    """The cache-invalidation key behind the server's records cache.
+
+    The contract: any committed write -- including an external writer's
+    same-size upsert inside one coarse mtime tick, which a bare
+    ``(mtime, size)`` key cannot see -- moves the token.
+    """
+
+    def test_missing_file_has_no_token(self, make_store):
+        assert make_store("absent").change_token() is None
+
+    def test_token_stable_without_writes(self, make_store):
+        store = make_store()
+        store.append([_record("a")])
+        assert store.change_token() == store.change_token()
+
+    def test_token_moves_on_append(self, make_store):
+        store = make_store()
+        store.append([_record("a")])
+        before = store.change_token()
+        store.append([_record("b")])
+        assert store.change_token() != before
+
+    def test_jsonl_same_size_pinned_mtime_rewrite_moves_the_token(
+        self, tmp_path
+    ):
+        store = ResultStore(tmp_path / "s.jsonl")
+        store.append([_record("a", value=1.0)])
+        before = store.change_token()
+        # An external writer rewrites the record in place: same byte
+        # count, and the mtime pinned back to the original tick.
+        raw = store.path.read_bytes()
+        stat = store.path.stat()
+        store.path.write_bytes(
+            raw.replace(b'"total_seconds": 1.0', b'"total_seconds": 2.0')
+        )
+        os.utime(store.path, ns=(stat.st_atime_ns, stat.st_mtime_ns))
+        after = store.change_token()
+        assert after[:2] == before[:2]  # the old stat key would miss this
+        assert after != before  # the content fingerprint does not
+
+    def test_sqlite_external_commit_moves_the_token(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        store = SQLiteStore(path)
+        store.append([_record("a", value=1.0)])
+        before = store.change_token()
+        # Another connection (an external process, as far as SQLite is
+        # concerned) upserts the same row: same row count, same size.
+        SQLiteStore(path).append([_record("a", value=2.0)])
+        after = store.change_token()
+        assert after is not None
+        assert after[0] > before[0]  # PRAGMA data_version moved
+
+    def test_sqlite_token_survives_file_replacement(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        store = SQLiteStore(path)
+        store.append([_record("a")])
+        before = store.change_token()
+        # The file is replaced wholesale (new inode): the held token
+        # connection must be reopened, not read through the old inode.
+        path.unlink()
+        SQLiteStore(path).append([_record("a"), _record("b")])
+        after = store.change_token()
+        assert after is not None and after != before
+        assert len(store) == 2

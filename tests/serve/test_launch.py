@@ -242,3 +242,78 @@ class TestCliLaunch:
                 ]
             )
         assert exc.value.code != 0
+
+
+class TestFailFast:
+    """A poisoned shard must surface in seconds, not after the
+    surviving siblings burn to completion."""
+
+    @pytest.fixture
+    def launch_module(self):
+        import importlib
+
+        return importlib.import_module("repro.serve.launch")
+
+    def _fake_commands(self, monkeypatch, launch_module, commands):
+        monkeypatch.setattr(
+            launch_module,
+            "shard_commands",
+            lambda *args, **kwargs: [list(c) for c in commands],
+        )
+
+    def test_poisoned_shard_terminates_siblings_promptly(
+        self, tmp_path, monkeypatch, launch_module
+    ):
+        import sys
+        import time
+
+        crash = [
+            sys.executable,
+            "-c",
+            "import sys; sys.stderr.write('poisoned shard\\n'); sys.exit(3)",
+        ]
+        sleeper = [sys.executable, "-c", "import time; time.sleep(60)"]
+        self._fake_commands(
+            monkeypatch, launch_module, [crash, sleeper, sleeper]
+        )
+        _, spec_path = _write_spec(tmp_path)
+        dest = tmp_path / "merged.jsonl"
+        # A partial store a crashed-over launch left behind must survive
+        # the failure (a re-launch resumes warm from it).
+        partial = shard_store_path(dest, 1)
+        partial.write_text("")
+        start = time.monotonic()
+        with pytest.raises(RuntimeError) as failure:
+            launch(spec_path, 3, dest)
+        elapsed = time.monotonic() - start
+        # Far less than the sleepers' 60s: they were terminated, and
+        # being terminated by us they are not reported as failures.
+        assert elapsed < 30
+        assert "shard 0/3 exited 3: poisoned shard" in str(failure.value)
+        assert "shard 1/3" not in str(failure.value)
+        assert "shard 2/3" not in str(failure.value)
+        assert partial.exists()
+
+    def test_no_fail_fast_reports_every_crash(
+        self, tmp_path, monkeypatch, launch_module
+    ):
+        import sys
+
+        early = [
+            sys.executable,
+            "-c",
+            "import sys; sys.stderr.write('early\\n'); sys.exit(2)",
+        ]
+        late = [
+            sys.executable,
+            "-c",
+            "import sys, time; time.sleep(0.3); "
+            "sys.stderr.write('late\\n'); sys.exit(5)",
+        ]
+        self._fake_commands(monkeypatch, launch_module, [early, late])
+        _, spec_path = _write_spec(tmp_path)
+        with pytest.raises(RuntimeError) as failure:
+            launch(spec_path, 2, tmp_path / "merged.jsonl", fail_fast=False)
+        # Every child ran to its own exit; both crashes are reported.
+        assert "shard 0/2 exited 2: early" in str(failure.value)
+        assert "shard 1/2 exited 5: late" in str(failure.value)

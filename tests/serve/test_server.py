@@ -163,8 +163,13 @@ class TestRecordsEndpoints:
         response = client.post_records(
             [{"hash": "x" * 64, "version": EVAL_VERSION, "metrics": {}}]
         )
-        assert response == {"appended": 1}
+        assert response["appended"] == 1
         assert len(live_server.service.store) == 1
+        # Uploads are tracked as ingest jobs, visible in the job table.
+        job = client.job_status(response["job"])
+        assert job["kind"] == "ingest"
+        assert job["state"] == "done"
+        assert job["progress"] == {"offered": 1, "appended": 1}
 
     def test_ingest_rejects_keyless_records(self, client):
         with pytest.raises(ServeError, match="400"):
@@ -252,6 +257,9 @@ class TestTruncationDetection:
     def test_truncated_sweep_stream_raises(self, monkeypatch):
         client = ServeClient("http://unused")
         monkeypatch.setattr(
+            client, "submit_job", lambda spec, **kw: {"job": "abc123"}
+        )
+        monkeypatch.setattr(
             client,
             "_ndjson",
             lambda path, payload=None: iter([{"hash": "x", "metrics": {}}]),
@@ -270,10 +278,18 @@ class TestTruncationDetection:
             client.records()
 
 
+def _run_job(service, payload):
+    """Drive a sweep job through the service directly (no HTTP)."""
+    job = service.submit(payload)
+    assert job.wait(timeout=60), f"job stuck in state {job.state}"
+    assert job.state == "done", job.error
+    return job
+
+
 class TestRecordsCache:
     def test_store_parsed_once_until_it_changes(self, tmp_path):
         service = SweepService(store=tmp_path / "s.jsonl")
-        list(service.sweep({"spec": GRID}))
+        _run_job(service, {"spec": GRID})
         loads = []
         original_load = service.store.load
         service.store.load = lambda: loads.append(1) or original_load()
@@ -295,7 +311,7 @@ class TestRecordsCache:
 
     def test_store_stats_cached_until_the_store_changes(self, tmp_path):
         service = SweepService(store=tmp_path / "s.jsonl")
-        list(service.sweep({"spec": GRID}))
+        _run_job(service, {"spec": GRID})
         calls = []
         original_stats = service.store.stats
         service.store.stats = lambda: calls.append(1) or original_stats()
@@ -307,6 +323,58 @@ class TestRecordsCache:
         calls.clear()
         assert service.stats()["store"]["records"] == 3
         assert len(calls) == 1
+
+
+class TestExternalWriterInvalidation:
+    """The regression ``(mtime, size)`` cache keys could not catch: an
+    external writer's same-size upsert must be visible to the next
+    query, without the service ever being told about the write."""
+
+    def test_jsonl_same_size_upsert_is_seen_by_the_next_query(self, tmp_path):
+        import os
+
+        service = SweepService(store=tmp_path / "s.jsonl")
+        service.store.append(
+            [
+                {
+                    "hash": "a" * 64,
+                    "version": EVAL_VERSION,
+                    "metrics": {"total_seconds": 1.0, "total_energy_j": 1.0},
+                }
+            ]
+        )
+        assert service.records()[0]["metrics"]["total_seconds"] == 1.0
+        # Rewrite the record in place -- same byte count -- and pin the
+        # mtime back to the original tick, like a fast external upsert.
+        raw = service.store.path.read_bytes()
+        stat = service.store.path.stat()
+        service.store.path.write_bytes(
+            raw.replace(b'"total_seconds": 1.0', b'"total_seconds": 2.0')
+        )
+        os.utime(
+            service.store.path, ns=(stat.st_atime_ns, stat.st_mtime_ns)
+        )
+        (frontier_record,) = service.query("pareto")
+        assert frontier_record["metrics"]["total_seconds"] == 2.0
+
+    def test_sqlite_external_upsert_is_seen_by_the_next_query(self, tmp_path):
+        from repro.dse import SQLiteStore
+
+        path = tmp_path / "s.sqlite"
+        service = SweepService(store=SQLiteStore(path))
+        record = {
+            "hash": "a" * 64,
+            "version": EVAL_VERSION,
+            "metrics": {"total_seconds": 1.0, "total_energy_j": 1.0},
+        }
+        service.store.append([record])
+        assert service.records()[0]["metrics"]["total_seconds"] == 1.0
+        # Another connection -- an external process, as far as SQLite
+        # is concerned -- upserts the same row: same size, same count.
+        record["metrics"]["total_seconds"] = 2.0
+        SQLiteStore(path).append([record])
+        (frontier_record,) = service.query("pareto")
+        assert frontier_record["metrics"]["total_seconds"] == 2.0
 
 
 class TestStorelessServer:
