@@ -19,7 +19,10 @@ Examples
     python -m repro serve --store results.sqlite --port 8000
     python -m repro dse --workload LSTM --server http://127.0.0.1:8000
     python -m repro dse --spec big.json --server http://127.0.0.1:8000 --detach
+    python -m repro dse --spec big.json --server http://127.0.0.1:8000 --fleet
+    python -m repro worker --server http://127.0.0.1:8000 --name box-a
     python -m repro dse-launch --workload LSTM --shards 4 --store merged.jsonl
+    python -m repro dse-launch --workload LSTM --fleet 4 --store merged.sqlite
     python -m repro chips
 """
 
@@ -29,6 +32,7 @@ import argparse
 import json
 import re
 import sys
+import time
 from pathlib import Path
 
 from .dse import (
@@ -46,14 +50,17 @@ from .dse import (
     top_k,
 )
 from .serve import (
+    FleetWorker,
     ServeClient,
     ServeError,
     launch,
+    launch_fleet,
     render_commands,
     serve,
     shard_commands,
     shard_store_path,
 )
+from .serve.fleet import DEFAULT_HEARTBEAT_TTL, DEFAULT_LEASE_TTL
 from .serve.serializers import (
     co_explore_payload,
     records_payload,
@@ -248,6 +255,21 @@ def build_parser() -> argparse.ArgumentParser:
         "FIFO within a level)",
     )
     dse.add_argument(
+        "--fleet",
+        action="store_true",
+        help="with --server: submit as a fleet job evaluated by "
+        "pull-based 'repro worker' processes (records land in the "
+        "server store; combine with --detach to just print the id)",
+    )
+    dse.add_argument(
+        "--chunks",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --fleet: lease-queue chunk count "
+        "(default min(points, 16))",
+    )
+    dse.add_argument(
         "--format", choices=("table", "jsonl", "json"), default="table"
     )
     dse.add_argument(
@@ -375,9 +397,82 @@ def build_parser() -> argparse.ArgumentParser:
         help="socket timeout per client connection -- a stalled client "
         "frees its handler thread after this long",
     )
+    server.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=DEFAULT_LEASE_TTL,
+        metavar="SECONDS",
+        help="seconds a fleet worker's chunk lease stays valid without "
+        "an ack before the chunk requeues",
+    )
+    server.add_argument(
+        "--heartbeat-ttl",
+        type=float,
+        default=DEFAULT_HEARTBEAT_TTL,
+        metavar="SECONDS",
+        help="seconds of heartbeat silence before a fleet worker counts "
+        "as dead (its leases requeue immediately)",
+    )
     server.add_argument("--no-vectorize", action="store_true")
     server.add_argument(
         "--verbose", action="store_true", help="log every request"
+    )
+
+    worker = sub.add_parser(
+        "worker",
+        help="join a sweep server's worker fleet: pull chunk leases, "
+        "evaluate them locally, stream the records back, ack",
+    )
+    worker.add_argument(
+        "--server", required=True, metavar="URL", help="'repro serve' URL"
+    )
+    worker.add_argument(
+        "--name", default=None, help="worker name shown in GET /workers"
+    )
+    worker.add_argument(
+        "--capacity",
+        type=int,
+        default=1,
+        help="chunk leases this worker may hold at once",
+    )
+    worker.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="idle wait between lease attempts when the queue is empty",
+    )
+    worker.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="socket timeout for server requests",
+    )
+    worker.add_argument(
+        "--workers", type=int, default=1, help="processes per chunk evaluation"
+    )
+    worker.add_argument("--no-vectorize", action="store_true")
+    worker.add_argument(
+        "--exit-when-drained",
+        action="store_true",
+        help="exit 0 when the server reports no active fleet jobs "
+        "instead of idling for more work",
+    )
+    worker.add_argument(
+        "--max-chunks",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after completing N chunks",
+    )
+    worker.add_argument(
+        "--throttle",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="hold each lease this long before evaluating "
+        "(fault-injection/testing aid)",
     )
 
     dse_launch = sub.add_parser(
@@ -419,6 +514,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="let surviving shards run to completion when one crashes "
         "instead of terminating them promptly (partial shard stores "
         "are kept either way)",
+    )
+    dse_launch.add_argument(
+        "--fleet",
+        type=int,
+        default=None,
+        metavar="N",
+        help="spawn N pull-based fleet workers against an ephemeral "
+        "in-process server instead of a fixed shard plan "
+        "(work-stealing; a dead worker's leases requeue)",
+    )
+    dse_launch.add_argument(
+        "--chunks",
+        type=int,
+        default=None,
+        metavar="M",
+        help="with --fleet: lease-queue chunk count (default 4x workers)",
     )
     return parser
 
@@ -488,6 +599,72 @@ def _server_options(args) -> dict:
     return options
 
 
+def _fleet_payload(args):
+    """The ``"fleet"`` field of a sweep submission, or ``None``."""
+    if not getattr(args, "fleet", False):
+        return None
+    if args.chunks is not None:
+        return {"chunks": args.chunks}
+    return True
+
+
+def _fleet_sweep(args, spec) -> tuple[list[dict], dict]:
+    """Run the sweep as a fleet job; returns (records, final status).
+
+    Registered ``repro worker`` processes do the evaluation; this
+    client submits, polls with retried idempotent GETs, then reads the
+    records back out of the server's store reordered to the local
+    spec's point order -- the same bit-identical records-out contract
+    as ``--server`` sweeps.
+    """
+    if len(spec) == 0:
+        raise ValueError("empty sweep")
+    client = ServeClient(args.server, timeout=args.timeout)
+    job_id = client.submit_job(
+        spec.to_dict(), fleet=_fleet_payload(args), **_server_options(args)
+    )["job"]
+    while True:
+        status = client.job_status(job_id)
+        if status["state"] not in ("queued", "running"):
+            break
+        time.sleep(0.2)
+    if status["state"] != "done":
+        raise ServeError(
+            f"fleet job {job_id} {status['state']}"
+            + (f": {status['error']}" if status.get("error") else "")
+        )
+    by_hash = {record["hash"]: record for record in client.records()}
+    try:
+        records = [by_hash[point.config_hash()] for point in spec.points]
+    except KeyError as missing:
+        raise SystemExit(f"dse: server store is missing record {missing}")
+    return records, status
+
+
+def _fleet_summary(status: dict) -> dict:
+    """The ``--format json`` summary object for a fleet sweep."""
+    progress = status.get("progress", {})
+    return {
+        "points": progress.get("points", 0),
+        "fleet": {
+            "job": status.get("job"),
+            "chunks": progress.get("chunks", {}),
+        },
+    }
+
+
+def _fleet_summary_text(status: dict) -> str:
+    progress = status.get("progress", {})
+    chunks = progress.get("chunks", {})
+    text = (
+        f"{progress.get('points', 0)} points over "
+        f"{chunks.get('total', 0)} fleet chunks (job {status.get('job')})"
+    )
+    if chunks.get("requeues"):
+        text += f", {chunks['requeues']} leases requeued"
+    return text
+
+
 def _server_sweep(args, spec) -> SweepResult:
     """Run the sweep on a remote ``repro serve`` instance.
 
@@ -533,6 +710,20 @@ def _run_dse(args) -> None:
             "dse: --detach and --stream are mutually exclusive "
             "(stream the job later via GET /jobs/{id}/records)"
         )
+    if args.fleet and not args.server:
+        raise SystemExit("dse: --fleet requires --server (workers pull from it)")
+    if args.chunks is not None and not args.fleet:
+        raise SystemExit("dse: --chunks requires --fleet")
+    if args.fleet and args.stream:
+        raise SystemExit(
+            "dse: --fleet cannot --stream (fleet records land in the "
+            "server store; they are fetched when the job completes)"
+        )
+    if args.fleet and args.shard is not None:
+        raise SystemExit(
+            "dse: --fleet and --shard are mutually exclusive "
+            "(the lease queue chunks the sweep itself)"
+        )
     try:
         spec = _dse_spec(args)
         if args.shard is not None:
@@ -552,7 +743,11 @@ def _run_dse(args) -> None:
             if len(spec) == 0:
                 raise ValueError("empty sweep")
             client = ServeClient(args.server, timeout=args.timeout)
-            job = client.submit_job(spec.to_dict(), **_server_options(args))
+            job = client.submit_job(
+                spec.to_dict(),
+                fleet=_fleet_payload(args),
+                **_server_options(args),
+            )
             # Just the id on stdout (scriptable); where to follow it on
             # stderr for humans.
             print(job["job"])
@@ -581,8 +776,13 @@ def _run_dse(args) -> None:
             for record in stream:
                 print(json.dumps(record, sort_keys=True), flush=True)
             return
-        if args.server:
+        result = None
+        fleet_status: dict | None = None
+        if args.fleet:
+            records, fleet_status = _fleet_sweep(args, spec)
+        elif args.server:
             result = _server_sweep(args, spec)
+            records = result.records
         else:
             result = run_sweep(
                 spec,
@@ -590,7 +790,7 @@ def _run_dse(args) -> None:
                 workers=workers,
                 vectorize=vectorize,
             )
-        records = result.records
+            records = result.records
         if args.pareto:
             records = pareto_frontier(records)
         if args.top_k is not None:
@@ -603,11 +803,20 @@ def _run_dse(args) -> None:
         for record in records:
             print(json.dumps(record, sort_keys=True))
     elif args.format == "json":
-        print(payload_json(records_payload(records, summary=result_summary(result))))
+        summary = (
+            result_summary(result)
+            if result is not None
+            else _fleet_summary(fleet_status)
+        )
+        print(payload_json(records_payload(records, summary=summary)))
     else:
         print(render_records(records))
         print()
-        print(result.summary())
+        print(
+            result.summary()
+            if result is not None
+            else _fleet_summary_text(fleet_status)
+        )
 
 
 def _parse_ladder(text: str) -> tuple[int, ...]:
@@ -746,10 +955,34 @@ def _run_serve(args) -> int:
             vectorize=not args.no_vectorize,
             job_workers=args.job_workers,
             client_timeout=args.client_timeout,
+            lease_ttl=args.lease_ttl,
+            heartbeat_ttl=args.heartbeat_ttl,
             verbose=args.verbose,
         )
+    except ValueError as error:  # e.g. a non-positive TTL
+        raise SystemExit(f"serve: {error}")
     except OSError as error:  # e.g. port already bound
         raise SystemExit(f"serve: {error}")
+
+
+def _run_worker(args) -> int:
+    worker = FleetWorker(
+        args.server,
+        name=args.name,
+        capacity=args.capacity,
+        poll=args.poll,
+        timeout=args.timeout,
+        workers=args.workers,
+        vectorize=not args.no_vectorize,
+        exit_when_drained=args.exit_when_drained,
+        max_chunks=args.max_chunks,
+        throttle=args.throttle,
+    )
+    try:
+        return worker.run()
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        worker.stop()
+        return 0
 
 
 def _run_dse_launch(args) -> None:
@@ -757,6 +990,24 @@ def _run_dse_launch(args) -> None:
         spec = _dse_spec(args)
         if len(spec) == 0:
             raise ValueError("the sweep has no points")
+        if args.fleet is not None:
+            if args.print_cmds or args.post:
+                raise ValueError(
+                    "--fleet is incompatible with --print-cmds/--post "
+                    "(fleet workers pull from an embedded server)"
+                )
+            result = launch_fleet(
+                spec,
+                args.fleet,
+                args.store,
+                backend=args.backend,
+                chunks=args.chunks,
+                vectorize=not args.no_vectorize,
+            )
+            print(f"dse-launch: {result.summary()}")
+            return
+        if args.chunks is not None:
+            raise ValueError("--chunks requires --fleet")
         if args.shards < 1:
             raise ValueError("shard count must be >= 1")
         dest = Path(args.store)
@@ -866,6 +1117,8 @@ def main(argv: list[str] | None = None) -> int:
         _run_dse_compact(args)
     elif command == "serve":
         return _run_serve(args)
+    elif command == "worker":
+        return _run_worker(args)
     elif command == "dse-launch":
         _run_dse_launch(args)
     elif command == "simulate":

@@ -372,6 +372,29 @@ class SweepSpec:
             )
         )
 
+    def chunks(self, count: int) -> "list[tuple[int, SweepSpec]]":
+        """The non-empty hash-range chunks of a ``count``-way partition.
+
+        The same partition :meth:`shard` defines -- ``(i, sub)`` pairs
+        where ``sub == self.shard(i, count)`` -- computed in one pass
+        and with empty shards dropped, so a lease queue (the elastic
+        worker fleet in :mod:`repro.serve.fleet`) never hands out
+        no-op work units.  Chunks are disjoint, their union is the
+        spec, and the chunk index is stable across processes, so a
+        chunk re-executed after a lost lease lands on exactly the same
+        points.
+        """
+        if count < 1:
+            raise ValueError("chunk count must be >= 1")
+        buckets: dict[int, list[SweepPoint]] = {}
+        for point in self.points:
+            index = shard_index(point.config_hash(), count)
+            buckets.setdefault(index, []).append(point)
+        return [
+            (index, SweepSpec(points=tuple(points)))
+            for index, points in sorted(buckets.items())
+        ]
+
     @classmethod
     def grid(
         cls,

@@ -12,22 +12,30 @@ rankings to many clients, plus the shard orchestration that feeds it.
 * :mod:`~repro.serve.jobs` -- the job queue under the service:
   :class:`Job` (queued -> running -> done/failed/cancelled) and
   :class:`JobManager`, the bounded priority-FIFO worker pool;
+* :mod:`~repro.serve.fleet` -- the elastic worker fleet:
+  :class:`Fleet` (the coordinator's lease table: registration,
+  heartbeats, pull-based chunk leases with expiry/requeue) and
+  :class:`FleetWorker`, the ``repro worker`` pull loop;
 * :mod:`~repro.serve.client` -- :class:`ServeClient`, the thin urllib
   client behind ``repro dse --server URL`` (records bit-identical to a
-  local run);
-* :mod:`~repro.serve.launch` -- ``repro dse-launch`` shard
-  orchestration: spawn N local shard processes or print per-machine
-  command lines, auto-merge shard stores, optionally post the merge to
-  a running server;
+  local run), with bounded-backoff retries on transient failures of
+  idempotent requests;
+* :mod:`~repro.serve.launch` -- ``repro dse-launch`` orchestration:
+  spawn N local shard processes or print per-machine command lines and
+  auto-merge shard stores, or ``--fleet N`` to self-host a lease queue
+  and pull workers instead of a fixed shard plan;
 * :mod:`~repro.serve.serializers` -- the JSON shapes shared between
   the HTTP endpoints and the CLI's ``--format json``.
 """
 
 from .client import ServeClient, ServeError
+from .fleet import Fleet, FleetJob, FleetWorker
 from .jobs import Job, JobManager
 from .launch import (
+    FleetLaunchResult,
     LaunchResult,
     launch,
+    launch_fleet,
     render_commands,
     shard_commands,
     shard_store_path,
@@ -44,10 +52,15 @@ from .server import SweepServer, SweepService, serve
 __all__ = [
     "ServeClient",
     "ServeError",
+    "Fleet",
+    "FleetJob",
+    "FleetWorker",
     "Job",
     "JobManager",
+    "FleetLaunchResult",
     "LaunchResult",
     "launch",
+    "launch_fleet",
     "render_commands",
     "shard_commands",
     "shard_store_path",

@@ -21,6 +21,7 @@ unchanged from the lock-serialized protocol they replaced.
 from __future__ import annotations
 
 import json
+import time
 from http.client import HTTPException
 from typing import Iterator, Mapping
 from urllib import request as _request
@@ -30,7 +31,33 @@ __all__ = ["ServeClient", "ServeError"]
 
 
 class ServeError(RuntimeError):
-    """The server rejected a request or could not be reached."""
+    """The server rejected a request or could not be reached.
+
+    ``code`` carries the HTTP status when the server answered at all;
+    ``transient`` marks transport-level failures (connection reset,
+    timeout, torn response) that an *idempotent* request may safely
+    retry -- a 4xx rejection is not transient, re-sending it cannot
+    help.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        code: int | None = None,
+        transient: bool = False,
+    ):
+        super().__init__(message)
+        self.code = code
+        self.transient = transient
+
+
+def _is_transient(error: BaseException) -> bool:
+    # ConnectionError covers ConnectionResetError and (via
+    # http.client.RemoteDisconnected) a server vanishing mid-exchange;
+    # TimeoutError covers socket.timeout.  Any other HTTPException is a
+    # garbled response from a dying peer -- worth one more try on an
+    # idempotent request, never on a mutation.
+    return isinstance(error, (ConnectionError, TimeoutError, HTTPException))
 
 
 class ServeClient:
@@ -40,16 +67,31 @@ class ServeClient:
     the next streamed record -- sweeps queue server-side, so raise it
     when long sweeps may sit behind others (``repro dse --server``
     exposes this as ``--timeout``).
+
+    Idempotent requests (bare GETs, and the fleet-worker calls whose
+    server-side handling is idempotent by construction) retry transient
+    transport failures up to ``retries`` extra times with exponential
+    backoff starting at ``backoff`` seconds; mutations such as
+    ``POST /sweep`` are never retried -- a duplicate submission is a
+    duplicate job.
     """
 
-    def __init__(self, base_url: str, timeout: float = 600.0):
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 600.0,
+        retries: int = 3,
+        backoff: float = 0.1,
+    ):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff = backoff
         #: Tier summary of the most recent streamed sweep.
         self.last_summary: dict | None = None
 
     # -- plumbing ------------------------------------------------------
-    def _open(self, path: str, payload=None):
+    def _open_once(self, path: str, payload=None):
         data = None
         headers = {}
         if payload is not None:
@@ -68,12 +110,14 @@ class ServeClient:
                 pass
             raise ServeError(
                 f"{path}: HTTP {error.code}"
-                + (f": {detail}" if detail else "")
+                + (f": {detail}" if detail else ""),
+                code=error.code,
             ) from None
         except URLError as error:
             raise ServeError(
                 f"cannot reach sweep server at {self.base_url}: "
-                f"{error.reason}"
+                f"{error.reason}",
+                transient=_is_transient(error.reason),
             ) from None
         except (HTTPException, OSError) as error:
             # E.g. RemoteDisconnected or ConnectionResetError: the
@@ -82,11 +126,38 @@ class ServeClient:
             # into URLError; response-read failures escape raw).
             raise ServeError(
                 f"sweep server at {self.base_url} dropped the "
-                f"connection: {error or type(error).__name__}"
+                f"connection: {error or type(error).__name__}",
+                transient=_is_transient(error),
             ) from None
 
-    def _json(self, path: str, payload=None) -> dict:
-        with self._open(path, payload) as response:
+    def _open(self, path: str, payload=None, idempotent: bool | None = None):
+        """Open a request, retrying transient failures when idempotent.
+
+        ``idempotent`` defaults to ``payload is None`` -- bare GETs are
+        safe to re-send, POST bodies are not unless the caller vouches
+        for them (the fleet-worker endpoints do: leases expire, acks
+        and record upserts are idempotent server-side).
+        """
+        if idempotent is None:
+            idempotent = payload is None
+        attempt = 0
+        while True:
+            try:
+                return self._open_once(path, payload)
+            except ServeError as error:
+                if (
+                    not idempotent
+                    or not error.transient
+                    or attempt >= self.retries
+                ):
+                    raise
+                time.sleep(self.backoff * (2**attempt))
+                attempt += 1
+
+    def _json(
+        self, path: str, payload=None, idempotent: bool | None = None
+    ) -> dict:
+        with self._open(path, payload, idempotent=idempotent) as response:
             try:
                 return json.load(response)
             except (OSError, HTTPException, ValueError) as error:
@@ -97,7 +168,9 @@ class ServeClient:
     def _ndjson(self, path: str, payload=None) -> Iterator[dict]:
         # Read-side failures (server killed mid-stream, socket timeout,
         # torn final line) must surface as ServeError like every other
-        # transport problem, not as raw JSONDecodeError/OSError.
+        # transport problem, not as raw JSONDecodeError/OSError.  A
+        # mid-stream drop is transient: resumable streams re-issue the
+        # request with ``after=`` (see stream_job).
         with self._open(path, payload) as response:
             while True:
                 try:
@@ -105,7 +178,8 @@ class ServeClient:
                 except (OSError, HTTPException) as error:
                     raise ServeError(
                         f"{path}: stream interrupted: "
-                        f"{error or type(error).__name__}"
+                        f"{error or type(error).__name__}",
+                        transient=True,
                     ) from None
                 if not line:
                     return
@@ -156,6 +230,7 @@ class ServeClient:
         workers: int | None = None,
         vectorize: bool | None = None,
         priority: int | None = None,
+        fleet: bool | Mapping | None = None,
     ) -> dict:
         """Submit a sweep spec as a job; returns its status object.
 
@@ -164,7 +239,9 @@ class ServeClient:
         validates, enqueues, and answers immediately -- the returned
         dict's ``"job"`` field is the id to poll, stream, or cancel.
         Lower ``priority`` numbers schedule sooner (FIFO within a
-        level).
+        level).  ``fleet=True`` (or ``fleet={"chunks": n}``) submits a
+        fleet job: chunked into the lease queue and evaluated by pull
+        workers instead of the server's own pool.
         """
         payload: dict = {"spec": dict(spec)}
         if workers is not None:
@@ -173,6 +250,8 @@ class ServeClient:
             payload["vectorize"] = vectorize
         if priority is not None:
             payload["priority"] = priority
+        if fleet:
+            payload["fleet"] = True if fleet is True else dict(fleet)
         return self._json("/sweep", payload)
 
     def job_status(self, job_id: str) -> dict:
@@ -191,31 +270,49 @@ class ServeClient:
         """Follow a job's records live, from index ``after``.
 
         Yields completed records in completion order until the job is
-        terminal; a dropped stream resumes exactly with
-        ``after=<records already seen>``.  A ``done`` job ends by
-        capturing the tier summary on :attr:`last_summary`; ``failed``
-        and ``cancelled`` terminals raise :class:`ServeError` (the
-        records yielded so far are valid either way).
+        terminal; the stream endpoint is resumable with
+        ``after=<records already seen>``, and this method uses that
+        itself -- a transient mid-stream drop (connection reset,
+        timeout) transparently re-issues the request from the current
+        cursor, up to ``retries`` times back to back.  A ``done`` job
+        ends by capturing the tier summary on :attr:`last_summary`;
+        ``failed`` and ``cancelled`` terminals raise
+        :class:`ServeError` (the records yielded so far are valid
+        either way).
         """
-        path = f"/jobs/{job_id}/records"
-        if after:
-            path += f"?after={int(after)}"
+        cursor = int(after)  # negative values reach the server's 400
         self.last_summary = None
-        for item in self._ndjson(path):
-            if "hash" in item:
-                yield item
-            elif item.get("cancelled"):
-                raise ServeError(f"job {job_id} was cancelled")
-            elif "summary" in item:
-                self.last_summary = item["summary"]
-            elif "error" in item:
-                raise ServeError(f"job {job_id}: {item['error']}")
-        if self.last_summary is None:
-            # Streams are close-delimited; no terminal line means the
-            # connection died before the job finished.
-            raise ServeError(
-                f"job {job_id} stream ended without a summary (truncated?)"
-            )
+        failures = 0
+        while True:
+            path = f"/jobs/{job_id}/records"
+            if cursor:
+                path += f"?after={cursor}"
+            try:
+                for item in self._ndjson(path):
+                    if "hash" in item:
+                        yield item
+                        cursor += 1
+                        failures = 0  # progress resets the retry budget
+                    elif item.get("cancelled"):
+                        raise ServeError(f"job {job_id} was cancelled")
+                    elif "summary" in item:
+                        self.last_summary = item["summary"]
+                    elif "error" in item:
+                        raise ServeError(f"job {job_id}: {item['error']}")
+            except ServeError as error:
+                if not error.transient or failures >= self.retries:
+                    raise
+                failures += 1
+                time.sleep(self.backoff * (2 ** (failures - 1)))
+                continue
+            if self.last_summary is None:
+                # Streams are close-delimited; no terminal line means
+                # the connection died before the job finished.
+                raise ServeError(
+                    f"job {job_id} stream ended without a summary "
+                    "(truncated?)"
+                )
+            return
 
     def submit(
         self,
@@ -287,8 +384,57 @@ class ServeClient:
         )
 
     def post_records(self, records: list[dict]) -> dict:
-        """Ingest records into the server's store (shard upload path)."""
-        return self._json("/records", {"records": list(records)})
+        """Ingest records into the server's store (shard upload path).
+
+        Retried on transient failures: the store's version-aware
+        conditional upsert makes a replayed batch a no-op.
+        """
+        return self._json(
+            "/records", {"records": list(records)}, idempotent=True
+        )
+
+    # -- the fleet API (worker side) -------------------------------------
+    def register_worker(
+        self, name: str | None = None, capacity: int = 1
+    ) -> dict:
+        """Register as a fleet worker; returns id and heartbeat cadence."""
+        payload: dict = {"capacity": capacity}
+        if name:
+            payload["name"] = name
+        return self._json("/workers/register", payload)
+
+    def worker_heartbeat(self, worker_id: str) -> dict:
+        """Tell the server this worker is still alive (idempotent)."""
+        return self._json(
+            f"/workers/{worker_id}/heartbeat", {}, idempotent=True
+        )
+
+    def lease_chunk(self, worker_id: str) -> dict:
+        """Pull the next chunk lease (or an idle report).
+
+        Safe to retry: a lease granted into a dropped response simply
+        expires and requeues after the lease TTL.
+        """
+        return self._json(f"/workers/{worker_id}/lease", {}, idempotent=True)
+
+    def ack_chunk(
+        self,
+        worker_id: str,
+        job_id: str,
+        chunk: int,
+        error: str | None = None,
+    ) -> dict:
+        """Report a chunk done (or failed).  Acks are idempotent."""
+        payload: dict = {"job": job_id, "chunk": chunk}
+        if error is not None:
+            payload["error"] = error
+        return self._json(
+            f"/workers/{worker_id}/ack", payload, idempotent=True
+        )
+
+    def workers(self) -> list[dict]:
+        """Every registered fleet worker, oldest registration first."""
+        return self._json("/workers")["workers"]
 
     def shutdown(self) -> dict:
         """Ask the server to stop serving cleanly."""

@@ -1,0 +1,591 @@
+"""Elastic worker fleet: pull-based distributed sweeps with leases.
+
+``dse-launch`` used to push a fixed shard plan into local processes; a
+dead shard was simply lost until a human re-ran it.  This module
+inverts the control flow: the sweep server owns a lease table and
+*workers pull*.
+
+Coordinator side (embedded in
+:class:`~repro.serve.server.SweepService`):
+
+* a fleet sweep (``POST /sweep`` with ``"fleet"``) splits into
+  hash-range point chunks
+  (:meth:`SweepSpec.chunks <repro.dse.spec.SweepSpec.chunks>` -- the
+  same disjoint, resumable units ``--shard i/n`` uses);
+* workers register with a capacity (``POST /workers/register``), then
+  loop: lease a chunk (``POST /workers/{id}/lease`` -- a pull queue,
+  so a straggler never gates the sweep), evaluate it, stream the
+  records back through the existing ``/records`` ingest, and ack
+  (``POST /workers/{id}/ack``);
+* a lease expires -- and its chunk silently requeues -- when its
+  deadline passes *or* the holder's heartbeat
+  (``POST /workers/{id}/heartbeat``) lapses, so a SIGKILLed worker
+  costs one lease TTL, not the sweep;
+* a chunk completed twice (an expired-then-finished straggler racing
+  the worker that stole its chunk) is harmless: the records resolve
+  through the store's version-aware conditional upsert, and the
+  duplicate ack is acknowledged as exactly that.
+
+Worker side: :class:`FleetWorker`, the loop behind ``repro worker`` --
+register -> lease -> evaluate (vectorized) -> ingest -> ack, with
+bounded-backoff retries on transient HTTP errors and automatic
+re-registration when the server forgets the worker (server restart).
+
+Expiry is lazy: every lease, ack, and stats call sweeps lapsed leases
+first.  Workers poll for work anyway, so an expired chunk is re-leased
+by the next poll without any background reaper thread on the server.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..dse.engine import run_sweep
+from ..dse.spec import SweepSpec
+from .client import ServeClient, ServeError
+from .jobs import CANCELLED, DEFAULT_PRIORITY, DONE, FAILED, Job
+
+__all__ = [
+    "Chunk",
+    "Fleet",
+    "FleetJob",
+    "FleetWorker",
+    "WorkerInfo",
+    "DEFAULT_LEASE_TTL",
+    "DEFAULT_HEARTBEAT_TTL",
+    "DEFAULT_FLEET_CHUNKS",
+]
+
+#: Chunk states.  A chunk is pending (leasable), leased (one worker is
+#: evaluating it, until a deadline), or completed.  Requeue moves
+#: leased back to pending; completion is final.
+PENDING = "pending"
+LEASED = "leased"
+COMPLETED = "completed"
+
+#: Default seconds a lease stays valid without an ack.
+DEFAULT_LEASE_TTL = 60.0
+
+#: Default seconds of heartbeat silence before a worker counts as dead
+#: (and every lease it holds requeues).
+DEFAULT_HEARTBEAT_TTL = 15.0
+
+#: Default chunk count for a fleet job that did not pick one.
+DEFAULT_FLEET_CHUNKS = 16
+
+#: Records per ``POST /records`` upload from a worker -- chunk results
+#: can exceed what one request body should carry.
+INGEST_CHUNK_RECORDS = 20_000
+
+
+@dataclass
+class Chunk:
+    """One leasable hash-range slice of a fleet job's spec."""
+
+    index: int
+    spec: SweepSpec
+    state: str = PENDING
+    worker: str | None = None
+    deadline: float | None = None
+    attempts: int = 0
+    completed_by: str | None = None
+
+    def __len__(self) -> int:
+        return len(self.spec)
+
+
+@dataclass
+class WorkerInfo:
+    """The coordinator's view of one registered worker."""
+
+    id: str
+    name: str
+    capacity: int
+    registered_at: float
+    last_seen: float
+    chunks_done: int = field(default=0)
+
+    def alive(self, now: float, heartbeat_ttl: float) -> bool:
+        return now - self.last_seen <= heartbeat_ttl
+
+
+class FleetJob(Job):
+    """A sweep whose chunks are pulled and evaluated by fleet workers.
+
+    Unlike a :class:`~repro.serve.jobs.Job` run by the server's own
+    pool, a fleet job never occupies a job-worker thread: it is
+    registered, marked running at submission, and driven entirely by
+    worker acks -- the job is done when every chunk is completed.  The
+    records land in the shared store via ``/records`` ingest, not on
+    the job itself, so ``GET /jobs/{id}/records`` streams are empty;
+    clients read the store once the job is terminal.
+    """
+
+    kind = "fleet"
+
+    def __init__(
+        self,
+        spec: SweepSpec,
+        chunks: int,
+        priority: int = DEFAULT_PRIORITY,
+        job_id: str | None = None,
+    ):
+        if len(spec) == 0:
+            raise ValueError("empty sweep")
+        super().__init__(spec=spec, priority=priority, job_id=job_id)
+        self._chunks = [Chunk(index=i, spec=sub) for i, sub in spec.chunks(chunks)]
+        self._by_index = {chunk.index: chunk for chunk in self._chunks}
+        self.requeues = 0
+
+    # -- the lease table (all mutation under the job's condition) ------
+    def lease_next(self, worker_id: str, now: float, ttl: float) -> Chunk | None:
+        """Lease the first pending chunk to ``worker_id``, if any."""
+        with self._changed:
+            if self.done:
+                return None
+            for chunk in self._chunks:
+                if chunk.state == PENDING:
+                    chunk.state = LEASED
+                    chunk.worker = worker_id
+                    chunk.deadline = now + ttl
+                    chunk.attempts += 1
+                    return chunk
+            return None
+
+    def expire_leases(
+        self, now: float, worker_alive: Callable[[str], bool]
+    ) -> int:
+        """Requeue leases past deadline or held by a dead worker."""
+        with self._changed:
+            if self.done:
+                return 0
+            requeued = 0
+            for chunk in self._chunks:
+                if chunk.state != LEASED:
+                    continue
+                if now <= (chunk.deadline or 0.0) and worker_alive(
+                    chunk.worker or ""
+                ):
+                    continue
+                chunk.state = PENDING
+                chunk.worker = None
+                chunk.deadline = None
+                requeued += 1
+            self.requeues += requeued
+            return requeued
+
+    def ack_chunk(
+        self, index: int, worker_id: str, error: str | None = None
+    ) -> dict:
+        """Record a chunk completion (idempotent) or failure.
+
+        An ack is accepted even when the lease already expired and the
+        chunk requeued -- the straggler's records went through the
+        version-aware upsert, so counting its work is correct.  A
+        second completion of an already-completed chunk is reported as
+        a duplicate, not an error.
+        """
+        with self._changed:
+            chunk = self._by_index.get(index)
+            if chunk is None:
+                raise KeyError(f"job {self.id} has no chunk {index}")
+            if error is not None:
+                # A poisoned chunk fails the whole job, matching a
+                # local sweep aborting on an evaluation error.
+                self.finish(FAILED, error=f"chunk {index}: {error}")
+                return {"duplicate": False, "job_state": self.state}
+            if chunk.state == COMPLETED:
+                return {"duplicate": True, "job_state": self.state}
+            chunk.state = COMPLETED
+            chunk.worker = None
+            chunk.deadline = None
+            chunk.completed_by = worker_id
+            if all(c.state == COMPLETED for c in self._chunks):
+                self.finish(DONE)
+            self._changed.notify_all()
+            return {"duplicate": False, "job_state": self.state}
+
+    # -- observation ---------------------------------------------------
+    def leases_held_by(self, worker_id: str) -> int:
+        with self._changed:
+            return sum(
+                1
+                for chunk in self._chunks
+                if chunk.state == LEASED and chunk.worker == worker_id
+            )
+
+    def chunk_counts(self) -> dict:
+        with self._changed:
+            tally = {PENDING: 0, LEASED: 0, COMPLETED: 0}
+            for chunk in self._chunks:
+                tally[chunk.state] += 1
+            return {"total": len(self._chunks), **tally, "requeues": self.requeues}
+
+    def cancel(self) -> str:
+        """Cancel immediately: no worker thread needs a boundary poll.
+
+        In-flight leases are left to finish; their acks land as
+        duplicates-of-a-dead-job (the records still upsert cleanly).
+        """
+        self._cancel.set()
+        self.finish(CANCELLED)
+        return self.state
+
+    def progress(self) -> dict:
+        with self._changed:
+            completed_points = sum(
+                len(chunk.spec)
+                for chunk in self._chunks
+                if chunk.state == COMPLETED
+            )
+            points = len(self.spec) if self.spec is not None else 0
+        return {
+            "points": points,
+            "completed": completed_points,
+            "chunks": self.chunk_counts(),
+        }
+
+
+def _new_worker_id() -> str:
+    return uuid.uuid4().hex[:12]
+
+
+class Fleet:
+    """The coordinator: registered workers, fleet jobs, and leases.
+
+    Lock order is ``Fleet._lock`` then a job's condition variable --
+    job methods never call back into the fleet, so the order cannot
+    invert.
+    """
+
+    def __init__(
+        self,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        heartbeat_ttl: float = DEFAULT_HEARTBEAT_TTL,
+    ):
+        if lease_ttl <= 0:
+            raise ValueError("lease TTL must be positive")
+        if heartbeat_ttl <= 0:
+            raise ValueError("heartbeat TTL must be positive")
+        self.lease_ttl = lease_ttl
+        self.heartbeat_ttl = heartbeat_ttl
+        self._lock = threading.Lock()
+        self._workers: dict[str, WorkerInfo] = {}
+        self._jobs: dict[str, FleetJob] = {}
+        self.leases_granted = 0
+        self.requeued = 0
+        self.acks = 0
+        self.duplicate_acks = 0
+
+    # -- workers -------------------------------------------------------
+    def register(self, name: str | None = None, capacity: int = 1) -> dict:
+        capacity = int(capacity)
+        if capacity < 1:
+            raise ValueError("worker capacity must be >= 1")
+        now = time.time()
+        worker = WorkerInfo(
+            id=_new_worker_id(),
+            name=str(name or ""),
+            capacity=capacity,
+            registered_at=now,
+            last_seen=now,
+        )
+        with self._lock:
+            self._workers[worker.id] = worker
+        return {
+            "worker": worker.id,
+            "lease_ttl": self.lease_ttl,
+            "heartbeat_ttl": self.heartbeat_ttl,
+            # Beat well inside the TTL so one dropped request does not
+            # kill an otherwise-healthy worker.
+            "heartbeat_seconds": self.heartbeat_ttl / 3.0,
+        }
+
+    def _worker(self, worker_id: str) -> WorkerInfo:
+        # Called under self._lock.
+        worker = self._workers.get(worker_id)
+        if worker is None:
+            raise KeyError(f"no such worker: {worker_id} (register again)")
+        return worker
+
+    def heartbeat(self, worker_id: str) -> dict:
+        with self._lock:
+            worker = self._worker(worker_id)
+            worker.last_seen = time.time()
+            return {"worker": worker.id, "status": "ok"}
+
+    # -- jobs ----------------------------------------------------------
+    def add_job(self, job: FleetJob) -> FleetJob:
+        with self._lock:
+            self._jobs[job.id] = job
+        return job
+
+    def _active_jobs(self) -> list[FleetJob]:
+        # Called under self._lock.  Same scheduling contract as the
+        # job pool: priority first, FIFO within a priority level.
+        return sorted(
+            (job for job in self._jobs.values() if not job.done),
+            key=lambda job: (job.priority, job.submitted_at),
+        )
+
+    def _expire(self, now: float) -> None:
+        # Called under self._lock -- the lazy sweep every entry point
+        # runs before touching the lease table.
+        def alive(worker_id: str) -> bool:
+            worker = self._workers.get(worker_id)
+            return worker is not None and worker.alive(now, self.heartbeat_ttl)
+
+        for job in self._active_jobs():
+            self.requeued += job.expire_leases(now, alive)
+
+    # -- the pull queue ------------------------------------------------
+    def lease(self, worker_id: str) -> dict:
+        """Grant the next pending chunk, or report the queue idle."""
+        now = time.time()
+        with self._lock:
+            worker = self._worker(worker_id)
+            worker.last_seen = now  # leasing is an implicit heartbeat
+            self._expire(now)
+            active = self._active_jobs()
+            held = sum(job.leases_held_by(worker_id) for job in active)
+            if held < worker.capacity:
+                for job in active:
+                    chunk = job.lease_next(worker_id, now, self.lease_ttl)
+                    if chunk is None:
+                        continue
+                    self.leases_granted += 1
+                    return {
+                        "lease": {
+                            "job": job.id,
+                            "chunk": chunk.index,
+                            "attempt": chunk.attempts,
+                            "deadline": chunk.deadline,
+                            "points": len(chunk.spec),
+                            "spec": chunk.spec.to_dict(),
+                        }
+                    }
+            return {"idle": True, "active_jobs": len(active)}
+
+    def ack(
+        self,
+        worker_id: str,
+        job_id: str,
+        chunk_index: int,
+        error: str | None = None,
+    ) -> dict:
+        now = time.time()
+        with self._lock:
+            worker = self._worker(worker_id)
+            worker.last_seen = now
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise KeyError(f"no such fleet job: {job_id}")
+            outcome = job.ack_chunk(int(chunk_index), worker_id, error=error)
+            self.acks += 1
+            if outcome["duplicate"]:
+                self.duplicate_acks += 1
+            else:
+                worker.chunks_done += 1
+            return {"job": job_id, "chunk": int(chunk_index), **outcome}
+
+    # -- observation ---------------------------------------------------
+    def workers(self) -> list[dict]:
+        """The ``GET /workers`` body: every registration, oldest first."""
+        now = time.time()
+        with self._lock:
+            self._expire(now)
+            active = self._active_jobs()
+            return [
+                {
+                    "worker": worker.id,
+                    "name": worker.name,
+                    "capacity": worker.capacity,
+                    "alive": worker.alive(now, self.heartbeat_ttl),
+                    "registered_at": worker.registered_at,
+                    "last_seen": worker.last_seen,
+                    "chunks_done": worker.chunks_done,
+                    "leases": sum(
+                        job.leases_held_by(worker.id) for job in active
+                    ),
+                }
+                for worker in sorted(
+                    self._workers.values(), key=lambda w: w.registered_at
+                )
+            ]
+
+    def stats(self) -> dict:
+        """The ``/stats`` fleet section."""
+        now = time.time()
+        with self._lock:
+            self._expire(now)
+            active = self._active_jobs()
+            chunks = {"total": 0, PENDING: 0, LEASED: 0, COMPLETED: 0}
+            for job in active:
+                counts = job.chunk_counts()
+                chunks["total"] += counts["total"]
+                for state in (PENDING, LEASED, COMPLETED):
+                    chunks[state] += counts[state]
+            alive = sum(
+                1
+                for worker in self._workers.values()
+                if worker.alive(now, self.heartbeat_ttl)
+            )
+            return {
+                "workers": {"registered": len(self._workers), "alive": alive},
+                "jobs": {"active": len(active), "total": len(self._jobs)},
+                "chunks": chunks,
+                "leases_granted": self.leases_granted,
+                "requeued": self.requeued,
+                "acks": self.acks,
+                "duplicate_acks": self.duplicate_acks,
+            }
+
+
+def _log_to_stderr(message: str) -> None:
+    print(message, file=sys.stderr, flush=True)
+
+
+class FleetWorker:
+    """The pull loop behind ``repro worker``.
+
+    Register, then loop: lease a chunk, evaluate it locally (vectorized
+    path, worker-local memo), stream the records back through
+    ``/records``, ack.  Heartbeats run on a daemon thread; a lapsed
+    server-side registration (restart, eviction) answers leases with
+    404, which triggers one transparent re-registration.  Transient
+    HTTP failures retry with bounded exponential backoff inside
+    :class:`~repro.serve.client.ServeClient`.
+    """
+
+    def __init__(
+        self,
+        server: str,
+        name: str | None = None,
+        capacity: int = 1,
+        poll: float = 0.5,
+        timeout: float = 60.0,
+        workers: int = 1,
+        vectorize: bool = True,
+        exit_when_drained: bool = False,
+        max_chunks: int | None = None,
+        throttle: float = 0.0,
+        log: Callable[[str], None] | None = None,
+        client: ServeClient | None = None,
+    ):
+        self.client = client or ServeClient(
+            server, timeout=timeout, retries=5, backoff=0.2
+        )
+        self.name = name
+        self.capacity = capacity
+        self.poll = poll
+        self.workers = workers
+        self.vectorize = vectorize
+        self.exit_when_drained = exit_when_drained
+        self.max_chunks = max_chunks
+        self.throttle = throttle
+        self.log = log or _log_to_stderr
+        self.worker_id: str | None = None
+        self.chunks_done = 0
+        self.heartbeat_seconds = DEFAULT_HEARTBEAT_TTL / 3.0
+        self._stop = threading.Event()
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    def register(self) -> str:
+        info = self.client.register_worker(name=self.name, capacity=self.capacity)
+        self.worker_id = info["worker"]
+        self.heartbeat_seconds = float(
+            info.get("heartbeat_seconds") or self.heartbeat_seconds
+        )
+        self.log(f"worker {self.worker_id}: registered with {self.client.base_url}")
+        return self.worker_id
+
+    def _heartbeat_loop(self) -> None:
+        # Daemonic; a failed beat is not fatal here -- the main loop's
+        # next lease is itself a heartbeat, or re-registers on 404.
+        while not self._stop.wait(self.heartbeat_seconds):
+            try:
+                self.client.worker_heartbeat(self.worker_id)
+            except ServeError:
+                pass
+
+    def _lease(self) -> dict:
+        try:
+            return self.client.lease_chunk(self.worker_id)
+        except ServeError as error:
+            if error.code == 404:  # the server forgot us: re-register
+                self.register()
+                return self.client.lease_chunk(self.worker_id)
+            raise
+
+    def _execute(self, lease: dict) -> None:
+        if self.throttle > 0:
+            # Testing/chaos aid: hold the lease for a while before
+            # evaluating, so fault injection has a window to hit.
+            time.sleep(self.throttle)
+        spec = SweepSpec.from_dict(lease["spec"])
+        error: str | None = None
+        try:
+            result = run_sweep(spec, workers=self.workers, vectorize=self.vectorize)
+        except Exception as failure:  # noqa: BLE001 - chunk boundary
+            error = str(failure)
+        if error is None:
+            records = result.records
+            for start in range(0, len(records), INGEST_CHUNK_RECORDS):
+                self.client.post_records(
+                    records[start : start + INGEST_CHUNK_RECORDS]
+                )
+        self.client.ack_chunk(
+            self.worker_id, lease["job"], lease["chunk"], error=error
+        )
+        if error is None:
+            self.chunks_done += 1
+            self.log(
+                f"worker {self.worker_id}: chunk {lease['chunk']} of job "
+                f"{lease['job']} done ({len(spec)} points)"
+            )
+        else:
+            self.log(
+                f"worker {self.worker_id}: chunk {lease['chunk']} of job "
+                f"{lease['job']} failed: {error}"
+            )
+
+    def run(self) -> int:
+        """The worker loop; returns a process exit code."""
+        try:
+            self.register()
+        except ServeError as error:
+            self.log(f"worker: cannot register: {error}")
+            return 1
+        heartbeat = threading.Thread(
+            target=self._heartbeat_loop, name="fleet-heartbeat", daemon=True
+        )
+        heartbeat.start()
+        try:
+            while not self._stop.is_set():
+                if self.max_chunks is not None and self.chunks_done >= self.max_chunks:
+                    return 0
+                response = self._lease()
+                lease = response.get("lease")
+                if lease is None:
+                    if self.exit_when_drained and not response.get("active_jobs"):
+                        self.log(
+                            f"worker {self.worker_id}: drained after "
+                            f"{self.chunks_done} chunks"
+                        )
+                        return 0
+                    self._stop.wait(self.poll)
+                    continue
+                self._execute(lease)
+            return 0
+        except ServeError as error:
+            self.log(f"worker {self.worker_id}: giving up: {error}")
+            return 1
+        finally:
+            self._stop.set()

@@ -27,6 +27,13 @@ so JSONL-backed jobs write into a private *staging* store
 once, when the job leaves the running state (done, failed, or
 cancelled alike: completed records are kept, like a crashed local run
 keeps its partials).
+
+Not every job runs on the pool.  Externally-driven jobs -- ingests
+completed inline by the handler, and fleet jobs whose chunks are
+evaluated by remote pull workers (:mod:`~repro.serve.fleet`) -- are
+:meth:`JobManager.register`-ed and marked running by their owner
+instead of submitted, so they are pollable and cancellable by id like
+any other job without ever occupying a bounded worker thread.
 """
 
 from __future__ import annotations

@@ -26,9 +26,13 @@ Endpoints
     ``{"count": n}`` terminal line (truncation detection).
 ``POST /sweep``
     Body ``{"spec": {...}, "workers"?: n, "vectorize"?: bool,
-    "priority"?: n}`` where ``spec`` is the JSON sweep-spec format
-    (grid or explicit points).  Validates, enqueues, and immediately
-    returns the job's status object (its ``job`` field is the id).
+    "priority"?: n, "fleet"?: true | {"chunks": n}}`` where ``spec``
+    is the JSON sweep-spec format (grid or explicit points).
+    Validates, enqueues, and immediately returns the job's status
+    object (its ``job`` field is the id).  With ``fleet`` the job goes
+    to the pull-based lease queue (:mod:`repro.serve.fleet`) instead
+    of the server's own pool: registered workers lease its hash-range
+    chunks, evaluate them, ingest the records, and ack.
 ``GET /jobs`` / ``GET /jobs/{id}``
     The job table / one job's status, progress counts, and
     Pareto-frontier-so-far over its completed records.
@@ -48,7 +52,19 @@ Endpoints
     parameters plus an optional ``where`` equality filter.
 ``POST /records``
     Ingest a JSON list of records (e.g. a merged shard store posted by
-    ``repro dse-launch --post``); tracked as an ingest job.
+    ``repro dse-launch --post``, or a fleet worker streaming a chunk's
+    results back); tracked as an ingest job.
+``POST /workers/register`` / ``GET /workers``
+    Join the worker fleet (body ``{"name"?: str, "capacity"?: n}``;
+    returns the worker id and heartbeat cadence) / list every
+    registered worker with liveness and lease counts.
+``POST /workers/{id}/heartbeat`` / ``POST /workers/{id}/lease`` /
+``POST /workers/{id}/ack``
+    The fleet pull loop: prove liveness; lease the next pending chunk
+    (``{"lease": {...}}`` with the chunk's spec, or ``{"idle": true,
+    "active_jobs": n}``); report a chunk done or failed (body
+    ``{"job": id, "chunk": n, "error"?: str}``).  Unknown worker ids
+    answer 404 -- the cue to re-register after a server restart.
 ``POST /shutdown``
     Stop serving after the response -- the clean-exit path.
 """
@@ -68,6 +84,13 @@ from ..dse.evaluate import _MEMO, EVAL_VERSION
 from ..dse.queries import pareto_frontier, run_query
 from ..dse.spec import SweepSpec
 from ..dse.store import ResultStore, ResultStoreBase, open_store
+from .fleet import (
+    DEFAULT_FLEET_CHUNKS,
+    DEFAULT_HEARTBEAT_TTL,
+    DEFAULT_LEASE_TTL,
+    Fleet,
+    FleetJob,
+)
 from .jobs import (
     CANCELLED,
     DEFAULT_PRIORITY,
@@ -91,6 +114,7 @@ MAX_BODY_BYTES = 64 * 1024 * 1024
 DEFAULT_CLIENT_TIMEOUT = 600.0
 
 _JOB_PATH = re.compile(r"^/jobs/([0-9a-f]+)(/records|/cancel)?$")
+_WORKER_PATH = re.compile(r"^/workers/([0-9a-f]+)/(heartbeat|lease|ack)$")
 
 
 class SweepService:
@@ -108,12 +132,15 @@ class SweepService:
         workers: int = 1,
         vectorize: bool = True,
         job_workers: int = 2,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        heartbeat_ttl: float = DEFAULT_HEARTBEAT_TTL,
     ):
         self.store = open_store(store) if store is not None else None
         self.workers = workers
         self.vectorize = vectorize
         self.sweeps_served = 0
         self.jobs = JobManager(self._run_sweep_job, pool_size=job_workers)
+        self.fleet = Fleet(lease_ttl=lease_ttl, heartbeat_ttl=heartbeat_ttl)
         # Serializes every *direct* write to the shared store (ingest
         # appends, staged-job merges).  JSONL needs it -- interleaved
         # appends tear lines and a merge rewrites the file wholesale --
@@ -166,6 +193,7 @@ class SweepService:
             "memo_records": len(_MEMO),
             "store": store_stats,
             "jobs": self.jobs.counts(),
+            "fleet": self.fleet.stats(),
         }
 
     def records(self) -> list[dict]:
@@ -241,6 +269,13 @@ class SweepService:
         submissions fail as client errors and never occupy the queue.
         Returns the queued :class:`Job` immediately -- the worker pool
         runs it; poll or stream it by id.
+
+        A ``"fleet"`` field (``true`` or ``{"chunks": n}``) routes the
+        sweep to the pull-based lease queue instead: the job is
+        chunked, marked running immediately, and driven entirely by
+        registered workers leasing, evaluating, ingesting, and acking
+        its chunks.  Fleet records land in the shared store, so a
+        fleet job requires one.
         """
         if not isinstance(payload, Mapping):
             raise ValueError('sweep wants a JSON object body: {"spec": ...}')
@@ -254,14 +289,73 @@ class SweepService:
             vectorize = self.vectorize
         priority = payload.get("priority")
         priority = DEFAULT_PRIORITY if priority is None else int(priority)
-        job = Job(
-            spec=spec,
-            workers=workers,
-            vectorize=bool(vectorize),
-            priority=priority,
-        )
+        fleet = payload.get("fleet")
+        if fleet:
+            job = self._submit_fleet(spec, fleet, priority)
+        else:
+            job = self.jobs.submit(
+                Job(
+                    spec=spec,
+                    workers=workers,
+                    vectorize=bool(vectorize),
+                    priority=priority,
+                )
+            )
         self.sweeps_served += 1
-        return self.jobs.submit(job)
+        return job
+
+    def _submit_fleet(self, spec: SweepSpec, fleet, priority: int) -> Job:
+        """Register a fleet job on the lease queue (workers drive it)."""
+        if self.store is None:
+            raise ValueError(
+                "fleet sweeps need a store: workers stream records back "
+                "through /records ingest"
+            )
+        if len(spec) == 0:
+            raise ValueError("empty sweep")
+        chunks = None
+        if isinstance(fleet, Mapping):
+            chunks = fleet.get("chunks")
+        elif fleet is not True:
+            raise ValueError('"fleet" must be true or {"chunks": n}')
+        if chunks is None:
+            chunks = max(1, min(len(spec), DEFAULT_FLEET_CHUNKS))
+        chunks = int(chunks)
+        if chunks < 1:
+            raise ValueError("fleet chunks must be >= 1")
+        job = FleetJob(spec=spec, chunks=chunks, priority=priority)
+        # Registered, not pool-submitted: the job occupies no worker
+        # thread and is "running" from the moment it is leasable.
+        self.jobs.register(job)
+        job.mark_running()
+        self.fleet.add_job(job)
+        return job
+
+    # -- the worker fleet ----------------------------------------------
+    def worker_register(self, payload) -> dict:
+        if not isinstance(payload, Mapping):
+            raise ValueError(
+                'register wants a JSON object body: {"name"?, "capacity"?}'
+            )
+        return self.fleet.register(
+            name=payload.get("name"), capacity=payload.get("capacity", 1)
+        )
+
+    def worker_ack(self, worker_id: str, payload) -> dict:
+        if not isinstance(payload, Mapping) or not {"job", "chunk"} <= set(
+            payload
+        ):
+            raise ValueError('ack wants {"job": id, "chunk": index}')
+        error = payload.get("error")
+        outcome = self.fleet.ack(
+            worker_id,
+            str(payload["job"]),
+            int(payload["chunk"]),
+            error=None if error is None else str(error),
+        )
+        # Worker ingests already invalidated the records cache; the ack
+        # only moves job/fleet counters, which are never cached.
+        return outcome
 
     def job(self, job_id: str) -> Job | None:
         return self.jobs.get(job_id)
@@ -323,13 +417,18 @@ class SweepService:
             job.finish(DONE)
 
     def job_summary(self, job: Job) -> dict:
-        """The tier summary of a job's (possibly partial) record set."""
+        """The tier summary of a job's (possibly partial) record set.
+
+        Tier counts default to 0 for job kinds that do not track them
+        (fleet jobs resolve tiers worker-side; their records live in
+        the store, not on the job).
+        """
         progress = job.progress()
         return summary_payload(
-            points=progress["points"],
-            evaluated=progress["evaluated"],
-            store_hits=progress["store_hits"],
-            memo_hits=progress["memo_hits"],
+            points=progress.get("points", 0),
+            evaluated=progress.get("evaluated", 0),
+            store_hits=progress.get("store_hits", 0),
+            memo_hits=progress.get("memo_hits", 0),
         )
 
     def job_record_stream(
@@ -469,6 +568,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(
                     {"jobs": [job.status() for job in self.service.jobs.jobs()]}
                 )
+            elif path == "/workers":
+                self._send_json({"workers": self.service.fleet.workers()})
             elif match := _JOB_PATH.match(path):
                 job_id, tail = match.groups()
                 job = self._job_or_404(job_id)
@@ -524,6 +625,28 @@ class _Handler(BaseHTTPRequestHandler):
                 if isinstance(data, dict):
                     data = data.get("records")
                 self._send_json(self.service.ingest(data))
+            elif path == "/workers/register":
+                self._send_json(
+                    self.service.worker_register(self._read_json())
+                )
+            elif match := _WORKER_PATH.match(path):
+                worker_id, action = match.groups()
+                # Unknown worker/job ids answer 404 here, not the
+                # generic KeyError->400 below: a worker uses the 404 as
+                # its re-register cue after a server restart.
+                try:
+                    if action == "heartbeat":
+                        response = self.service.fleet.heartbeat(worker_id)
+                    elif action == "lease":
+                        response = self.service.fleet.lease(worker_id)
+                    else:
+                        response = self.service.worker_ack(
+                            worker_id, self._read_json()
+                        )
+                except KeyError as missing:
+                    self._send_json({"error": str(missing)}, status=404)
+                else:
+                    self._send_json(response)
             elif path.startswith("/query/"):
                 name = path[len("/query/") :]
                 params = self._read_json()
@@ -558,9 +681,14 @@ _ENDPOINTS = (
     "GET /jobs",
     "GET /jobs/{id}",
     "GET /jobs/{id}/records",
+    "GET /workers",
     "POST /sweep",
     "POST /jobs/{id}/cancel",
     "POST /records",
+    "POST /workers/register",
+    "POST /workers/{id}/heartbeat",
+    "POST /workers/{id}/lease",
+    "POST /workers/{id}/ack",
     "POST /query/pareto",
     "POST /query/top-k",
     "POST /query/accuracy-frontier",
@@ -612,6 +740,8 @@ def serve(
     vectorize: bool = True,
     job_workers: int = 2,
     client_timeout: float = DEFAULT_CLIENT_TIMEOUT,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+    heartbeat_ttl: float = DEFAULT_HEARTBEAT_TTL,
     verbose: bool = False,
     announce=_announce_stdout,
     ready=None,
@@ -621,7 +751,9 @@ def serve(
     Announces the bound URL (ephemeral ports resolve before serving),
     then serves until ``POST /shutdown`` or Ctrl-C; returns 0 on a
     clean shutdown (live jobs are cancelled at their next record
-    boundary and their completed records kept).  ``ready``, when
+    boundary and their completed records kept).  ``lease_ttl`` and
+    ``heartbeat_ttl`` tune the worker fleet's failure detection
+    (``repro serve --lease-ttl/--heartbeat-ttl``).  ``ready``, when
     given, receives the :class:`SweepServer` right before the loop
     starts -- the hook tests and embedders use to reach the live
     server object.
@@ -631,6 +763,8 @@ def serve(
         workers=workers,
         vectorize=vectorize,
         job_workers=job_workers,
+        lease_ttl=lease_ttl,
+        heartbeat_ttl=heartbeat_ttl,
     )
     server = SweepServer(
         service,

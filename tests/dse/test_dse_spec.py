@@ -248,3 +248,47 @@ class TestShard:
         for count in (1, 2, 7, 64):
             assert shard_index("00" * 32, count) == 0
             assert shard_index("ff" * 32, count) == count - 1
+
+
+class TestChunks:
+    def _spec(self):
+        return SweepSpec.grid(
+            workloads=("LSTM", "RNN", "AlexNet"),
+            platforms=("tpu", "bpvec"),
+            memories=("ddr4", "hbm2"),
+            batches=(1, 2),
+        )
+
+    def test_chunks_partition_the_spec(self):
+        spec = self._spec()
+        for count in (1, 2, 3, 8):
+            chunks = spec.chunks(count)
+            assert sum(len(c) for _, c in chunks) == len(spec)
+            owned = [{p.config_hash() for p in c.points} for _, c in chunks]
+            for i in range(len(owned)):
+                for j in range(i + 1, len(owned)):
+                    assert not owned[i] & owned[j]
+            assert set.union(*owned) == {p.config_hash() for p in spec}
+
+    def test_chunks_match_shard_partition(self):
+        # chunks(n) and [shard(i, n) for i in range(n)] are the same
+        # hash-range partition: a fleet chunk and a launch shard with
+        # the same index own exactly the same points.
+        spec = self._spec()
+        for count in (2, 5):
+            for index, chunk in spec.chunks(count):
+                assert chunk.points == spec.shard(index, count).points
+
+    def test_empty_chunks_are_dropped(self):
+        single = SweepSpec(points=self._spec().points[:1])
+        chunks = single.chunks(64)
+        assert len(chunks) == 1
+        assert len(chunks[0][1]) == 1
+
+    def test_chunk_indices_are_sorted(self):
+        indices = [index for index, _ in self._spec().chunks(8)]
+        assert indices == sorted(indices)
+
+    def test_chunks_validation(self):
+        with pytest.raises(ValueError):
+            self._spec().chunks(0)

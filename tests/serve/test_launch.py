@@ -129,6 +129,46 @@ class TestLaunch:
             thread.join(timeout=5)
 
 
+class TestLaunchFleet:
+    def test_fleet_launch_matches_local_run(self, tmp_path):
+        from repro.serve import launch_fleet
+
+        spec, _ = _write_spec(tmp_path)
+        local = run_sweep(spec)
+        clear_memo()  # worker subprocesses recompute from scratch anyway
+
+        dest = tmp_path / "fleet.sqlite"
+        result = launch_fleet(spec, workers=2, store=dest, timeout=120)
+        assert result.points == len(spec)
+        assert result.chunks["completed"] == result.chunks["total"]
+        assert result.store_path == dest
+        assert "pulled by 2 workers" in result.summary()
+
+        merged = open_store(dest)
+        by_hash = {r["hash"]: r for r in merged.load().values()}
+        assert [by_hash[p.config_hash()] for p in spec.points] == local.records
+
+    def test_fleet_launch_validation(self, tmp_path):
+        from repro.serve import launch_fleet
+
+        spec, _ = _write_spec(tmp_path)
+        with pytest.raises(ValueError, match="worker count"):
+            launch_fleet(spec, workers=0, store=tmp_path / "f.jsonl")
+        with pytest.raises(ValueError, match="no points"):
+            launch_fleet(
+                SweepSpec(points=()), workers=1, store=tmp_path / "f.jsonl"
+            )
+
+    def test_fleet_launch_timeout_raises(self, tmp_path):
+        from repro.serve import launch_fleet
+
+        spec, _ = _write_spec(tmp_path)
+        with pytest.raises(RuntimeError, match="timed out"):
+            launch_fleet(
+                spec, workers=1, store=tmp_path / "f.jsonl", timeout=0.01
+            )
+
+
 class TestCliLaunch:
     def _run(self, capsys, *argv):
         assert main(list(argv)) == 0
@@ -188,6 +228,40 @@ class TestCliLaunch:
             str(dest),
         )
         assert "0 evaluated" in warm and "2 store hits" in warm
+
+    def test_cli_fleet_launch_warms_a_store(self, capsys, tmp_path):
+        dest = tmp_path / "fleet.sqlite"
+        out = self._run(
+            capsys,
+            "dse-launch",
+            "--workload",
+            "RNN",
+            "--platform",
+            "bpvec",
+            "--fleet",
+            "1",
+            "--chunks",
+            "2",
+            "--store",
+            str(dest),
+        )
+        assert "pulled by 1 workers" in out
+        assert len(open_store(dest)) == 2
+
+    def test_cli_fleet_rejects_print_cmds(self, tmp_path):
+        with pytest.raises(SystemExit, match="incompatible"):
+            main(
+                [
+                    "dse-launch",
+                    "--workload",
+                    "RNN",
+                    "--fleet",
+                    "1",
+                    "--store",
+                    str(tmp_path / "f.jsonl"),
+                    "--print-cmds",
+                ]
+            )
 
     def test_print_cmds_rejects_zero_shards(self, tmp_path):
         with pytest.raises(SystemExit) as exc:

@@ -467,8 +467,12 @@ class TestServeLifecycle:
         thread = threading.Thread(target=accept_and_close, daemon=True)
         thread.start()
         try:
+            # retries=0: the one-shot socket above serves exactly one
+            # connection, so the client's transient-failure retry (which
+            # would reconnect into the unaccepted listen backlog and
+            # wait out its whole timeout) must stay off here.
             with pytest.raises(ServeError, match="dropped the connection"):
-                ServeClient(f"http://127.0.0.1:{port}").health()
+                ServeClient(f"http://127.0.0.1:{port}", retries=0).health()
         finally:
             listener.close()
             thread.join(timeout=5)
