@@ -51,8 +51,10 @@ from .dse import (
 )
 from .serve import (
     FleetWorker,
+    JobJournal,
     ServeClient,
     ServeError,
+    default_journal_path,
     launch,
     launch_fleet,
     render_commands,
@@ -60,7 +62,12 @@ from .serve import (
     shard_commands,
     shard_store_path,
 )
-from .serve.fleet import DEFAULT_HEARTBEAT_TTL, DEFAULT_LEASE_TTL
+from .serve.fleet import (
+    DEFAULT_HEARTBEAT_TTL,
+    DEFAULT_LEASE_TTL,
+    DEFAULT_RECONNECT_GRACE,
+)
+from .serve.server import DEFAULT_DRAIN_TIMEOUT, DEFAULT_JOB_RETENTION
 from .serve.serializers import (
     co_explore_payload,
     records_payload,
@@ -413,6 +420,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds of heartbeat silence before a fleet worker counts "
         "as dead (its leases requeue immediately)",
     )
+    server.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="durable job/lease journal (crash recovery); defaults to "
+        "<store>.journal when --store is set",
+    )
+    server.add_argument(
+        "--no-journal",
+        action="store_true",
+        help="disable the job journal (no crash recovery)",
+    )
+    server.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=DEFAULT_DRAIN_TIMEOUT,
+        metavar="SECONDS",
+        help="seconds a graceful drain (SIGTERM or POST "
+        "/shutdown?drain=true) waits for running jobs before "
+        "cancelling stragglers",
+    )
+    server.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help="reject sweep submissions beyond N queued jobs with "
+        "429 + Retry-After (unset: unbounded)",
+    )
+    server.add_argument(
+        "--job-retention",
+        type=int,
+        default=DEFAULT_JOB_RETENTION,
+        metavar="N",
+        help="keep at most N terminal jobs in the table and journal "
+        "(0: unbounded)",
+    )
+    server.add_argument(
+        "--job-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="evict terminal jobs finished more than SECONDS ago",
+    )
+    server.add_argument(
+        "--inspect-journal",
+        action="store_true",
+        help="print the journal's job/chunk/recovery summary as JSON "
+        "and exit instead of serving",
+    )
     server.add_argument("--no-vectorize", action="store_true")
     server.add_argument(
         "--verbose", action="store_true", help="log every request"
@@ -473,6 +530,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="hold each lease this long before evaluating "
         "(fault-injection/testing aid)",
+    )
+    worker.add_argument(
+        "--reconnect-grace",
+        type=float,
+        default=DEFAULT_RECONNECT_GRACE,
+        metavar="SECONDS",
+        help="keep retrying this long when the server is unreachable "
+        "(a restart in progress) before exiting 1 (0 disables)",
     )
 
     dse_launch = sub.add_parser(
@@ -623,8 +688,24 @@ def _fleet_sweep(args, spec) -> tuple[list[dict], dict]:
     job_id = client.submit_job(
         spec.to_dict(), fleet=_fleet_payload(args), **_server_options(args)
     )["job"]
+    outage_started = None
     while True:
-        status = client.job_status(job_id)
+        try:
+            status = client.job_status(job_id)
+        except ServeError as error:
+            # Tolerate a server restart mid-poll (its journal recovers
+            # the job): keep polling through transient failures for up
+            # to a minute before giving up.
+            now = time.time()
+            if not error.transient:
+                raise
+            if outage_started is None:
+                outage_started = now
+            if now - outage_started > 60.0:
+                raise
+            time.sleep(0.5)
+            continue
+        outage_started = None
         if status["state"] not in ("queued", "running"):
             break
         time.sleep(0.2)
@@ -945,8 +1026,35 @@ def _run_dse_compact(args) -> None:
     )
 
 
+def _serve_journal(args):
+    """The ``serve`` subcommand's journal argument (False disables)."""
+    if args.no_journal:
+        if args.journal:
+            raise ValueError("--journal and --no-journal are exclusive")
+        return False
+    if args.journal:
+        return args.journal
+    return None  # serve() colocates one with the store, if any
+
+
 def _run_serve(args) -> int:
     try:
+        journal = _serve_journal(args)
+        if args.inspect_journal:
+            if journal is False:
+                raise ValueError("--inspect-journal needs a journal")
+            if journal is None:
+                if not args.store:
+                    raise ValueError(
+                        "--inspect-journal needs --journal or --store"
+                    )
+                journal = default_journal_path(args.store)
+            reader = JobJournal(journal)
+            try:
+                print(payload_json(reader.summary()))
+            finally:
+                reader.close()
+            return 0
         return serve(
             store=_open_cli_store(args),
             host=args.host,
@@ -957,6 +1065,11 @@ def _run_serve(args) -> int:
             client_timeout=args.client_timeout,
             lease_ttl=args.lease_ttl,
             heartbeat_ttl=args.heartbeat_ttl,
+            journal=journal,
+            drain_timeout=args.drain_timeout,
+            max_queue_depth=args.max_queue_depth,
+            job_retention=args.job_retention,
+            job_ttl=args.job_ttl,
             verbose=args.verbose,
         )
     except ValueError as error:  # e.g. a non-positive TTL
@@ -977,6 +1090,7 @@ def _run_worker(args) -> int:
         exit_when_drained=args.exit_when_drained,
         max_chunks=args.max_chunks,
         throttle=args.throttle,
+        reconnect_grace=args.reconnect_grace,
     )
     try:
         return worker.run()

@@ -12,6 +12,9 @@ rankings to many clients, plus the shard orchestration that feeds it.
 * :mod:`~repro.serve.jobs` -- the job queue under the service:
   :class:`Job` (queued -> running -> done/failed/cancelled) and
   :class:`JobManager`, the bounded priority-FIFO worker pool;
+* :mod:`~repro.serve.journal` -- crash safety: the durable job/lease
+  journal (``repro serve --journal``) whose startup replay recovers
+  queued, running, and fleet jobs after a server death;
 * :mod:`~repro.serve.fleet` -- the elastic worker fleet:
   :class:`Fleet` (the coordinator's lease table: registration,
   heartbeats, pull-based chunk leases with expiry/requeue) and
@@ -31,6 +34,7 @@ rankings to many clients, plus the shard orchestration that feeds it.
 from .client import ServeClient, ServeError
 from .fleet import Fleet, FleetJob, FleetWorker
 from .jobs import Job, JobManager
+from .journal import JobJournal, JournalWarning, default_journal_path
 from .launch import (
     FleetLaunchResult,
     LaunchResult,
@@ -47,7 +51,13 @@ from .serializers import (
     result_summary,
     summary_payload,
 )
-from .server import SweepServer, SweepService, serve
+from .server import (
+    DrainingError,
+    QueueFullError,
+    SweepServer,
+    SweepService,
+    serve,
+)
 
 __all__ = [
     "ServeClient",
@@ -57,6 +67,11 @@ __all__ = [
     "FleetWorker",
     "Job",
     "JobManager",
+    "JobJournal",
+    "JournalWarning",
+    "default_journal_path",
+    "DrainingError",
+    "QueueFullError",
     "FleetLaunchResult",
     "LaunchResult",
     "launch",

@@ -37,7 +37,9 @@ class ServeError(RuntimeError):
     ``transient`` marks transport-level failures (connection reset,
     timeout, torn response) that an *idempotent* request may safely
     retry -- a 4xx rejection is not transient, re-sending it cannot
-    help.
+    help.  The one 4xx exception is 429 (admission control): the
+    server rejected *before* creating any state, so any request may be
+    re-sent after ``retry_after`` seconds (the ``Retry-After`` header).
     """
 
     def __init__(
@@ -45,10 +47,12 @@ class ServeError(RuntimeError):
         message: str,
         code: int | None = None,
         transient: bool = False,
+        retry_after: float | None = None,
     ):
         super().__init__(message)
         self.code = code
         self.transient = transient
+        self.retry_after = retry_after
 
 
 def _is_transient(error: BaseException) -> bool:
@@ -104,14 +108,23 @@ class ServeClient:
             return _request.urlopen(req, timeout=self.timeout)
         except HTTPError as error:
             detail = ""
+            retry_after = None
             try:
-                detail = json.loads(error.read()).get("error", "")
+                body = json.loads(error.read())
+                detail = body.get("error", "")
+                retry_after = body.get("retry_after")
             except (ValueError, OSError):
                 pass
+            if retry_after is None:
+                try:
+                    retry_after = float(error.headers.get("Retry-After"))
+                except (AttributeError, TypeError, ValueError):
+                    retry_after = None
             raise ServeError(
                 f"{path}: HTTP {error.code}"
                 + (f": {detail}" if detail else ""),
                 code=error.code,
+                retry_after=retry_after,
             ) from None
         except URLError as error:
             raise ServeError(
@@ -137,6 +150,10 @@ class ServeClient:
         safe to re-send, POST bodies are not unless the caller vouches
         for them (the fleet-worker endpoints do: leases expire, acks
         and record upserts are idempotent server-side).
+
+        A 429 (queue full) retries regardless of idempotency -- the
+        server rejected before creating any state -- honoring its
+        ``Retry-After`` when it is longer than the backoff step.
         """
         if idempotent is None:
             idempotent = payload is None
@@ -145,13 +162,14 @@ class ServeClient:
             try:
                 return self._open_once(path, payload)
             except ServeError as error:
-                if (
-                    not idempotent
-                    or not error.transient
-                    or attempt >= self.retries
-                ):
+                throttled = error.code == 429
+                retryable = throttled or (idempotent and error.transient)
+                if not retryable or attempt >= self.retries:
                     raise
-                time.sleep(self.backoff * (2**attempt))
+                delay = self.backoff * (2**attempt)
+                if throttled and error.retry_after:
+                    delay = max(delay, error.retry_after)
+                time.sleep(delay)
                 attempt += 1
 
     def _json(
@@ -436,6 +454,13 @@ class ServeClient:
         """Every registered fleet worker, oldest registration first."""
         return self._json("/workers")["workers"]
 
-    def shutdown(self) -> dict:
-        """Ask the server to stop serving cleanly."""
-        return self._json("/shutdown", {})
+    def shutdown(self, drain: bool = False) -> dict:
+        """Ask the server to stop serving cleanly.
+
+        ``drain=True`` requests a graceful drain: admission stops
+        immediately (the response says ``"draining"``), running jobs
+        get up to the server's ``--drain-timeout`` to finish, and the
+        server exits 0 afterwards.
+        """
+        path = "/shutdown?drain=true" if drain else "/shutdown"
+        return self._json(path, {})

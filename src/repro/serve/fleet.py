@@ -82,6 +82,15 @@ DEFAULT_FLEET_CHUNKS = 16
 #: can exceed what one request body should carry.
 INGEST_CHUNK_RECORDS = 20_000
 
+#: Consecutive unexpected heartbeat failures before a worker gives up.
+HEARTBEAT_MAX_FAILURES = 5
+
+#: Default seconds a worker keeps retrying when the server is
+#: unreachable (a restart in progress) before giving up with exit 1.
+#: Spans a server redeploy comfortably; the client's own bounded
+#: backoff only covers a few seconds.
+DEFAULT_RECONNECT_GRACE = 60.0
+
 
 @dataclass
 class Chunk:
@@ -140,7 +149,55 @@ class FleetJob(Job):
         super().__init__(spec=spec, priority=priority, job_id=job_id)
         self._chunks = [Chunk(index=i, spec=sub) for i, sub in spec.chunks(chunks)]
         self._by_index = {chunk.index: chunk for chunk in self._chunks}
+        self.chunk_count = len(self._chunks)
+        # The *requested* partition width, not len(_chunks): hash-range
+        # chunking drops empty buckets, so only this count rebuilds the
+        # same chunk indexes when recovery reconstructs the job.
+        self.chunk_partition = int(chunks)
         self.requeues = 0
+
+    def _journal_lease(self, chunk: Chunk) -> None:
+        journal = self.journal
+        if journal is not None:
+            journal.record_lease(self.id, chunk.index, chunk.state, chunk.attempts)
+
+    def chunk_states(self) -> list[tuple[int, str, int]]:
+        """A journal-ready snapshot of the lease table."""
+        with self._changed:
+            return [(c.index, c.state, c.attempts) for c in self._chunks]
+
+    def restore_chunks(self, leases: dict[int, dict]) -> dict:
+        """Rebuild the lease table from journaled rows (restart recovery).
+
+        Completed chunks stay completed; chunks the journal last saw
+        *leased* requeue as pending -- their holder was talking to a
+        server that no longer exists, so the lease is void (the holder
+        may still finish and ack as a straggler; that is the same
+        absorbed-duplicate path a TTL expiry produces).  Attempt counts
+        survive so operators can see a chunk's full history.
+        """
+        requeued = 0
+        with self._changed:
+            for chunk in self._chunks:
+                row = leases.get(chunk.index)
+                if row is None:
+                    continue
+                chunk.attempts = int(row.get("attempts") or 0)
+                if row.get("state") == COMPLETED:
+                    chunk.state = COMPLETED
+                elif row.get("state") == LEASED:
+                    chunk.state = PENDING
+                    requeued += 1
+            self.requeues += requeued
+            all_done = all(c.state == COMPLETED for c in self._chunks)
+        if all_done:
+            self.finish(DONE)
+        return {
+            "requeued": requeued,
+            "completed": sum(
+                1 for c in self._chunks if c.state == COMPLETED
+            ),
+        }
 
     # -- the lease table (all mutation under the job's condition) ------
     def lease_next(self, worker_id: str, now: float, ttl: float) -> Chunk | None:
@@ -154,6 +211,7 @@ class FleetJob(Job):
                     chunk.worker = worker_id
                     chunk.deadline = now + ttl
                     chunk.attempts += 1
+                    self._journal_lease(chunk)
                     return chunk
             return None
 
@@ -176,6 +234,7 @@ class FleetJob(Job):
                 chunk.worker = None
                 chunk.deadline = None
                 requeued += 1
+                self._journal_lease(chunk)
             self.requeues += requeued
             return requeued
 
@@ -205,6 +264,7 @@ class FleetJob(Job):
             chunk.worker = None
             chunk.deadline = None
             chunk.completed_by = worker_id
+            self._journal_lease(chunk)
             if all(c.state == COMPLETED for c in self._chunks):
                 self.finish(DONE)
             self._changed.notify_all()
@@ -324,6 +384,17 @@ class Fleet:
         with self._lock:
             self._jobs[job.id] = job
         return job
+
+    def remove_jobs(self, job_ids) -> int:
+        """Drop terminal fleet jobs (the retention policy's fleet half)."""
+        removed = 0
+        with self._lock:
+            for job_id in list(job_ids):
+                job = self._jobs.get(job_id)
+                if job is not None and job.done:
+                    del self._jobs[job_id]
+                    removed += 1
+        return removed
 
     def _active_jobs(self) -> list[FleetJob]:
         # Called under self._lock.  Same scheduling contract as the
@@ -474,6 +545,7 @@ class FleetWorker:
         exit_when_drained: bool = False,
         max_chunks: int | None = None,
         throttle: float = 0.0,
+        reconnect_grace: float = DEFAULT_RECONNECT_GRACE,
         log: Callable[[str], None] | None = None,
         client: ServeClient | None = None,
     ):
@@ -488,11 +560,13 @@ class FleetWorker:
         self.exit_when_drained = exit_when_drained
         self.max_chunks = max_chunks
         self.throttle = throttle
+        self.reconnect_grace = reconnect_grace
         self.log = log or _log_to_stderr
         self.worker_id: str | None = None
         self.chunks_done = 0
         self.heartbeat_seconds = DEFAULT_HEARTBEAT_TTL / 3.0
         self._stop = threading.Event()
+        self._heartbeat_failed = False
 
     def stop(self) -> None:
         self._stop.set()
@@ -507,13 +581,37 @@ class FleetWorker:
         return self.worker_id
 
     def _heartbeat_loop(self) -> None:
-        # Daemonic; a failed beat is not fatal here -- the main loop's
-        # next lease is itself a heartbeat, or re-registers on 404.
-        while not self._stop.wait(self.heartbeat_seconds):
+        # Daemonic.  A ServeError is expected weather (server down or
+        # restarting, registration lapsed) -- the main loop's next
+        # lease is itself a heartbeat, or re-registers on 404.  An
+        # *unexpected* exception must not kill the thread silently:
+        # that leaves a worker that looks alive locally while the
+        # server requeues all its leases.  Log, back off, retry; give
+        # up -- and take the whole worker down with exit 1 -- only
+        # after repeated consecutive failures.
+        failures = 0
+        while not self._stop.wait(
+            self.heartbeat_seconds * min(2**failures, 8)
+        ):
             try:
                 self.client.worker_heartbeat(self.worker_id)
+                failures = 0
             except ServeError:
-                pass
+                failures = 0
+            except Exception as error:  # noqa: BLE001 - thread boundary
+                failures += 1
+                self.log(
+                    f"worker {self.worker_id}: heartbeat error "
+                    f"({failures}/{HEARTBEAT_MAX_FAILURES}): {error}"
+                )
+                if failures >= HEARTBEAT_MAX_FAILURES:
+                    self.log(
+                        f"worker {self.worker_id}: heartbeat failing "
+                        "persistently; stopping worker"
+                    )
+                    self._heartbeat_failed = True
+                    self._stop.set()
+                    return
 
     def _lease(self) -> dict:
         try:
@@ -541,9 +639,31 @@ class FleetWorker:
                 self.client.post_records(
                     records[start : start + INGEST_CHUNK_RECORDS]
                 )
-        self.client.ack_chunk(
-            self.worker_id, lease["job"], lease["chunk"], error=error
-        )
+        try:
+            self.client.ack_chunk(
+                self.worker_id, lease["job"], lease["chunk"], error=error
+            )
+        except ServeError as failure:
+            if failure.code != 404:
+                raise
+            # A restarted server forgot this registration; the chunk we
+            # just finished was requeued as pending.  Re-register and
+            # re-ack: completing a pending chunk is the same absorbed
+            # straggler path a TTL expiry produces.  A second 404 means
+            # the *job* is gone (finished elsewhere and evicted); the
+            # records already landed via /records, so drop the ack.
+            self.register()
+            try:
+                self.client.ack_chunk(
+                    self.worker_id, lease["job"], lease["chunk"], error=error
+                )
+            except ServeError as second:
+                if second.code != 404:
+                    raise
+                self.log(
+                    f"worker {self.worker_id}: job {lease['job']} gone; "
+                    f"dropping ack for chunk {lease['chunk']}"
+                )
         if error is None:
             self.chunks_done += 1
             self.log(
@@ -567,12 +687,37 @@ class FleetWorker:
             target=self._heartbeat_loop, name="fleet-heartbeat", daemon=True
         )
         heartbeat.start()
+        outage_started: float | None = None
         try:
             while not self._stop.is_set():
                 if self.max_chunks is not None and self.chunks_done >= self.max_chunks:
                     return 0
-                response = self._lease()
-                lease = response.get("lease")
+                try:
+                    response = self._lease()
+                    lease = response.get("lease")
+                    if lease is not None:
+                        self._execute(lease)
+                except ServeError as error:
+                    # A transient failure past the client's own bounded
+                    # retries usually means the server is restarting.
+                    # Keep polling for a grace period instead of dying:
+                    # an unacked chunk requeues by lease TTL, so waiting
+                    # is always safe.
+                    if not error.transient or self.reconnect_grace <= 0:
+                        raise
+                    now = time.time()
+                    if outage_started is None:
+                        outage_started = now
+                        self.log(
+                            f"worker {self.worker_id}: server unreachable "
+                            f"({error}); retrying for up to "
+                            f"{self.reconnect_grace:.0f}s"
+                        )
+                    if now - outage_started > self.reconnect_grace:
+                        raise
+                    self._stop.wait(max(self.poll, 0.1))
+                    continue
+                outage_started = None
                 if lease is None:
                     if self.exit_when_drained and not response.get("active_jobs"):
                         self.log(
@@ -581,9 +726,7 @@ class FleetWorker:
                         )
                         return 0
                     self._stop.wait(self.poll)
-                    continue
-                self._execute(lease)
-            return 0
+            return 1 if self._heartbeat_failed else 0
         except ServeError as error:
             self.log(f"worker {self.worker_id}: giving up: {error}")
             return 1

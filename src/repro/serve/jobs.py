@@ -92,6 +92,11 @@ class Job:
     streams).  All shared mutation happens under one condition
     variable, which also wakes streamers when a record lands or the
     state goes terminal.
+
+    When the service runs with a :class:`~repro.serve.journal.JobJournal`
+    it attaches the journal to each accepted job; every state-machine
+    edge then journals itself synchronously (after releasing the
+    condition, so slow disks never block status polls or streamers).
     """
 
     kind = "sweep"
@@ -118,6 +123,14 @@ class Job:
         self.finished_at: float | None = None
         self._cancel = threading.Event()
         self._changed = threading.Condition()
+        #: Attached by the service when journaling is on; every state
+        #: edge below records itself through it.
+        self.journal = None
+
+    def _journal_transition(self) -> None:
+        journal = self.journal
+        if journal is not None:
+            journal.record_transition(self)
 
     # -- lifecycle (worker side) ---------------------------------------
     def mark_running(self) -> bool:
@@ -128,7 +141,8 @@ class Job:
             self.state = RUNNING
             self.started_at = time.time()
             self._changed.notify_all()
-            return True
+        self._journal_transition()
+        return True
 
     def append(self, record: dict, source: str) -> None:
         """Record one completed point (memo/store/evaluated tier)."""
@@ -148,6 +162,7 @@ class Job:
             self.error = error
             self.finished_at = time.time()
             self._changed.notify_all()
+        self._journal_transition()
 
     # -- cancellation ---------------------------------------------------
     def cancel(self) -> str:
@@ -163,7 +178,12 @@ class Job:
                 self.state = CANCELLED
                 self.finished_at = time.time()
                 self._changed.notify_all()
-            return self.state
+            state = self.state
+        # Journal even when only the flag moved: a running job whose
+        # cancel was requested but never reached a record boundary must
+        # not resurrect as running after a crash-restart.
+        self._journal_transition()
+        return state
 
     def cancel_requested(self) -> bool:
         return self._cancel.is_set()
@@ -353,6 +373,22 @@ class JobManager:
             tally[job.state] += 1
         tally["total"] = sum(tally.values())
         return tally
+
+    def remove(self, job_ids) -> int:
+        """Drop terminal jobs from the table (the retention policy).
+
+        Only terminal jobs are removed -- a stale priority-queue entry
+        for an evicted job is harmless because ``mark_running`` refuses
+        non-queued jobs, but evicting live work would strand clients.
+        """
+        removed = 0
+        with self._lock:
+            for job_id in list(job_ids):
+                job = self._jobs.get(job_id)
+                if job is not None and job.done:
+                    del self._jobs[job_id]
+                    removed += 1
+        return removed
 
     # -- the pool ------------------------------------------------------
     def _ensure_threads(self) -> None:

@@ -67,6 +67,18 @@ Endpoints
     answer 404 -- the cue to re-register after a server restart.
 ``POST /shutdown``
     Stop serving after the response -- the clean-exit path.
+    ``?drain=true`` drains instead: admission stops (new submissions
+    503), running jobs get up to ``--drain-timeout`` seconds to
+    finish, then the server exits 0.
+
+Crash safety: with a journal (``--journal``, on by default next to the
+store), every job/lease transition is durable and a restarted server
+replays it -- queued jobs re-enqueue in order, running jobs resume via
+their merged staging prefix and the store warm path, fleet lease
+tables rebuild with in-flight chunks requeued (see
+:mod:`repro.serve.journal`).  ``--max-queue-depth`` sheds load with
+429 + ``Retry-After``; ``--job-retention``/``--job-ttl`` bound the job
+table on long-lived servers.
 """
 
 from __future__ import annotations
@@ -74,7 +86,10 @@ from __future__ import annotations
 import json
 import os
 import re
+import signal
 import threading
+import time
+import warnings
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Iterator, Mapping
 from urllib.parse import parse_qs, urlsplit
@@ -83,7 +98,7 @@ from ..dse.engine import iter_sweep
 from ..dse.evaluate import _MEMO, EVAL_VERSION
 from ..dse.queries import pareto_frontier, run_query
 from ..dse.spec import SweepSpec
-from ..dse.store import ResultStore, ResultStoreBase, open_store
+from ..dse.store import ResultStore, ResultStoreBase, StoreWarning, open_store
 from .fleet import (
     DEFAULT_FLEET_CHUNKS,
     DEFAULT_HEARTBEAT_TTL,
@@ -96,14 +111,24 @@ from .jobs import (
     DEFAULT_PRIORITY,
     DONE,
     FAILED,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
     IngestJob,
     Job,
     JobManager,
     StagedWrites,
 )
+from .journal import JobJournal, default_journal_path
 from .serializers import dumps, records_payload, summary_payload
 
-__all__ = ["SweepService", "SweepServer", "serve"]
+__all__ = [
+    "SweepService",
+    "SweepServer",
+    "serve",
+    "DrainingError",
+    "QueueFullError",
+]
 
 #: Reject request bodies past this size (a million-point explicit spec
 #: is ~300 MB of JSON; nobody submits that in one request by accident).
@@ -113,8 +138,38 @@ MAX_BODY_BYTES = 64 * 1024 * 1024
 #: with ``repro serve --client-timeout``.
 DEFAULT_CLIENT_TIMEOUT = 600.0
 
+#: Default seconds a graceful drain waits for running jobs before
+#: cancelling the stragglers (``repro serve --drain-timeout``).
+DEFAULT_DRAIN_TIMEOUT = 30.0
+
+#: The ``Retry-After`` a 429 queue-full rejection advertises.  Queue
+#: depth turns over at job, not request, cadence; one second is a
+#: polite first retry for both humans and ServeClient's backoff.
+DEFAULT_RETRY_AFTER = 1.0
+
+#: Default number of terminal jobs the retention policy keeps
+#: (``repro serve --job-retention``; ``0`` disables the count bound).
+DEFAULT_JOB_RETENTION = 1000
+
 _JOB_PATH = re.compile(r"^/jobs/([0-9a-f]+)(/records|/cancel)?$")
 _WORKER_PATH = re.compile(r"^/workers/([0-9a-f]+)/(heartbeat|lease|ack)$")
+
+
+class DrainingError(RuntimeError):
+    """The server is draining: no new submissions, 503 the client."""
+
+
+class QueueFullError(RuntimeError):
+    """Admission control rejected a submission: 429 + ``Retry-After``.
+
+    A rejection leaves no server-side state behind, which is what lets
+    :class:`~repro.serve.client.ServeClient` retry it on *any* request,
+    idempotent or not.
+    """
+
+    def __init__(self, message: str, retry_after: float = DEFAULT_RETRY_AFTER):
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class SweepService:
@@ -134,11 +189,20 @@ class SweepService:
         job_workers: int = 2,
         lease_ttl: float = DEFAULT_LEASE_TTL,
         heartbeat_ttl: float = DEFAULT_HEARTBEAT_TTL,
+        journal: JobJournal | str | os.PathLike | None = None,
+        max_queue_depth: int | None = None,
+        job_retention: int | None = None,
+        job_ttl: float | None = None,
     ):
         self.store = open_store(store) if store is not None else None
         self.workers = workers
         self.vectorize = vectorize
         self.sweeps_served = 0
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError("max queue depth must be >= 1")
+        self.max_queue_depth = max_queue_depth
+        self.job_retention = job_retention
+        self.job_ttl = job_ttl
         self.jobs = JobManager(self._run_sweep_job, pool_size=job_workers)
         self.fleet = Fleet(lease_ttl=lease_ttl, heartbeat_ttl=heartbeat_ttl)
         # Serializes every *direct* write to the shared store (ingest
@@ -150,6 +214,19 @@ class SweepService:
         self._store_lock = threading.Lock()
         self._records_cache: tuple | None = None  # (change token, records)
         self._stats_cache: tuple | None = None  # (change token, store stats)
+        self._draining = False
+        self._closed = False
+        self.rejected_jobs = 0
+        self.evicted_jobs = 0
+        self.recovery_info: dict | None = None
+        if journal is None:
+            self.journal: JobJournal | None = None
+        elif isinstance(journal, JobJournal):
+            self.journal = journal
+        else:
+            self.journal = JobJournal(journal)
+        if self.journal is not None:
+            self.recovery_info = self._recover()
 
     def health(self) -> dict:
         return {
@@ -157,6 +234,160 @@ class SweepService:
             "eval_version": EVAL_VERSION,
             "sweeps_served": self.sweeps_served,
         }
+
+    # -- crash recovery -------------------------------------------------
+    def _recover(self) -> dict:
+        """Replay the journal: rebuild the job table a dead server lost.
+
+        Runs once, from ``__init__``, before the server accepts a
+        single request.  Queued jobs re-enqueue in their original
+        priority-FIFO order (the journal's ``seq`` is submission order
+        and rows come back pre-sorted); running jobs merge their staged
+        prefix first and then re-enqueue -- the store warm path
+        resolves every already-evaluated hash, so recovered work is
+        never recomputed; fleet jobs rebuild their lease tables with
+        previously-leased chunks requeued; staging files without a
+        running owner are swept as orphans.
+        """
+        journal = self.journal
+        marker = journal.consume_clean_shutdown()
+        rows = journal.jobs()
+        info = {
+            "prior_shutdown": (
+                marker.get("mode") if marker else ("crash" if rows else None)
+            ),
+            "recovered_queued": 0,
+            "recovered_running": 0,
+            "recovered_fleet": 0,
+            "recovered_terminal": 0,
+            "requeued_chunks": 0,
+            "cancelled_on_recovery": 0,
+            "staging_merged": 0,
+            "staging_merged_records": 0,
+            "staging_orphans_deleted": 0,
+        }
+        running_sweeps = {
+            row["id"]
+            for row in rows
+            if row["kind"] == "sweep" and row["state"] == RUNNING
+        }
+        if self.store is not None:
+            self._sweep_staging(running_sweeps, info)
+        for row in rows:  # already in (priority, seq) replay order
+            if row["kind"] == "fleet":
+                self._recover_fleet_job(row, info)
+            else:
+                self._recover_pool_job(row, info)
+        journal.set_recovery_info(info)
+        return info
+
+    def _sweep_staging(self, running_sweeps: set, info: dict) -> None:
+        """Merge-or-delete per-job staging files a dead server left.
+
+        A staging file whose owner the journal last saw *running* holds
+        that job's fully-appended record prefix -- merge it, so the
+        warm path skips those points when the job resumes.  Any other
+        staging file is an orphan: its owner is terminal (already
+        merged), unknown to the journal, or never journaled; deleting
+        is the only safe move, and it warns so operators see that data
+        was discarded.
+        """
+        store = self.store
+        prefix = f"{store.path.name}.job-"
+        for path in sorted(store.path.parent.glob(f"{prefix}*.staging")):
+            job_id = path.name[len(prefix) : -len(".staging")]
+            if job_id in running_sweeps:
+                staging = ResultStore(path)
+                records = len(staging.load())
+                with self._store_lock:
+                    store.merge([staging])
+                self.journal.record_merged(job_id, records)
+                info["staging_merged"] += 1
+                info["staging_merged_records"] += records
+            else:
+                warnings.warn(
+                    f"deleting orphaned staging file {path}: no running "
+                    "job in the journal owns it",
+                    StoreWarning,
+                    stacklevel=2,
+                )
+                info["staging_orphans_deleted"] += 1
+            path.unlink(missing_ok=True)
+        if info["staging_merged"]:
+            self._invalidate_caches()
+
+    def _recover_pool_job(self, row: dict, info: dict) -> None:
+        if not row["spec"]:
+            return  # nothing actionable without a spec
+        job = Job(
+            spec=SweepSpec.from_dict(json.loads(row["spec"])),
+            workers=int(row["workers"] or self.workers),
+            vectorize=bool(
+                self.vectorize if row["vectorize"] is None else row["vectorize"]
+            ),
+            priority=int(row["priority"]),
+            job_id=row["id"],
+        )
+        job.submitted_at = row["submitted_at"] or job.submitted_at
+        job.started_at = row["started_at"]
+        if row["state"] in TERMINAL_STATES:
+            # Kept for visibility (status polls still answer), subject
+            # to the retention policy like any other terminal job.  Its
+            # records live in the store; the in-memory record list died
+            # with the old process.
+            job.state = row["state"]
+            job.error = row["error"]
+            job.finished_at = row["finished_at"]
+            job.journal = self.journal
+            self.jobs.register(job)
+            info["recovered_terminal"] += 1
+            return
+        job.journal = self.journal
+        if row["cancel_requested"]:
+            # The cancel outran the crash; honor it instead of rerunning.
+            self.jobs.register(job)
+            job.cancel()
+            info["cancelled_on_recovery"] += 1
+            return
+        was_running = row["state"] == RUNNING
+        job.started_at = None  # it will start again, on this server
+        self.journal.record_submit(job)  # normalize the row back to queued
+        self.jobs.submit(job)
+        info["recovered_running" if was_running else "recovered_queued"] += 1
+
+    def _recover_fleet_job(self, row: dict, info: dict) -> None:
+        job = FleetJob(
+            spec=SweepSpec.from_dict(json.loads(row["spec"])),
+            chunks=int(row["chunks"] or DEFAULT_FLEET_CHUNKS),
+            priority=int(row["priority"]),
+            job_id=row["id"],
+        )
+        job.submitted_at = row["submitted_at"] or job.submitted_at
+        if row["state"] in TERMINAL_STATES:
+            job.state = row["state"]
+            job.error = row["error"]
+            job.started_at = row["started_at"]
+            job.finished_at = row["finished_at"]
+            job.journal = self.journal
+            self.jobs.register(job)
+            info["recovered_terminal"] += 1
+            return
+        job.journal = self.journal
+        outcome = job.restore_chunks(self.journal.leases(job.id))
+        info["requeued_chunks"] += outcome["requeued"]
+        self.jobs.register(job)
+        if row["cancel_requested"]:
+            job.cancel()
+            info["cancelled_on_recovery"] += 1
+            return
+        if not job.done:
+            # restore_chunks finishes a fully-acked job itself; anything
+            # else goes back on the lease queue for workers to drain.
+            job.mark_running()
+            job.started_at = row["started_at"] or job.started_at
+            self.fleet.add_job(job)
+        self.journal.record_submit(job)  # re-snapshot the lease table
+        info["recovered_fleet"] += 1
 
     def _invalidate_caches(self) -> None:
         """Drop cached records/stats after a write this process made."""
@@ -175,6 +406,7 @@ class SweepService:
         return self.store.change_token()
 
     def stats(self) -> dict:
+        self._evict_terminal()  # /stats is polled: the TTL clock tick
         store_stats = None
         if self.store is not None:
             # Cached like records(): a JSONL store's record count is a
@@ -187,6 +419,12 @@ class SweepService:
                 store_stats = self.store.stats()
                 if key is not None:
                     self._stats_cache = (key, store_stats)
+        journal_stats = None
+        if self.journal is not None:
+            journal_stats = {
+                "path": str(self.journal.path),
+                "recovery": self.recovery_info,
+            }
         return {
             "eval_version": EVAL_VERSION,
             "sweeps_served": self.sweeps_served,
@@ -194,6 +432,13 @@ class SweepService:
             "store": store_stats,
             "jobs": self.jobs.counts(),
             "fleet": self.fleet.stats(),
+            "journal": journal_stats,
+            "admission": {
+                "draining": self._draining,
+                "max_queue_depth": self.max_queue_depth,
+                "rejected": self.rejected_jobs,
+                "evicted": self.evicted_jobs,
+            },
         }
 
     def records(self) -> list[dict]:
@@ -277,6 +522,10 @@ class SweepService:
         its chunks.  Fleet records land in the shared store, so a
         fleet job requires one.
         """
+        if self._draining:
+            raise DrainingError(
+                "server is draining: not accepting new submissions"
+            )
         if not isinstance(payload, Mapping):
             raise ValueError('sweep wants a JSON object body: {"spec": ...}')
         spec = SweepSpec.from_dict(payload.get("spec") or {})
@@ -289,18 +538,36 @@ class SweepService:
             vectorize = self.vectorize
         priority = payload.get("priority")
         priority = DEFAULT_PRIORITY if priority is None else int(priority)
+        self._evict_terminal()
         fleet = payload.get("fleet")
         if fleet:
             job = self._submit_fleet(spec, fleet, priority)
         else:
-            job = self.jobs.submit(
-                Job(
-                    spec=spec,
-                    workers=workers,
-                    vectorize=bool(vectorize),
-                    priority=priority,
+            # Fleet jobs are exempt from the queue-depth bound: they
+            # never occupy the pool queue (workers pull their chunks).
+            if self.max_queue_depth is not None:
+                queued = sum(
+                    1 for j in self.jobs.jobs() if j.state == QUEUED
                 )
+                if queued >= self.max_queue_depth:
+                    self.rejected_jobs += 1
+                    raise QueueFullError(
+                        f"job queue is full ({queued} queued, bound "
+                        f"{self.max_queue_depth}); retry later"
+                    )
+            job = Job(
+                spec=spec,
+                workers=workers,
+                vectorize=bool(vectorize),
+                priority=priority,
             )
+            # Journal before the id is visible: a submission the client
+            # heard about always survives a crash.  A journal write
+            # failure here fails the submission (503), not the journal.
+            if self.journal is not None:
+                job.journal = self.journal
+                self.journal.record_submit(job)
+            self.jobs.submit(job)
         self.sweeps_served += 1
         return job
 
@@ -324,6 +591,9 @@ class SweepService:
         if chunks < 1:
             raise ValueError("fleet chunks must be >= 1")
         job = FleetJob(spec=spec, chunks=chunks, priority=priority)
+        if self.journal is not None:
+            job.journal = self.journal
+            self.journal.record_submit(job)
         # Registered, not pool-submitted: the job occupies no worker
         # thread and is "running" from the moment it is leasable.
         self.jobs.register(job)
@@ -405,9 +675,12 @@ class SweepService:
             error = str(failure)
         finally:
             if staging is not None and staging.exists():
+                merged = len(staging.load())
                 with self._store_lock:
                     self.store.merge([staging])
                 staging.path.unlink(missing_ok=True)
+                if self.journal is not None and merged:
+                    self.journal.record_merged(job.id, merged)
             self._invalidate_caches()
         if error is not None:
             job.finish(FAILED, error=error)
@@ -451,9 +724,85 @@ class SweepService:
         else:
             yield {"cancelled": True, "summary": self.job_summary(job)}
 
-    def close(self) -> None:
-        """Stop the job pool (cancelling live jobs) -- shutdown path."""
+    # -- retention ------------------------------------------------------
+    def _evict_terminal(self) -> int:
+        """Apply the retention policy: drop old terminal jobs everywhere.
+
+        Two independent bounds -- keep at most ``job_retention``
+        terminal jobs (oldest-finished evicted first) and none finished
+        more than ``job_ttl`` seconds ago -- applied to memory, the
+        fleet's job map, and the journal together, so a week-long
+        server's job table (and its journal file) stays bounded.
+        """
+        if self.job_retention is None and self.job_ttl is None:
+            return 0
+        now = time.time()
+        terminal = sorted(
+            (job for job in self.jobs.jobs() if job.done),
+            key=lambda job: job.finished_at or now,
+        )
+        victims: list[str] = []
+        if self.job_ttl is not None:
+            cutoff = now - self.job_ttl
+            victims.extend(
+                job.id for job in terminal if (job.finished_at or now) < cutoff
+            )
+        if self.job_retention is not None:
+            excess = len(terminal) - self.job_retention
+            if excess > 0:
+                victims.extend(job.id for job in terminal[:excess])
+        if not victims:
+            return 0
+        ids = list(dict.fromkeys(victims))
+        removed = self.jobs.remove(ids)
+        self.fleet.remove_jobs(ids)
+        if self.journal is not None:
+            self.journal.evict(ids)
+        self.evicted_jobs += removed
+        return removed
+
+    # -- shutdown -------------------------------------------------------
+    def drain(self, timeout: float = DEFAULT_DRAIN_TIMEOUT) -> dict:
+        """Graceful shutdown: stop admission, let running jobs finish.
+
+        New submissions 503 the moment draining starts; jobs already
+        accepted get up to ``timeout`` seconds to reach a terminal
+        state (fleet jobs included -- workers keep leasing, ingesting,
+        and acking throughout).  Stragglers past the deadline are
+        cancelled by :meth:`close`, whose journal suspension keeps
+        their resumable states on disk for the next server.
+        """
+        self._draining = True
+        deadline = time.time() + max(0.0, timeout)
+        live = [job for job in self.jobs.jobs() if not job.done]
+        for job in live:
+            job.wait(timeout=max(0.0, deadline - time.time()))
+        finished = sum(1 for job in live if job.done)
+        self.close(mode="drain")
+        return {
+            "drained": finished,
+            "cancelled": len(live) - finished,
+        }
+
+    def close(self, mode: str = "fast") -> None:
+        """Stop the job pool (cancelling live jobs) -- shutdown path.
+
+        With a journal: write the clean-shutdown marker (``mode`` says
+        which path), then *suspend* journaling before cancelling live
+        jobs -- so a fast shutdown's cancels do not overwrite the
+        resumable ``queued``/``running`` states the next server's
+        recovery will replay.  Idempotent: drain-then-serve-exit calls
+        it twice.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self.journal is not None:
+            self.journal.mark_clean_shutdown(mode)
+            self.journal.suspend()
         self.jobs.close(cancel=True)
+        if self.journal is not None:
+            self.journal.close()
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -483,11 +832,15 @@ class _Handler(BaseHTTPRequestHandler):
             super().log_message(format, *args)
 
     # -- response helpers ----------------------------------------------
-    def _send_json(self, payload, status: int = 200) -> None:
+    def _send_json(
+        self, payload, status: int = 200, headers: Mapping | None = None
+    ) -> None:
         body = (dumps(payload) + "\n").encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, str(value))
         self.end_headers()
         self.wfile.write(body)
 
@@ -654,18 +1007,47 @@ class _Handler(BaseHTTPRequestHandler):
                     records_payload(self.service.query(name, params))
                 )
             elif path == "/shutdown":
-                self._send_json({"status": "shutting down"})
-                threading.Thread(
-                    target=self.server.shutdown, daemon=True
-                ).start()
+                query = parse_qs(urlsplit(self.path).query)
+                drain = query.get("drain", ["false"])[-1].lower() in (
+                    "1",
+                    "true",
+                    "yes",
+                )
+                if drain:
+                    # Flip admission off before the response leaves, so
+                    # "draining" in the reply is already true.
+                    self.service._draining = True
+                    self._send_json({"status": "draining"})
+                    threading.Thread(
+                        target=self._drain_then_shutdown, daemon=True
+                    ).start()
+                else:
+                    self._send_json({"status": "shutting down"})
+                    threading.Thread(
+                        target=self.server.shutdown, daemon=True
+                    ).start()
             else:
                 self._not_found(path)
         except BrokenPipeError:  # pragma: no cover - client went away
             pass
+        except QueueFullError as error:
+            self._send_json(
+                {"error": str(error), "retry_after": error.retry_after},
+                status=429,
+                headers={"Retry-After": f"{error.retry_after:g}"},
+            )
+        except DrainingError as error:
+            self._send_json({"error": str(error)}, status=503)
         except (KeyError, TypeError, ValueError) as error:
             self._send_json({"error": str(error)}, status=400)
         except OSError as error:
             self._send_json({"error": str(error)}, status=503)
+
+    def _drain_then_shutdown(self) -> None:
+        self.service.drain(
+            timeout=getattr(self.server, "drain_timeout", DEFAULT_DRAIN_TIMEOUT)
+        )
+        self.server.shutdown()
 
     def _not_found(self, path: str) -> None:
         self._send_json(
@@ -714,10 +1096,12 @@ class SweepServer(ThreadingHTTPServer):
         port: int = 0,
         verbose: bool = False,
         client_timeout: float = DEFAULT_CLIENT_TIMEOUT,
+        drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
     ):
         self.service = service
         self.verbose = verbose
         self.client_timeout = client_timeout
+        self.drain_timeout = drain_timeout
         super().__init__((host, port), _Handler)
 
     @property
@@ -742,6 +1126,11 @@ def serve(
     client_timeout: float = DEFAULT_CLIENT_TIMEOUT,
     lease_ttl: float = DEFAULT_LEASE_TTL,
     heartbeat_ttl: float = DEFAULT_HEARTBEAT_TTL,
+    journal: JobJournal | str | os.PathLike | bool | None = None,
+    drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
+    max_queue_depth: int | None = None,
+    job_retention: int | None = DEFAULT_JOB_RETENTION,
+    job_ttl: float | None = None,
     verbose: bool = False,
     announce=_announce_stdout,
     ready=None,
@@ -749,15 +1138,36 @@ def serve(
     """Blocking entry point behind ``repro serve``.
 
     Announces the bound URL (ephemeral ports resolve before serving),
-    then serves until ``POST /shutdown`` or Ctrl-C; returns 0 on a
-    clean shutdown (live jobs are cancelled at their next record
-    boundary and their completed records kept).  ``lease_ttl`` and
-    ``heartbeat_ttl`` tune the worker fleet's failure detection
-    (``repro serve --lease-ttl/--heartbeat-ttl``).  ``ready``, when
-    given, receives the :class:`SweepServer` right before the loop
-    starts -- the hook tests and embedders use to reach the live
-    server object.
+    then serves until ``POST /shutdown``, SIGTERM, or Ctrl-C; returns 0
+    on a clean shutdown.  The fast path (plain ``/shutdown``, Ctrl-C)
+    cancels live jobs at their next record boundary; SIGTERM and
+    ``/shutdown?drain=true`` drain instead -- admission stops, running
+    jobs get up to ``drain_timeout`` seconds to finish.
+
+    ``journal`` controls crash safety: ``None`` (the default) colocates
+    a journal next to ``store`` when there is one, a path uses that
+    path, and ``False`` disables journaling.  On startup an existing
+    journal is replayed -- queued and running jobs resume, fleet lease
+    tables rebuild -- so a SIGKILLed server restarted against the same
+    store + journal completes every accepted sweep without recomputing
+    recovered work.
+
+    ``lease_ttl`` and ``heartbeat_ttl`` tune the worker fleet's failure
+    detection; ``max_queue_depth`` bounds accepted-but-unstarted jobs
+    (beyond it submissions 429 with ``Retry-After``); ``job_retention``
+    / ``job_ttl`` evict old terminal jobs from memory and journal.
+    ``ready``, when given, receives the :class:`SweepServer` right
+    before the loop starts -- the hook tests and embedders use to reach
+    the live server object.
     """
+    if journal is False:
+        journal = None
+    elif journal is None and store is not None:
+        journal = default_journal_path(
+            store.path if isinstance(store, ResultStoreBase) else store
+        )
+    elif journal is True:
+        raise ValueError("journal=True needs a store to colocate with")
     service = SweepService(
         store=store,
         workers=workers,
@@ -765,6 +1175,10 @@ def serve(
         job_workers=job_workers,
         lease_ttl=lease_ttl,
         heartbeat_ttl=heartbeat_ttl,
+        journal=journal,
+        max_queue_depth=max_queue_depth,
+        job_retention=job_retention or None,
+        job_ttl=job_ttl,
     )
     server = SweepServer(
         service,
@@ -772,6 +1186,7 @@ def serve(
         port=port,
         verbose=verbose,
         client_timeout=client_timeout,
+        drain_timeout=drain_timeout,
     )
     where = (
         f"store: {service.store.backend}:{service.store.path}"
@@ -779,6 +1194,35 @@ def serve(
         else "no store: serving from the in-process memo"
     )
     announce(f"serving DSE sweeps on {server.url} ({where})")
+    if service.journal is not None:
+        recovery = service.recovery_info or {}
+        recovered = sum(
+            recovery.get(key, 0)
+            for key in ("recovered_queued", "recovered_running", "recovered_fleet")
+        )
+        announce(
+            f"journal: {service.journal.path} "
+            f"(prior shutdown: {recovery.get('prior_shutdown') or 'none'}, "
+            f"recovered {recovered} live jobs, requeued "
+            f"{recovery.get('requeued_chunks', 0)} chunks)"
+        )
+
+    def _handle_sigterm(signum, frame):  # pragma: no cover - signal path
+        announce("SIGTERM: draining before shutdown")
+        service._draining = True
+
+        def _drain():
+            service.drain(timeout=drain_timeout)
+            server.shutdown()
+
+        threading.Thread(target=_drain, daemon=True).start()
+
+    previous_sigterm = None
+    in_main_thread = threading.current_thread() is threading.main_thread()
+    if in_main_thread:
+        # Only the main thread may install signal handlers; embedded
+        # servers (tests, dse-launch --fleet) skip this quietly.
+        previous_sigterm = signal.signal(signal.SIGTERM, _handle_sigterm)
     if ready is not None:
         ready(server)
     try:
@@ -786,6 +1230,8 @@ def serve(
     except KeyboardInterrupt:  # pragma: no cover - interactive exit
         pass
     finally:
+        if in_main_thread:
+            signal.signal(signal.SIGTERM, previous_sigterm)
         server.server_close()
         service.close()
     announce("server shut down cleanly")
