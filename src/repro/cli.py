@@ -38,6 +38,7 @@ from pathlib import Path
 from .dse import (
     MEMORY_NAMES,
     PLATFORM_NAMES,
+    PartitionedStore,
     SweepResult,
     SweepSpec,
     co_explore,
@@ -67,7 +68,11 @@ from .serve.fleet import (
     DEFAULT_LEASE_TTL,
     DEFAULT_RECONNECT_GRACE,
 )
-from .serve.server import DEFAULT_DRAIN_TIMEOUT, DEFAULT_JOB_RETENTION
+from .serve.server import (
+    DEFAULT_DRAIN_TIMEOUT,
+    DEFAULT_JOB_RETENTION,
+    DEFAULT_RECORD_CACHE,
+)
 from .serve.serializers import (
     co_explore_payload,
     records_payload,
@@ -156,11 +161,12 @@ def _add_store_arguments(
         "--store",
         default=None,
         required=required,
-        help="result store path (JSONL, or SQLite for .sqlite/.db paths)",
+        help="result store path (JSONL; SQLite for .sqlite/.db paths; "
+        "a hash-partitioned directory for .parts paths)",
     )
     parser.add_argument(
         "--backend",
-        choices=("jsonl", "sqlite"),
+        choices=("jsonl", "sqlite", "partitioned"),
         default=None,
         help="force the store backend instead of sniffing magic "
         "bytes/suffix",
@@ -357,7 +363,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     merge.add_argument(
         "--backend",
-        choices=("jsonl", "sqlite"),
+        choices=("jsonl", "sqlite", "partitioned"),
         default=None,
         help="force the destination backend instead of sniffing",
     )
@@ -365,7 +371,7 @@ def build_parser() -> argparse.ArgumentParser:
     compact = sub.add_parser(
         "dse-compact", help="drop superseded/stale lines from a result store"
     )
-    compact.add_argument("store", help="JSONL result store path")
+    compact.add_argument("store", help="result store path (any backend)")
     compact.add_argument(
         "--gzip", action="store_true", help="gzip-compress the compacted store"
     )
@@ -373,6 +379,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--keep-stale",
         action="store_true",
         help="keep records from older EVAL_VERSIONs",
+    )
+    compact.add_argument(
+        "--stale-threshold",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="partitioned stores only: rewrite just the parts whose "
+        "stale-line fraction exceeds FRACTION (keeps all record "
+        "versions) instead of a full compaction",
     )
 
     server = sub.add_parser(
@@ -469,6 +484,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the journal's job/chunk/recovery summary as JSON "
         "and exit instead of serving",
+    )
+    server.add_argument(
+        "--record-cache",
+        type=int,
+        default=DEFAULT_RECORD_CACHE,
+        metavar="N",
+        help="cache up to N resolved records (and their served pages) "
+        "between store changes; 0 disables the cache",
     )
     server.add_argument("--no-vectorize", action="store_true")
     server.add_argument(
@@ -1013,11 +1036,24 @@ def _run_dse_compact(args) -> None:
     if not store.exists():
         raise SystemExit(f"dse-compact: no such store: {args.store}")
     try:
-        before = store.path.stat().st_size
+        if args.stale_threshold is not None:
+            if not isinstance(store, PartitionedStore):
+                raise SystemExit(
+                    "dse-compact: --stale-threshold only applies to "
+                    "partitioned stores"
+                )
+            report = store.compact_stale_parts(threshold=args.stale_threshold)
+            print(
+                f"compacted {args.store}: rewrote "
+                f"{report['compacted']}/{report['examined']} parts, dropped "
+                f"{report['dropped']} superseded lines"
+            )
+            return
+        before = store.stats()["size_bytes"]
         kept, dropped = store.compact(
             gzip=True if args.gzip else None, drop_stale=not args.keep_stale
         )
-        after = store.path.stat().st_size
+        after = store.stats()["size_bytes"]
     except (TypeError, ValueError, OSError) as error:
         raise SystemExit(f"dse-compact: {error}")
     print(
@@ -1070,6 +1106,7 @@ def _run_serve(args) -> int:
             max_queue_depth=args.max_queue_depth,
             job_retention=args.job_retention,
             job_ttl=args.job_ttl,
+            record_cache=args.record_cache or None,
             verbose=args.verbose,
         )
     except ValueError as error:  # e.g. a non-positive TTL

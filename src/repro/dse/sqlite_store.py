@@ -25,10 +25,11 @@ import json
 import os
 import sqlite3
 import threading
+import warnings
 from contextlib import closing, contextmanager
 from typing import Callable, Iterable, Iterator
 
-from .store import ResultStoreBase, _source_records
+from .store import ResultStoreBase, StoreWarning, _source_records
 
 __all__ = ["SQLiteStore"]
 
@@ -54,11 +55,25 @@ _UPSERT = (
 #: parameter limit (999 in older builds).
 _SELECT_CHUNK = 500
 
+#: Rows per transaction for bulk appends and merges.  One transaction
+#: over a million-row upload holds the write lock (and the journal
+#: growth) for the whole body; bounded batches keep each commit short
+#: so streaming appenders and readers interleave, while staying large
+#: enough that per-transaction fsync cost amortizes away.
+APPEND_BATCH_ROWS = 5_000
 
-def _row(record: dict) -> tuple[str, int, str] | None:
+
+def _row(record: dict, path=None) -> tuple[str, int, str] | None:
     """The (hash, version, json) row for a record; None when keyless."""
     key = record.get("hash") if isinstance(record, dict) else None
     if not key:
+        if path is not None:
+            warnings.warn(
+                f"{path}: dropping keyless record on append (records "
+                'need a "hash" key to ever be read back)',
+                StoreWarning,
+                stacklevel=3,
+            )
         return None  # keyless records are unloadable in any backend
     return (key, record.get("version", 0), json.dumps(record, sort_keys=True))
 
@@ -102,6 +117,12 @@ class SQLiteStore(ResultStoreBase):
                     self._token_db = sqlite3.connect(
                         self.path, check_same_thread=False
                     )
+                    # Same busy wait as _connect(): without it, a
+                    # writer holding the lock makes the PRAGMA raise
+                    # and the token degrade to None -- disabling the
+                    # server's read caches under exactly the
+                    # concurrent-write load they exist for.
+                    self._token_db.execute("PRAGMA busy_timeout = 10000")
                     self._token_ino = stat.st_ino
                 (version,) = self._token_db.execute(
                     "PRAGMA data_version"
@@ -166,11 +187,31 @@ class SQLiteStore(ResultStoreBase):
                 yield json.loads(blob)
 
     def append(self, records: Iterable[dict]) -> int:
-        """Upsert records in one transaction; returns how many were offered."""
-        rows = [row for row in map(_row, records) if row is not None]
-        with self._guard(), closing(self._connect()) as db, db:
-            db.executemany(_UPSERT, rows)
-        return len(rows)
+        """Upsert in bounded transactions; returns rows that changed.
+
+        The body chunks into :data:`APPEND_BATCH_ROWS`-row transactions
+        so a million-record ingest never holds the write lock (or grows
+        the rollback journal) for the whole upload.  The return value
+        is the shared contract: rows that actually changed the store --
+        ``db.total_changes`` deltas across the batches -- not rows
+        offered, so a stale-version upload the conditional upsert drops
+        reports 0, the same as the JSONL backend.
+        """
+        rows = [
+            row
+            for row in (_row(record, self.path) for record in records)
+            if row is not None
+        ]
+        changed = 0
+        with self._guard(), closing(self._connect()) as db:
+            for start in range(0, len(rows), APPEND_BATCH_ROWS):
+                before = db.total_changes
+                with db:
+                    db.executemany(
+                        _UPSERT, rows[start : start + APPEND_BATCH_ROWS]
+                    )
+                changed += db.total_changes - before
+        return changed
 
     @contextmanager
     def appender(self) -> Iterator[Callable[[dict], None]]:
@@ -186,7 +227,7 @@ class SQLiteStore(ResultStoreBase):
 
             def write(record: dict) -> None:
                 nonlocal db
-                row = _row(record)
+                row = _row(record, self.path)
                 if row is None:
                     return
                 with self._guard():
@@ -226,6 +267,60 @@ class SQLiteStore(ResultStoreBase):
                     out[key] = json.loads(blob)
         return out
 
+    def iter_records(self, version: int | None = None) -> Iterator[dict]:
+        """Stream rows, with the version filter pushed into SQL.
+
+        ``WHERE version = ?`` rides the ``records_version`` index, so
+        serving the current-version dump of a store full of stale
+        versions never parses (or transfers) the rows it will drop --
+        unlike a Python-side post-filter of a full :meth:`load`.
+        """
+        if not self.exists():
+            return
+        sql = "SELECT record FROM records"
+        params: tuple = ()
+        if version is not None:
+            sql += " WHERE version = ?"
+            params = (version,)
+        with self._guard(), closing(self._connect()) as db:
+            for (blob,) in db.execute(sql, params):
+                yield json.loads(blob)
+
+    def iter_page(
+        self,
+        after: str | None = None,
+        limit: int | None = None,
+        version: int | None = None,
+    ) -> Iterator[dict]:
+        """Keyset page straight off the primary-key index.
+
+        ``hash`` is the WITHOUT ROWID primary key, so ``WHERE hash > ?
+        ORDER BY hash LIMIT ?`` walks the index from the cursor and
+        stops after one page -- no sort, no full scan, memory O(1).
+        """
+        if limit is not None and limit < 1:
+            raise ValueError("limit must be >= 1")
+        if not self.exists():
+            return
+        sql = "SELECT record FROM records"
+        clauses: list[str] = []
+        params: list = []
+        if after is not None:
+            clauses.append("hash > ?")
+            params.append(after)
+        if version is not None:
+            clauses.append("version = ?")
+            params.append(version)
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY hash"
+        if limit is not None:
+            sql += " LIMIT ?"
+            params.append(limit)
+        with self._guard(), closing(self._connect()) as db:
+            for (blob,) in db.execute(sql, params):
+                yield json.loads(blob)
+
     def hashes(self, version: int | None = None) -> set[str]:
         if not self.exists():
             return set()
@@ -259,8 +354,13 @@ class SQLiteStore(ResultStoreBase):
                     for row in (_row(record) for _, record in items)
                     if row is not None
                 ]
-                with db:
-                    db.executemany(_UPSERT, rows)
+                # Bounded transactions, like append: a huge source
+                # store must not pin the write lock in one commit.
+                for start in range(0, len(rows), APPEND_BATCH_ROWS):
+                    with db:
+                        db.executemany(
+                            _UPSERT, rows[start : start + APPEND_BATCH_ROWS]
+                        )
             return db.execute("SELECT COUNT(*) FROM records").fetchone()[0]
 
     def compact(

@@ -18,12 +18,18 @@ backends implement the :class:`ResultStoreBase` interface:
   records_for`) are indexed, so a large warm store resolves a sweep
   without re-parsing every record the way a JSONL load must.
 
+A third backend, the hash-partitioned
+:class:`~repro.dse.partitioned.PartitionedStore`, spreads records over
+N hash-range JSONL part files under one directory with a JSON manifest,
+so compaction and point lookups touch only the parts involved.
+
 :func:`open_store` picks the backend from an explicit name, SQLite
-magic bytes in an existing file, or the path suffix (``.sqlite`` /
-``.sqlite3`` / ``.db``), so every CLI ``--store`` flag and every
-``store=`` argument accepts either backend transparently.  Per-shard
-stores of either backend union into one via :meth:`ResultStoreBase.
-merge` under the same resolution rules (see :meth:`SweepSpec.shard
+magic bytes in an existing file, a store directory, or the path suffix
+(``.sqlite`` / ``.sqlite3`` / ``.db`` select SQLite, ``.parts``
+partitioned), so every CLI ``--store`` flag and every ``store=``
+argument accepts any backend transparently.  Per-shard stores of any
+backend union into one via :meth:`ResultStoreBase.merge` under the same
+resolution rules (see :meth:`SweepSpec.shard
 <repro.dse.spec.SweepSpec.shard>`).
 """
 
@@ -48,6 +54,7 @@ __all__ = [
 _GZIP_MAGIC = b"\x1f\x8b"
 _SQLITE_MAGIC = b"SQLite format 3\x00"
 _SQLITE_SUFFIXES = (".sqlite", ".sqlite3", ".db")
+_PARTITIONED_SUFFIXES = (".parts",)
 
 #: How much of each end of the file the content fingerprint hashes.
 #: JSONL stores only ever change by appending (tail) or atomic rewrite
@@ -63,6 +70,25 @@ class StoreWarning(UserWarning):
 def _supersedes(new: dict, old: dict) -> bool:
     """Version-aware last-write-wins: newer-or-equal version replaces."""
     return new.get("version", 0) >= old.get("version", 0)
+
+
+def _keyed(record, path) -> bool:
+    """Whether a record has the ``hash`` key every backend requires.
+
+    Keyless records are unloadable in any backend -- ``iter_lines``
+    drops them on read and the SQLite row builder drops them on write
+    -- so writers skip them with a warning instead of accumulating
+    dead lines.
+    """
+    if isinstance(record, dict) and record.get("hash"):
+        return True
+    warnings.warn(
+        f"{path}: dropping keyless record on append (records need a "
+        '"hash" key to ever be read back)',
+        StoreWarning,
+        stacklevel=3,
+    )
+    return False
 
 
 class ResultStoreBase:
@@ -133,6 +159,51 @@ class ResultStoreBase:
             for key, record in self.load().items()
             if version is None or record.get("version", 0) == version
         }
+
+    def iter_records(self, version: int | None = None) -> Iterator[dict]:
+        """Stream every surviving record, optionally at one version.
+
+        Post-resolution: exactly the values of :meth:`load`, but
+        yielded instead of materialized, and with the version filter
+        applied store-side -- the SQLite backend pushes it into SQL
+        (``WHERE version = ?``) so a huge store never parses rows it
+        will not serve.
+        """
+        for record in self.load().values():
+            if version is None or record.get("version", 0) == version:
+                yield record
+
+    def iter_page(
+        self,
+        after: str | None = None,
+        limit: int | None = None,
+        version: int | None = None,
+    ) -> Iterator[dict]:
+        """One keyset page: surviving records in hash order.
+
+        Yields up to ``limit`` post-resolution records whose hash sorts
+        strictly after ``after`` (``None`` starts from the smallest
+        hash), optionally restricted to one ``version``.  The cursor
+        for the next page is the last yielded record's hash; an empty
+        yield means the dump is complete.  Backends override this to
+        avoid materializing the store: SQLite pages via ``ORDER BY
+        hash LIMIT``, JSONL via a bounded two-pass scan, the
+        partitioned store by walking parts in hash-range order.
+        """
+        if limit is not None and limit < 1:
+            raise ValueError("limit must be >= 1")
+        records = self.load()
+        count = 0
+        for key in sorted(records):
+            if after is not None and key <= after:
+                continue
+            record = records[key]
+            if version is not None and record.get("version", 0) != version:
+                continue
+            yield record
+            count += 1
+            if limit is not None and count >= limit:
+                return
 
     def change_token(self) -> tuple | None:
         """An opaque value that changes whenever the contents may have.
@@ -311,14 +382,37 @@ class ResultStore(ResultStoreBase):
         return records
 
     def append(self, records: Iterable[dict]) -> int:
-        """Append records; returns how many lines were written."""
-        count = 0
+        """Append records; returns how many changed the resolved view.
+
+        The shared :meth:`ResultStoreBase.append` contract: the count
+        is lines that actually landed, not lines offered.  Keyless
+        records are skipped with a :class:`StoreWarning` (they could
+        never be read back -- ``iter_lines`` drops them -- and SQLite's
+        row builder skips them too), and a record superseded by what
+        the store already holds (or by an earlier record in the same
+        batch) is not written at all, so a stale re-upload reports 0 on
+        every backend instead of quietly growing the file with dead
+        lines.
+        """
+        batch = [record for record in records if _keyed(record, self.path)]
+        if not batch:
+            return 0
+        versions = {
+            key: record.get("version", 0)
+            for key, record in self.load().items()
+        }
+        written = 0
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with self._open_append() as handle:
-            for record in records:
+            for record in batch:
+                key = record["hash"]
+                version = record.get("version", 0)
+                if key in versions and version < versions[key]:
+                    continue
                 handle.write(json.dumps(record, sort_keys=True) + "\n")
-                count += 1
-        return count
+                versions[key] = version
+                written += 1
+        return written
 
     @contextmanager
     def appender(self) -> Iterator[Callable[[dict], None]]:
@@ -328,13 +422,19 @@ class ResultStore(ResultStoreBase):
         completed record is on disk for crash recovery (gzip flushes
         with a sync point) without paying a file open per record -- and
         a gzipped store gains one member per run, not one per record.
-        The file is only created once something is written.
+        The file is only created once something is written.  Keyless
+        records are skipped with a :class:`StoreWarning`; unlike bulk
+        :meth:`append` there is no stale check -- resolving each write
+        against the store would cost a full parse per record, and the
+        engine only streams freshly evaluated records.
         """
         handle: IO[str] | None = None
         try:
 
             def write(record: dict) -> None:
                 nonlocal handle
+                if not _keyed(record, self.path):
+                    return
                 if handle is None:
                     self.path.parent.mkdir(parents=True, exist_ok=True)
                     handle = self._open_append()
@@ -345,6 +445,48 @@ class ResultStore(ResultStoreBase):
         finally:
             if handle is not None:
                 handle.close()
+
+    def iter_page(
+        self,
+        after: str | None = None,
+        limit: int | None = None,
+        version: int | None = None,
+    ) -> Iterator[dict]:
+        """Keyset page over the file in two bounded passes.
+
+        A sorted full :meth:`load` would materialize every record body
+        to serve one page.  Instead pass one resolves only each hash's
+        surviving *version* (a ``{hash: int}`` map, no bodies), which
+        pins the page's key set exactly; pass two re-scans collecting
+        just those ``limit`` bodies.  Peak memory is the hash->version
+        map plus one page, independent of record size.
+        """
+        if limit is not None and limit < 1:
+            raise ValueError("limit must be >= 1")
+        winners: dict[str, int] = {}
+        for record in self.iter_lines():
+            key = record["hash"]
+            record_version = record.get("version", 0)
+            if key not in winners or record_version >= winners[key]:
+                winners[key] = record_version
+        page_keys = sorted(
+            key
+            for key, survivor in winners.items()
+            if (after is None or key > after)
+            and (version is None or survivor == version)
+        )[:limit]
+        wanted = set(page_keys)
+        if not wanted:
+            return
+        page: dict[str, dict] = {}
+        for record in self.iter_lines():
+            key = record["hash"]
+            if key in wanted and (
+                key not in page or _supersedes(record, page[key])
+            ):
+                page[key] = record
+        for key in page_keys:
+            yield page[key]
 
     def _rewrite(self, records: Iterable[dict], gzip: bool) -> None:
         """Atomically replace the file with one line per record."""
@@ -415,15 +557,24 @@ def _source_records(
 
 
 def _sniff_backend(path: Path) -> str:
-    """Pick a backend for a path: file magic first, then suffix."""
+    """Pick a backend for a path: directory / file magic, then suffix."""
     try:
+        if path.is_dir():
+            # Stores-as-directories are partitioned; single-file
+            # backends can never be one.
+            return "partitioned"
         if path.exists() and path.stat().st_size > 0:
             with path.open("rb") as handle:
                 head = handle.read(len(_SQLITE_MAGIC))
             return "sqlite" if head == _SQLITE_MAGIC else "jsonl"
     except OSError:
         pass
-    return "sqlite" if path.suffix.lower() in _SQLITE_SUFFIXES else "jsonl"
+    suffix = path.suffix.lower()
+    if suffix in _SQLITE_SUFFIXES:
+        return "sqlite"
+    if suffix in _PARTITIONED_SUFFIXES:
+        return "partitioned"
+    return "jsonl"
 
 
 def open_store(
@@ -431,13 +582,15 @@ def open_store(
 ) -> ResultStoreBase:
     """Open a result store, picking the backend when not forced.
 
-    ``backend`` is ``"jsonl"``, ``"sqlite"``, or ``None`` to decide from
-    the file itself: an existing non-empty file goes by its magic bytes
-    (so a mis-suffixed store still opens correctly), a fresh path by its
-    suffix (``.sqlite`` / ``.sqlite3`` / ``.db`` select SQLite,
-    anything else JSONL).  An already-constructed store passes through
-    untouched, so every ``store=`` argument accepts paths and store
-    objects interchangeably.
+    ``backend`` is ``"jsonl"``, ``"sqlite"``, ``"partitioned"``, or
+    ``None`` to decide from the path itself: an existing directory is a
+    partitioned store, an existing non-empty file goes by its magic
+    bytes (so a mis-suffixed store still opens correctly), a fresh path
+    by its suffix (``.sqlite`` / ``.sqlite3`` / ``.db`` select SQLite,
+    ``.parts`` partitioned, anything else JSONL).  An
+    already-constructed store passes through untouched, so every
+    ``store=`` argument accepts paths and store objects
+    interchangeably.
     """
     if isinstance(path, ResultStoreBase):
         return path
@@ -450,6 +603,11 @@ def open_store(
         return SQLiteStore(resolved)
     if backend == "jsonl":
         return ResultStore(resolved)
+    if backend == "partitioned":
+        from .partitioned import PartitionedStore
+
+        return PartitionedStore(resolved)
     raise ValueError(
-        f"unknown store backend {backend!r}; choose 'jsonl' or 'sqlite'"
+        f"unknown store backend {backend!r}; choose 'jsonl', 'sqlite', "
+        "or 'partitioned'"
     )

@@ -1,0 +1,166 @@
+"""A bounded LRU record cache for the sweep service.
+
+The service used to cache ``GET /records`` as one unbounded
+``(change_token, list)`` pair -- fine at 10^4 records, lethal at 10^7:
+every query re-materialized the full record list and the cache pinned
+it forever.  :class:`RecordCache` bounds that memory and serves the
+paginated read path too:
+
+* a **complete snapshot** (the full current-version survivor list) is
+  cached only while it fits ``capacity`` -- larger stores fall back to
+  streaming reads, which is exactly when clients should be paginating;
+* **pages** streamed by ``GET /records?after=&limit=`` are written
+  through into an LRU of individual records plus a small page index,
+  so many clients paging the same unchanged store hit memory instead
+  of re-scanning the store;
+* any store change (tracked by the store's change token) or local
+  write invalidates everything at once.
+
+Entries never outlive their token: the cache trusts the service to
+call :meth:`sync` with the current token before every read.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections import OrderedDict
+
+__all__ = ["RecordCache", "DEFAULT_RECORD_CACHE"]
+
+#: Default capacity (records) for the service cache; ``0`` disables.
+DEFAULT_RECORD_CACHE = 100_000
+
+#: Page-index entries kept (keys only -- the records live in the LRU).
+_MAX_PAGES = 1024
+
+
+class RecordCache:
+    """LRU of records keyed by hash, with snapshot + page serving."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("record cache capacity must be >= 1")
+        self.capacity = capacity
+        self._records: OrderedDict[str, dict] = OrderedDict()
+        # (after, limit) -> (keys, next_cursor); validated against the
+        # LRU at read time, so eviction needs no reverse index.
+        self._pages: OrderedDict[tuple, tuple[list[str], str | None]] = (
+            OrderedDict()
+        )
+        self._complete: list[dict] | None = None
+        self._complete_keys: list[str] | None = None
+        self._token: tuple | None = None
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    # -- lifecycle ------------------------------------------------------
+    def clear(self) -> None:
+        if self._records or self._pages or self._complete is not None:
+            self.invalidations += 1
+        self._records.clear()
+        self._pages.clear()
+        self._complete = None
+        self._complete_keys = None
+        self._token = None
+
+    def sync(self, token: tuple | None) -> None:
+        """Drop everything unless ``token`` matches the cached one.
+
+        A ``None`` token (no store yet, or the token read failed) can
+        never be validated, so it clears too -- stale records must not
+        survive an unverifiable store state.
+        """
+        if token is None or token != self._token:
+            self.clear()
+            self._token = token
+
+    # -- complete snapshots ---------------------------------------------
+    def snapshot(self) -> list[dict] | None:
+        """The cached full survivor list (the same object every call)."""
+        if self._complete is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return self._complete
+
+    def fill(self, records: list[dict]) -> bool:
+        """Cache a complete survivor list, if it fits ``capacity``."""
+        if len(records) > self.capacity:
+            return False
+        self._complete = records
+        self._complete_keys = None  # built lazily on first page hit
+        self._records.clear()
+        self._pages.clear()
+        for record in records:
+            self._records[record["hash"]] = record
+        return True
+
+    # -- pages ----------------------------------------------------------
+    def page(
+        self, after: str | None, limit: int
+    ) -> tuple[list[dict], str | None] | None:
+        """A cached ``(page, next_cursor)``, or ``None`` on miss."""
+        if self._complete is not None:
+            if self._complete_keys is None:
+                # The snapshot is already hash-sorted by contract.
+                self._complete_keys = [r["hash"] for r in self._complete]
+            start = 0
+            if after is not None:
+                start = bisect_right(self._complete_keys, after)
+            page = self._complete[start : start + limit]
+            self.hits += 1
+            return page, (page[-1]["hash"] if len(page) == limit else None)
+        entry = self._pages.get((after, limit))
+        if entry is not None:
+            keys, next_cursor = entry
+            page = []
+            for key in keys:
+                record = self._records.get(key)
+                if record is None:  # a member was evicted: stale page
+                    break
+                page.append(record)
+            if len(page) == len(keys):
+                for key in keys:
+                    self._records.move_to_end(key)
+                self._pages.move_to_end((after, limit))
+                self.hits += 1
+                return page, next_cursor
+            del self._pages[(after, limit)]
+        self.misses += 1
+        return None
+
+    def store_page(
+        self, after: str | None, limit: int, page: list[dict],
+        next_cursor: str | None,
+    ) -> None:
+        """Write a streamed page through into the LRU + page index."""
+        if self._complete is not None or len(page) > self.capacity:
+            return
+        for record in page:
+            self._records[record["hash"]] = record
+            self._records.move_to_end(record["hash"])
+        while len(self._records) > self.capacity:
+            self._records.popitem(last=False)
+            self.evictions += 1
+        self._pages[(after, limit)] = (
+            [record["hash"] for record in page],
+            next_cursor,
+        )
+        self._pages.move_to_end((after, limit))
+        while len(self._pages) > _MAX_PAGES:
+            self._pages.popitem(last=False)
+
+    # -- introspection --------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "records": len(self._records),
+            "pages": len(self._pages),
+            "complete": self._complete is not None,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }

@@ -26,8 +26,19 @@ from http.client import HTTPException
 from typing import Iterator, Mapping
 from urllib import request as _request
 from urllib.error import HTTPError, URLError
+from urllib.parse import quote
 
 __all__ = ["ServeClient", "ServeError"]
+
+#: Default ``limit`` per ``GET /records`` page the client requests.
+#: Matches the server's default page size; a million-record dump is
+#: ~200 bounded requests instead of one unbounded response.
+DEFAULT_PAGE_RECORDS = 5_000
+
+#: Records per ``POST /records`` request: uploads above this chunk
+#: into multiple bounded ingest transactions client-side, keeping
+#: request bodies and server-side transactions small.
+INGEST_BATCH_RECORDS = 20_000
 
 
 class ServeError(RuntimeError):
@@ -218,28 +229,83 @@ class ServeClient:
     def stats(self) -> dict:
         return self._json("/stats")
 
-    def records(self) -> list[dict]:
-        """Every current-version record the server holds.
+    def records(
+        self, page_size: int | None = DEFAULT_PAGE_RECORDS
+    ) -> list[dict]:
+        """Every current-version record the server holds, in hash order.
 
-        The stream is close-delimited, so the terminal ``count`` line
-        is required: a connection dropped mid-stream raises instead of
-        silently returning a truncated list.
+        Pages through ``GET /records?after=&limit=`` transparently --
+        each request (and the server's memory) is bounded by
+        ``page_size``, and a transient mid-page failure re-fetches only
+        that page (keyset cursors make the re-read idempotent).  A
+        server that predates pagination answers the first page with a
+        legacy full dump; that is detected and returned as-is.
+        ``page_size=None`` forces the legacy single-request dump.
+
+        Streams are close-delimited, so every page requires its
+        terminal ``count`` line: a connection dropped mid-stream
+        retries, then raises -- never a silently truncated list.
         """
+        if page_size is not None and page_size < 1:
+            raise ValueError("page_size must be >= 1")
+        if page_size is None:
+            page, _, _ = self._records_page(None, None)
+            return page
         records: list[dict] = []
-        count: int | None = None
-        for item in self._ndjson("/records"):
-            if "hash" in item:
-                records.append(item)
-            elif "error" in item:
-                raise ServeError(f"/records: {item['error']}")
-            elif "count" in item:
-                count = item["count"]
-        if count is None or count != len(records):
-            raise ServeError(
-                f"/records stream truncated: got {len(records)} records, "
-                f"terminal count {count}"
+        after: str | None = None
+        while True:
+            page, next_cursor, paginated = self._records_page(
+                after, page_size
             )
-        return records
+            records.extend(page)
+            if not paginated or next_cursor is None:
+                return records
+            after = next_cursor
+
+    def _records_page(
+        self, after: str | None, limit: int | None
+    ) -> tuple[list[dict], str | None, bool]:
+        """One ``/records`` request; ``(records, next, paginated)``.
+
+        ``paginated`` is False when the server answered with the
+        legacy full dump (no ``next`` in the terminal) -- either no
+        parameters were sent, or the server predates pagination.
+        Transient failures (dropped connection, missing terminal)
+        retry the same page up to ``retries`` times.
+        """
+        path = "/records"
+        if limit is not None:
+            path += f"?limit={limit}"
+            if after is not None:
+                path += f"&after={quote(after, safe='')}"
+        failures = 0
+        while True:
+            try:
+                page: list[dict] = []
+                count: int | None = None
+                next_cursor: str | None = None
+                paginated = False
+                for item in self._ndjson(path):
+                    if "hash" in item:
+                        page.append(item)
+                    elif "error" in item:
+                        raise ServeError(f"/records: {item['error']}")
+                    elif "count" in item:
+                        count = item["count"]
+                        next_cursor = item.get("next")
+                        paginated = "next" in item
+                if count is None or count != len(page):
+                    raise ServeError(
+                        f"/records stream truncated: got {len(page)} "
+                        f"records, terminal count {count}",
+                        transient=True,
+                    )
+                return page, next_cursor, paginated
+            except ServeError as error:
+                if not error.transient or failures >= self.retries:
+                    raise
+                failures += 1
+                time.sleep(self.backoff * (2 ** (failures - 1)))
 
     # -- the job API ---------------------------------------------------
     def submit_job(
@@ -401,15 +467,39 @@ class ServeClient:
             where=where,
         )
 
-    def post_records(self, records: list[dict]) -> dict:
+    def post_records(
+        self,
+        records: list[dict],
+        batch_size: int | None = INGEST_BATCH_RECORDS,
+    ) -> dict:
         """Ingest records into the server's store (shard upload path).
 
+        Uploads above ``batch_size`` records chunk into multiple
+        requests client-side, so request bodies and the server's
+        per-request transactions stay bounded however large the shard.
         Retried on transient failures: the store's version-aware
-        conditional upsert makes a replayed batch a no-op.
+        conditional upsert makes a replayed batch a no-op.  Returns
+        ``{"appended": total, "job": last_id}`` (plus ``"jobs"`` with
+        every ingest-job id when the upload chunked).
         """
-        return self._json(
-            "/records", {"records": list(records)}, idempotent=True
-        )
+        records = list(records)
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if batch_size is None or len(records) <= batch_size:
+            return self._json(
+                "/records", {"records": records}, idempotent=True
+            )
+        appended = 0
+        jobs: list[str] = []
+        for start in range(0, len(records), batch_size):
+            reply = self._json(
+                "/records",
+                {"records": records[start : start + batch_size]},
+                idempotent=True,
+            )
+            appended += reply.get("appended", 0)
+            jobs.append(reply.get("job"))
+        return {"appended": appended, "job": jobs[-1], "jobs": jobs}
 
     # -- the fleet API (worker side) -------------------------------------
     def register_worker(

@@ -634,11 +634,11 @@ class FleetWorker:
         except Exception as failure:  # noqa: BLE001 - chunk boundary
             error = str(failure)
         if error is None:
-            records = result.records
-            for start in range(0, len(records), INGEST_CHUNK_RECORDS):
-                self.client.post_records(
-                    records[start : start + INGEST_CHUNK_RECORDS]
-                )
+            # The client chunks oversized uploads into bounded ingest
+            # batches itself (INGEST_CHUNK_RECORDS per request).
+            self.client.post_records(
+                result.records, batch_size=INGEST_CHUNK_RECORDS
+            )
         try:
             self.client.ack_chunk(
                 self.worker_id, lease["job"], lease["chunk"], error=error

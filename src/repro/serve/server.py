@@ -22,7 +22,12 @@ Endpoints
 ``GET /stats``
     Store metadata (backend, records, bytes) + memo size + job counts.
 ``GET /records``
-    Every current-version record, streamed as NDJSON, ending with a
+    With ``?after=HASH&limit=N``: one keyset page of current-version
+    records in hash order, ending with ``{"count": n, "next": cursor}``
+    -- the server holds one page, never the store, so million-record
+    dumps stream in bounded memory (``ServeClient.records()`` follows
+    pages transparently).  Without parameters: the legacy full dump,
+    every current-version record, streamed as NDJSON, ending with a
     ``{"count": n}`` terminal line (truncation detection).
 ``POST /sweep``
     Body ``{"spec": {...}, "workers"?: n, "vectorize"?: bool,
@@ -99,6 +104,7 @@ from ..dse.evaluate import _MEMO, EVAL_VERSION
 from ..dse.queries import pareto_frontier, run_query
 from ..dse.spec import SweepSpec
 from ..dse.store import ResultStore, ResultStoreBase, StoreWarning, open_store
+from .cache import DEFAULT_RECORD_CACHE, RecordCache
 from .fleet import (
     DEFAULT_FLEET_CHUNKS,
     DEFAULT_HEARTBEAT_TTL,
@@ -151,6 +157,11 @@ DEFAULT_RETRY_AFTER = 1.0
 #: (``repro serve --job-retention``; ``0`` disables the count bound).
 DEFAULT_JOB_RETENTION = 1000
 
+#: Default ``limit`` for ``GET /records?after=``: big enough that a
+#: full dump of a small store is one page, small enough that a page
+#: never strains server or client memory.
+DEFAULT_PAGE_LIMIT = 5_000
+
 _JOB_PATH = re.compile(r"^/jobs/([0-9a-f]+)(/records|/cancel)?$")
 _WORKER_PATH = re.compile(r"^/workers/([0-9a-f]+)/(heartbeat|lease|ack)$")
 
@@ -193,6 +204,7 @@ class SweepService:
         max_queue_depth: int | None = None,
         job_retention: int | None = None,
         job_ttl: float | None = None,
+        record_cache: int | None = DEFAULT_RECORD_CACHE,
     ):
         self.store = open_store(store) if store is not None else None
         self.workers = workers
@@ -212,7 +224,11 @@ class SweepService:
         # Sweep jobs never take it: SQLite jobs go through the upsert,
         # JSONL jobs write to private staging stores.
         self._store_lock = threading.Lock()
-        self._records_cache: tuple | None = None  # (change token, records)
+        # Bounded LRU for records/pages (``record_cache`` entries; 0 or
+        # None disables), synced against the store's change token.
+        self.record_cache = (
+            RecordCache(record_cache) if record_cache else None
+        )
         self._stats_cache: tuple | None = None  # (change token, store stats)
         self._draining = False
         self._closed = False
@@ -391,7 +407,8 @@ class SweepService:
 
     def _invalidate_caches(self) -> None:
         """Drop cached records/stats after a write this process made."""
-        self._records_cache = None
+        if self.record_cache is not None:
+            self.record_cache.clear()
         self._stats_cache = None
 
     def _store_token(self) -> tuple | None:
@@ -429,6 +446,11 @@ class SweepService:
             "eval_version": EVAL_VERSION,
             "sweeps_served": self.sweeps_served,
             "memo_records": len(_MEMO),
+            "record_cache": (
+                self.record_cache.stats()
+                if self.record_cache is not None
+                else None
+            ),
             "store": store_stats,
             "jobs": self.jobs.counts(),
             "fleet": self.fleet.stats(),
@@ -446,28 +468,98 @@ class SweepService:
 
         Backed by the store when there is one, else by the in-process
         memo -- a storeless server still answers queries over what it
-        evaluated this lifetime.  Store loads are cached against the
-        store's change token, so back-to-back queries over a large
-        unchanged store parse it once; any write -- a job, an ingest,
-        an external process -- moves the token and invalidates.
+        evaluated this lifetime.  Store reads go through the bounded
+        :class:`RecordCache` keyed by the store's change token, so
+        back-to-back queries over an unchanged store that fits the
+        cache parse it once; any write -- a job, an ingest, an
+        external process -- moves the token and invalidates.  Stores
+        past the cache capacity are re-read per call: at that size
+        clients should page (``GET /records?after=&limit=``).
         """
         if self.store is None:
             # Snapshot first: concurrent job threads append to the
             # memo while we filter.
             memo = list(_MEMO.values())
             return [r for r in memo if r.get("version") == EVAL_VERSION]
-        key = self._store_token()
-        cached = self._records_cache
-        if key is not None and cached is not None and cached[0] == key:
-            return cached[1]
-        records = [
-            r
-            for r in self.store.load().values()
-            if r.get("version") == EVAL_VERSION
-        ]
-        if key is not None:
-            self._records_cache = (key, records)
+        cache = self.record_cache
+        key = self._store_token() if cache is not None else None
+        if cache is not None:
+            cache.sync(key)
+            if key is not None:
+                snapshot = cache.snapshot()
+                if snapshot is not None:
+                    return snapshot
+        # iter_records pushes the version filter into the backend
+        # (SQLite: ``WHERE version = ?``) instead of post-filtering a
+        # full load() in Python.
+        records = sorted(
+            self.store.iter_records(version=EVAL_VERSION),
+            key=lambda record: record["hash"],
+        )
+        if cache is not None and key is not None:
+            cache.fill(records)
         return records
+
+    def record_page_stream(
+        self, after: str | None = None, limit: int | None = None
+    ) -> Iterator[dict]:
+        """One keyset page of current-version records, then a terminal
+        ``{"count": n, "next": cursor}`` object.
+
+        ``next`` is the cursor for the following page, or ``None``
+        when this page already reached the end of the store.  Pages
+        stream straight off the backend's ``iter_page`` -- the server
+        never materializes more than one page -- and are written
+        through the record cache, so concurrent clients paging the
+        same unchanged store are served from memory.
+        """
+        limit = DEFAULT_PAGE_LIMIT if limit is None else limit
+        if limit < 1:
+            raise ValueError("limit must be >= 1")
+        if self.store is None:
+            memo = [
+                record
+                for record in list(_MEMO.values())
+                if record.get("version") == EVAL_VERSION
+                and record.get("hash")
+            ]
+            memo.sort(key=lambda record: record["hash"])
+            page = [
+                record
+                for record in memo
+                if after is None or record["hash"] > after
+            ][:limit]
+            yield from page
+            yield self._page_terminal(page, limit)
+            return
+        cache = self.record_cache
+        key = self._store_token() if cache is not None else None
+        if cache is not None:
+            cache.sync(key)
+            if key is not None:
+                hit = cache.page(after, limit)
+                if hit is not None:
+                    page, next_cursor = hit
+                    yield from page
+                    yield {"count": len(page), "next": next_cursor}
+                    return
+        page = []
+        for record in self.store.iter_page(
+            after=after, limit=limit, version=EVAL_VERSION
+        ):
+            page.append(record)
+            yield record
+        terminal = self._page_terminal(page, limit)
+        if cache is not None and key is not None:
+            cache.store_page(after, limit, page, terminal["next"])
+        yield terminal
+
+    @staticmethod
+    def _page_terminal(page: list[dict], limit: int) -> dict:
+        # A short page proves the dump is complete; a full one needs
+        # one more (possibly empty) request to prove it.
+        next_cursor = page[-1]["hash"] if len(page) == limit else None
+        return {"count": len(page), "next": next_cursor}
 
     def query(self, name: str, params: Mapping | None = None) -> list[dict]:
         return run_query(self.records(), name, params)
@@ -914,9 +1006,23 @@ class _Handler(BaseHTTPRequestHandler):
             elif path == "/stats":
                 self._send_json(self.service.stats())
             elif path == "/records":
-                records = self.service.records()
-                terminal: list[dict] = [{"count": len(records)}]
-                self._send_ndjson(iter(records + terminal))
+                after, limit = self._page_params(parts.query)
+                if after is None and limit is None:
+                    # Legacy full dump: every record, ``count`` terminal.
+                    records = self.service.records()
+                    terminal: list[dict] = [{"count": len(records)}]
+                    self._send_ndjson(iter(records + terminal))
+                else:
+                    # Materialize the one bounded page before sending
+                    # headers: store failures become clean 400/503
+                    # statuses, and the server never holds more than
+                    # ``limit`` records.
+                    page = list(
+                        self.service.record_page_stream(
+                            after=after, limit=limit
+                        )
+                    )
+                    self._send_ndjson(iter(page))
             elif path == "/jobs":
                 self._send_json(
                     {"jobs": [job.status() for job in self.service.jobs.jobs()]}
@@ -958,6 +1064,20 @@ class _Handler(BaseHTTPRequestHandler):
         if after < 0:
             raise ValueError("after must be >= 0")
         return after
+
+    def _page_params(self, query: str) -> tuple[str | None, int | None]:
+        """``/records`` pagination params, validated before streaming
+        starts so bad requests still get a clean 400 status line."""
+        params = parse_qs(query)
+        after_values = params.get("after")
+        after = after_values[-1] if after_values else None
+        limit = None
+        limit_values = params.get("limit")
+        if limit_values:
+            limit = int(limit_values[-1])  # ValueError -> 400
+            if limit < 1:
+                raise ValueError("limit must be >= 1")
+        return after, limit
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         path = urlsplit(self.path).path
@@ -1060,6 +1180,7 @@ _ENDPOINTS = (
     "GET /healthz",
     "GET /stats",
     "GET /records",
+    "GET /records?after={hash}&limit={n}",
     "GET /jobs",
     "GET /jobs/{id}",
     "GET /jobs/{id}/records",
@@ -1131,6 +1252,7 @@ def serve(
     max_queue_depth: int | None = None,
     job_retention: int | None = DEFAULT_JOB_RETENTION,
     job_ttl: float | None = None,
+    record_cache: int | None = DEFAULT_RECORD_CACHE,
     verbose: bool = False,
     announce=_announce_stdout,
     ready=None,
@@ -1155,7 +1277,9 @@ def serve(
     ``lease_ttl`` and ``heartbeat_ttl`` tune the worker fleet's failure
     detection; ``max_queue_depth`` bounds accepted-but-unstarted jobs
     (beyond it submissions 429 with ``Retry-After``); ``job_retention``
-    / ``job_ttl`` evict old terminal jobs from memory and journal.
+    / ``job_ttl`` evict old terminal jobs from memory and journal;
+    ``record_cache`` bounds the in-memory record/page cache in records
+    (``repro serve --record-cache``, 0 disables).
     ``ready``, when given, receives the :class:`SweepServer` right
     before the loop starts -- the hook tests and embedders use to reach
     the live server object.
@@ -1179,6 +1303,7 @@ def serve(
         max_queue_depth=max_queue_depth,
         job_retention=job_retention or None,
         job_ttl=job_ttl,
+        record_cache=record_cache,
     )
     server = SweepServer(
         service,

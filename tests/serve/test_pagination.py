@@ -1,0 +1,290 @@
+"""Server-side pagination of ``GET /records`` + the bounded record cache.
+
+Store-level keyset-pagination semantics (cursor exactness, concurrent
+upserts, version filtering) live in ``tests/dse/test_store_pagination``;
+this file covers the HTTP protocol on top -- the page terminal, client
+page-following, legacy fallbacks -- and the :class:`RecordCache` that
+serves repeated reads from memory.
+"""
+
+import threading
+
+import pytest
+
+from repro.dse import EVAL_VERSION, clear_memo
+from repro.serve import ServeClient, ServeError, SweepServer, SweepService
+from repro.serve.cache import RecordCache
+
+GRID = {
+    "grid": {
+        "workloads": ["RNN", "LSTM"],
+        "platforms": ["bpvec"],
+        "memories": ["ddr4"],
+    }
+}
+
+
+def _records(n, version=EVAL_VERSION):
+    return [
+        {"hash": f"{i:064x}", "version": version, "metrics": {"i": i}}
+        for i in range(n)
+    ]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    clear_memo()
+    yield
+    clear_memo()
+
+
+@pytest.fixture
+def live_server(tmp_path):
+    server = SweepServer(SweepService(store=tmp_path / "served.sqlite"))
+    thread = threading.Thread(
+        target=lambda: server.serve_forever(poll_interval=0.02), daemon=True
+    )
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+@pytest.fixture
+def client(live_server):
+    return ServeClient(live_server.url)
+
+
+class TestPageProtocol:
+    def test_full_page_terminal_carries_next_cursor(self, client):
+        client.post_records(_records(25))
+        raw = list(client._ndjson("/records?limit=10"))
+        assert len(raw) == 11
+        assert raw[-1] == {"count": 10, "next": raw[-2]["hash"]}
+
+    def test_short_page_terminal_has_null_next(self, client):
+        client.post_records(_records(3))
+        raw = list(client._ndjson("/records?limit=10"))
+        assert raw[-1] == {"count": 3, "next": None}
+
+    def test_empty_page_past_the_end(self, client):
+        records = _records(4)
+        client.post_records(records)
+        last = records[-1]["hash"]
+        raw = list(client._ndjson(f"/records?limit=10&after={last}"))
+        assert raw == [{"count": 0, "next": None}]
+
+    def test_after_without_limit_uses_default_page_size(self, client):
+        client.post_records(_records(2))
+        first = _records(2)[0]["hash"]
+        raw = list(client._ndjson(f"/records?after={first}&limit=5"))
+        assert [r["hash"] for r in raw[:-1]] == [_records(2)[1]["hash"]]
+        # after= alone still selects the paginated protocol.
+        raw = list(client._ndjson(f"/records?after={first}"))
+        assert "next" in raw[-1]
+
+    def test_legacy_dump_is_unchanged(self, client):
+        client.post_records(_records(2))
+        raw = list(client._ndjson("/records"))
+        assert raw[-1] == {"count": 2}  # no "next": pre-pagination shape
+
+    def test_bad_limit_is_a_400(self, client):
+        for query in ("limit=0", "limit=-3", "limit=nope"):
+            with pytest.raises(ServeError, match="400"):
+                list(client._ndjson(f"/records?{query}"))
+
+    def test_pages_stream_in_hash_order(self, client):
+        client.post_records(list(reversed(_records(30))))
+        hashes = [r["hash"] for r in client.records(page_size=7)]
+        assert hashes == sorted(hashes)
+        assert len(hashes) == 30
+
+
+class TestClientPaging:
+    def test_paged_walk_matches_legacy_dump(self, client):
+        client.post_records(_records(25))
+        paged = client.records(page_size=7)
+        legacy = client.records(page_size=None)
+        assert paged == legacy
+        assert len(paged) == 25
+
+    def test_page_size_bounds_each_request(self, client, monkeypatch):
+        client.post_records(_records(10))
+        paths = []
+        original = ServeClient._ndjson
+
+        def spy(self, path, payload=None):
+            paths.append(path)
+            return original(self, path, payload)
+
+        monkeypatch.setattr(ServeClient, "_ndjson", spy)
+        assert len(client.records(page_size=4)) == 10
+        # 4 + 4 + 2: the short last page proves completion in 3 requests.
+        assert paths == [
+            "/records?limit=4",
+            f"/records?limit=4&after={_records(10)[3]['hash']}",
+            f"/records?limit=4&after={_records(10)[7]['hash']}",
+        ]
+
+    def test_legacy_server_fallback(self, client, monkeypatch):
+        # A pre-pagination server ignores the params and answers with a
+        # full dump whose terminal lacks "next"; the client must return
+        # it as-is instead of looping on a cursor that never comes.
+        dump = _records(5)
+        monkeypatch.setattr(
+            ServeClient,
+            "_ndjson",
+            lambda self, path, payload=None: iter(
+                dump + [{"count": len(dump)}]
+            ),
+        )
+        assert client.records(page_size=2) == dump
+
+    def test_batched_ingest_chunks_uploads(self, client, live_server):
+        reply = client.post_records(_records(10), batch_size=4)
+        assert reply["appended"] == 10
+        assert len(reply["jobs"]) == 3  # 4 + 4 + 2
+        assert reply["job"] == reply["jobs"][-1]
+        assert len(live_server.service.store) == 10
+        # Each chunk is its own tracked ingest job.
+        job = client.job_status(reply["jobs"][0])
+        assert job["kind"] == "ingest"
+        assert job["progress"] == {"offered": 4, "appended": 4}
+
+    def test_small_ingest_reply_is_unchanged(self, client):
+        reply = client.post_records(_records(3), batch_size=10)
+        assert reply["appended"] == 3
+        assert "jobs" not in reply
+
+
+class TestStorelessPagination:
+    def test_memo_pages_like_a_store(self):
+        service = SweepService()  # no store: memo-backed
+        job = service.submit({"spec": GRID})
+        assert job.wait(timeout=60) and job.state == "done", job.error
+        full = service.records()
+        assert len(full) == 2
+        walk, after = [], None
+        while True:
+            page = list(service.record_page_stream(after=after, limit=1))
+            terminal = page.pop()
+            walk.extend(page)
+            if terminal["next"] is None:
+                break
+            after = terminal["next"]
+        assert sorted(walk, key=lambda r: r["hash"]) == sorted(
+            full, key=lambda r: r["hash"]
+        )
+
+
+class TestRecordCacheUnit:
+    def test_sync_keeps_matching_token(self):
+        cache = RecordCache(10)
+        cache.sync(("t", 1))
+        assert cache.fill(_records(3))
+        cache.sync(("t", 1))
+        assert cache.snapshot() is not None
+
+    def test_sync_clears_on_token_change_or_none(self):
+        for new_token in (("t", 2), None):
+            cache = RecordCache(10)
+            cache.sync(("t", 1))
+            cache.fill(_records(3))
+            cache.sync(new_token)
+            assert cache.snapshot() is None
+            assert cache.stats()["invalidations"] == 1
+
+    def test_fill_refuses_past_capacity(self):
+        cache = RecordCache(2)
+        assert not cache.fill(_records(3))
+        assert cache.snapshot() is None
+
+    def test_snapshot_identity(self):
+        cache = RecordCache(10)
+        records = _records(4)
+        cache.fill(records)
+        assert cache.snapshot() is records
+
+    def test_complete_snapshot_serves_any_page(self):
+        cache = RecordCache(10)
+        records = _records(5)
+        cache.fill(records)
+        page, cursor = cache.page(None, 2)
+        assert page == records[:2] and cursor == records[1]["hash"]
+        page, cursor = cache.page(records[2]["hash"], 2)
+        assert page == records[3:5] and cursor == records[4]["hash"]
+        page, cursor = cache.page(records[4]["hash"], 2)
+        assert page == [] and cursor is None
+
+    def test_store_page_round_trip(self):
+        cache = RecordCache(10)
+        records = _records(3)
+        assert cache.page(None, 3) is None  # miss
+        cache.store_page(None, 3, records, None)
+        assert cache.page(None, 3) == (records, None)
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_eviction_invalidates_pages_that_lost_members(self):
+        cache = RecordCache(3)
+        first, second = _records(6)[:3], _records(6)[3:]
+        cache.store_page(None, 3, first, first[-1]["hash"])
+        cache.store_page(first[-1]["hash"], 3, second, None)
+        assert cache.stats()["evictions"] == 3  # first page pushed out
+        assert cache.page(None, 3) is None  # stale page dropped
+        assert cache.page(first[-1]["hash"], 3) == (second, None)
+
+    def test_oversized_page_is_not_cached(self):
+        cache = RecordCache(2)
+        cache.store_page(None, 5, _records(5), None)
+        assert cache.stats()["records"] == 0
+        assert cache.page(None, 5) is None
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RecordCache(0)
+
+
+class TestServiceCacheIntegration:
+    def test_stats_exposes_the_record_cache(self, client):
+        cache_stats = client.stats()["record_cache"]
+        assert cache_stats["capacity"] > 0
+        assert cache_stats["complete"] is False
+
+    def test_repeat_pages_come_from_the_cache(self, tmp_path):
+        service = SweepService(
+            store=tmp_path / "s.sqlite", record_cache=3
+        )  # too small for a complete snapshot of 10 records
+        service.ingest(_records(10))
+        calls = []
+        original = service.store.iter_page
+
+        def spy(**kwargs):
+            calls.append(kwargs)
+            return original(**kwargs)
+
+        service.store.iter_page = spy
+        first = list(service.record_page_stream(limit=2))
+        assert len(calls) == 1
+        again = list(service.record_page_stream(limit=2))
+        assert len(calls) == 1  # served from cache
+        assert again == first
+
+    def test_local_write_invalidates_pages(self, tmp_path):
+        service = SweepService(store=tmp_path / "s.sqlite", record_cache=3)
+        service.ingest(_records(4))
+        list(service.record_page_stream(limit=2))
+        service.ingest(
+            [{"hash": "00" * 32, "version": EVAL_VERSION + 1, "metrics": {}}]
+        )
+        assert service.record_cache.stats()["records"] == 0
+
+    def test_disabled_cache_still_pages(self, tmp_path):
+        service = SweepService(store=tmp_path / "s.sqlite", record_cache=None)
+        assert service.record_cache is None
+        service.ingest(_records(5))
+        page = list(service.record_page_stream(limit=3))
+        assert page[-1]["next"] == page[-2]["hash"]
+        assert len(service.records()) == 5
+        assert service.stats()["record_cache"] is None

@@ -182,10 +182,11 @@ class TestRecordsEndpoints:
         assert client._json("/records", payload)["appended"] == 1
 
     def test_store_io_failure_maps_to_503(self, client, live_server, monkeypatch):
-        def locked():
+        def locked(*args, **kwargs):
             raise OSError("sqlite store locked")
 
-        monkeypatch.setattr(live_server.service.store, "load", locked)
+        for primitive in ("load", "iter_records", "iter_page"):
+            monkeypatch.setattr(live_server.service.store, primitive, locked)
         with pytest.raises(ServeError, match="503"):
             client.records()
         with pytest.raises(ServeError, match="503"):
@@ -303,7 +304,7 @@ class TestRecordsCache:
         service.ingest([{"hash": "z" * 64, "version": EVAL_VERSION, "metrics": {}}])
         # Own writes invalidate explicitly -- stat keys alone can miss
         # a same-size upsert within one coarse mtime tick.
-        assert service._records_cache is None
+        assert service.record_cache.snapshot() is None
         loads.clear()
         fresh = service.records()
         assert len(fresh) == 3 and len(loads) == 1
