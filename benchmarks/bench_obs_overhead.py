@@ -1,0 +1,129 @@
+"""Observability tax: instrumented sweep throughput vs registry off.
+
+The metrics registry sits on the engine's hot path (tier counters,
+chunk latency) and on every serve-layer operation.  The design rule is
+that instrumentation must be amortized -- one registry touch per tier
+per sweep, never per record -- and this bench enforces it: the same
+warm (all-memo) sweep runs with the process-global registry enabled
+and with ``set_enabled(False)``, and the enabled run may be at most
+``MAX_OVERHEAD`` (5% by default) slower.
+
+A warm sweep is the worst case for relative overhead: with cold
+simulation out of the picture, per-record engine bookkeeping is the
+whole cost, so any per-record registry touch shows up immediately.
+
+Emits ``BENCH_obs_overhead.json`` (path overridable via the
+``BENCH_OBS_OVERHEAD_JSON`` env var) for the CI artifact shelf.
+"""
+
+import json
+import os
+import statistics
+import time
+
+from repro.dse import SweepSpec, clear_caches, run_sweep
+from repro.hw import DDR4, HBM2, scaled_memory
+from repro.obs.metrics import get_registry
+from repro.sim import format_table
+
+MEMORIES = (
+    DDR4,
+    HBM2,
+    scaled_memory(DDR4, 64),
+    scaled_memory(HBM2, 512),
+)
+
+#: Allowed slowdown of the instrumented run, as a fraction (0.05 = 5%).
+MAX_OVERHEAD = float(os.environ.get("REPRO_MAX_OBS_OVERHEAD", "0.05"))
+
+#: Timed enabled/disabled sample pairs; the median of the per-pair
+#: ratios is the gated statistic -- pairing cancels machine-load drift
+#: and the median shrugs off a preempted sample, which best-of-N does
+#: not when the noise outlasts one mode's whole pass.
+REPEATS = 9
+
+#: Warm sweeps per timed sample: one warm 1008-point sweep runs in
+#: ~2ms, far below scheduler jitter, so each sample times a batch long
+#: enough (~200ms) that a preemption moves it well under a percent.
+SWEEPS_PER_SAMPLE = 100
+
+
+def _sweep_spec() -> SweepSpec:
+    # The full 1008-point grid from the vectorized-eval bench.
+    return SweepSpec.grid(
+        workloads=(
+            "AlexNet", "Inception-v1", "ResNet-18", "ResNet-50", "RNN", "LSTM"
+        ),
+        platforms=("tpu", "bitfusion", "bpvec"),
+        memories=MEMORIES,
+        policies=("homogeneous-8bit", "paper-heterogeneous"),
+        batches=(1, 2, 4, 8, 16, 32, 64),
+    )
+
+
+def _timed_warm_sample(spec: SweepSpec) -> float:
+    start = time.perf_counter()
+    for _ in range(SWEEPS_PER_SAMPLE):
+        result = run_sweep(spec)
+    elapsed = time.perf_counter() - start
+    assert result.from_memo == result.unique_points  # fully warm
+    return elapsed
+
+
+def test_instrumentation_overhead_under_gate(benchmark, show):
+    registry = get_registry()
+    spec = _sweep_spec()
+    clear_caches()
+    run_sweep(spec)  # warm the memo once, untimed
+
+    # Time the two modes back to back so each pair sees the same
+    # machine load; the per-pair ratio cancels drift and the median
+    # over pairs discards preempted samples.
+    ratios = []
+    enabled_seconds = disabled_seconds = float("inf")
+    try:
+        for _ in range(REPEATS):
+            registry.set_enabled(True)
+            enabled = _timed_warm_sample(spec)
+            registry.set_enabled(False)
+            disabled = _timed_warm_sample(spec)
+            ratios.append(enabled / disabled)
+            enabled_seconds = min(enabled_seconds, enabled)
+            disabled_seconds = min(disabled_seconds, disabled)
+    finally:
+        registry.set_enabled(True)
+
+    benchmark(run_sweep, spec)  # the instrumented path, for the JSON
+
+    overhead = statistics.median(ratios) - 1.0
+    rows = [
+        ("registry disabled", disabled_seconds * 1e3, "-"),
+        ("instrumented", enabled_seconds * 1e3, f"{overhead:+.1%}"),
+    ]
+    show(
+        f"Observability tax on a warm {len(spec)}-point sweep "
+        f"(gate: +{MAX_OVERHEAD:.0%})",
+        format_table(["Mode", "Time (ms)", "Overhead"], rows),
+    )
+
+    payload = {
+        "points": len(spec),
+        "repeats": REPEATS,
+        "sweeps_per_sample": SWEEPS_PER_SAMPLE,
+        "instrumented_seconds": round(enabled_seconds, 4),
+        "disabled_seconds": round(disabled_seconds, 4),
+        "overhead_fraction": round(overhead, 4),
+        "max_overhead_gate": MAX_OVERHEAD,
+    }
+    artifact = os.environ.get(
+        "BENCH_OBS_OVERHEAD_JSON", "BENCH_obs_overhead.json"
+    )
+    with open(artifact, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    benchmark.extra_info.update(payload)
+
+    assert overhead <= MAX_OVERHEAD, (
+        f"instrumented warm sweep is {overhead:+.1%} vs registry-disabled "
+        f"({enabled_seconds:.3f}s vs {disabled_seconds:.3f}s); "
+        f"gate is +{MAX_OVERHEAD:.0%}"
+    )

@@ -21,6 +21,7 @@ Examples
     python -m repro dse --spec big.json --server http://127.0.0.1:8000 --detach
     python -m repro dse --spec big.json --server http://127.0.0.1:8000 --fleet
     python -m repro worker --server http://127.0.0.1:8000 --name box-a
+    python -m repro watch http://127.0.0.1:8000 --interval 2
     python -m repro dse-launch --workload LSTM --shards 4 --store merged.jsonl
     python -m repro dse-launch --workload LSTM --fleet 4 --store merged.sqlite
     python -m repro chips
@@ -50,6 +51,7 @@ from .dse import (
     run_sweep,
     top_k,
 )
+from .obs.logs import configure_logging
 from .serve import (
     FleetWorker,
     JobJournal,
@@ -170,6 +172,21 @@ def _add_store_arguments(
         default=None,
         help="force the store backend instead of sniffing magic "
         "bytes/suffix",
+    )
+
+
+def _add_logging_arguments(parser: argparse.ArgumentParser) -> None:
+    """``--log-level`` + ``--log-json``, shared by the service commands."""
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default="info",
+        help="threshold for the repro.* structured logs on stderr",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit logs as JSON lines instead of human-readable text",
     )
 
 
@@ -497,6 +514,7 @@ def build_parser() -> argparse.ArgumentParser:
     server.add_argument(
         "--verbose", action="store_true", help="log every request"
     )
+    _add_logging_arguments(server)
 
     worker = sub.add_parser(
         "worker",
@@ -561,6 +579,45 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="keep retrying this long when the server is unreachable "
         "(a restart in progress) before exiting 1 (0 disables)",
+    )
+    _add_logging_arguments(worker)
+
+    watch_cmd = sub.add_parser(
+        "watch",
+        help="live ops dashboard for a running 'repro serve' instance "
+        "(polls /metrics, /stats, /jobs, /workers)",
+    )
+    watch_cmd.add_argument("url", metavar="URL", help="'repro serve' URL")
+    watch_cmd.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="refresh period between polls",
+    )
+    watch_cmd.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single snapshot and exit",
+    )
+    watch_cmd.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help="json (requires --once) dumps the raw snapshot",
+    )
+    watch_cmd.add_argument(
+        "--plain",
+        action="store_true",
+        help="plain line-per-refresh output instead of the full-screen "
+        "dashboard (automatic when stdout is not a TTY)",
+    )
+    watch_cmd.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="socket timeout for server requests",
     )
 
     dse_launch = sub.add_parser(
@@ -718,8 +775,9 @@ def _fleet_sweep(args, spec) -> tuple[list[dict], dict]:
         except ServeError as error:
             # Tolerate a server restart mid-poll (its journal recovers
             # the job): keep polling through transient failures for up
-            # to a minute before giving up.
-            now = time.time()
+            # to a minute before giving up.  Monotonic: a wall-clock
+            # step mid-outage must not stretch or cut the window.
+            now = time.monotonic()
             if not error.transient:
                 raise
             if outage_started is None:
@@ -1074,6 +1132,7 @@ def _serve_journal(args):
 
 
 def _run_serve(args) -> int:
+    configure_logging(args.log_level, json_lines=args.log_json)
     try:
         journal = _serve_journal(args)
         if args.inspect_journal:
@@ -1116,6 +1175,7 @@ def _run_serve(args) -> int:
 
 
 def _run_worker(args) -> int:
+    configure_logging(args.log_level, json_lines=args.log_json)
     worker = FleetWorker(
         args.server,
         name=args.name,
@@ -1133,6 +1193,24 @@ def _run_worker(args) -> int:
         return worker.run()
     except KeyboardInterrupt:  # pragma: no cover - interactive exit
         worker.stop()
+        return 0
+
+
+def _run_watch(args) -> int:
+    from .obs.watch import watch
+
+    if args.format == "json" and not args.once:
+        raise SystemExit("watch: --format json requires --once")
+    try:
+        return watch(
+            args.url,
+            interval=args.interval,
+            once=args.once,
+            fmt=args.format,
+            plain=args.plain,
+            timeout=args.timeout,
+        )
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
         return 0
 
 
@@ -1270,6 +1348,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_serve(args)
     elif command == "worker":
         return _run_worker(args)
+    elif command == "watch":
+        return _run_watch(args)
     elif command == "dse-launch":
         _run_dse_launch(args)
     elif command == "simulate":

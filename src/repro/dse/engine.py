@@ -24,14 +24,31 @@ import math
 import multiprocessing
 import os
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator
 
+from ..obs.metrics import get_registry
 from .evaluate import _MEMO, EVAL_VERSION, evaluate_point, evaluate_points
 from .spec import SweepPoint, SweepSpec
 from .store import ResultStoreBase, open_store
 
 __all__ = ["SweepRecord", "SweepResult", "DSEEngine", "iter_sweep", "run_sweep"]
+
+# Tier counts are accumulated in plain locals on the hot path and
+# flushed to the registry once per iter_sweep call (its finally), so
+# instrumentation costs one dict update per *sweep*, not per record --
+# the obs-overhead benchmark gates this at <=5%.
+_METRICS = get_registry()
+_EVAL_POINTS = _METRICS.counter(
+    "repro_eval_points_total",
+    "Sweep points resolved, by tier (memo, store, evaluated).",
+    labelnames=("tier",),
+)
+_EVAL_CHUNK_SECONDS = _METRICS.histogram(
+    "repro_eval_chunk_seconds",
+    "Latency of one vectorized evaluation chunk (serial in-process path).",
+)
 
 
 @dataclass(frozen=True)
@@ -162,77 +179,101 @@ def iter_sweep(
     # record is flushed to disk without a file open (or, on gzipped
     # stores, a fresh gzip member) per record.
     sink = store.appender() if store is not None else contextlib.nullcontext()
-    with sink as persist:
-        seen: set[str] = set()
-        pending: list[tuple[int, SweepPoint]] = []
-        for index, point in enumerate(points):
-            if cancelled():
+    tiers = {"memo": 0, "store": 0, "evaluated": 0}
+    try:
+        with sink as persist:
+            seen: set[str] = set()
+            pending: list[tuple[int, SweepPoint]] = []
+            for index, point in enumerate(points):
+                if cancelled():
+                    return
+                key = point.config_hash()
+                if key in seen:
+                    continue
+                seen.add(key)
+                if key in _MEMO:
+                    if persist is not None and key not in stored:
+                        persist(_MEMO[key])
+                    tiers["memo"] += 1
+                    yield SweepRecord(index, point, _MEMO[key], "memo")
+                elif key in stored:
+                    # A store hit warms the in-process memo: the next
+                    # sweep over this config is served without touching
+                    # the store.
+                    _MEMO[key] = stored[key]
+                    tiers["store"] += 1
+                    yield SweepRecord(index, point, stored[key], "store")
+                else:
+                    pending.append((index, point))
+
+            if not pending or cancelled():
                 return
-            key = point.config_hash()
-            if key in seen:
-                continue
-            seen.add(key)
-            if key in _MEMO:
-                if persist is not None and key not in stored:
-                    persist(_MEMO[key])
-                yield SweepRecord(index, point, _MEMO[key], "memo")
-            elif key in stored:
-                # A store hit warms the in-process memo: the next sweep
-                # over this config is served without touching the store.
-                _MEMO[key] = stored[key]
-                yield SweepRecord(index, point, stored[key], "store")
-            else:
-                pending.append((index, point))
+            by_hash = {
+                point.config_hash(): (index, point) for index, point in pending
+            }
 
-        if not pending or cancelled():
-            return
-        by_hash = {point.config_hash(): (index, point) for index, point in pending}
+            def _emit(record: dict) -> SweepRecord:
+                _MEMO[record["hash"]] = record
+                if persist is not None:
+                    persist(record)
+                index, point = by_hash[record["hash"]]
+                tiers["evaluated"] += 1
+                return SweepRecord(index, point, record, "evaluated")
 
-        def _emit(record: dict) -> SweepRecord:
-            _MEMO[record["hash"]] = record
-            if persist is not None:
-                persist(record)
-            index, point = by_hash[record["hash"]]
-            return SweepRecord(index, point, record, "evaluated")
-
-        pending_points = [point for _, point in pending]
-        if vectorize:
-            chunks = _lowered_chunks(pending_points, chunk_size)
-            if workers > 1 and len(chunks) > 1:
-                # An early return inside the `with` tears the pool down
-                # (terminate), so a cancelled sweep does not burn the
-                # remaining chunks.
-                with _pool_context().Pool(workers) as pool:
-                    for records in pool.imap_unordered(evaluate_points, chunks):
+            pending_points = [point for _, point in pending]
+            if vectorize:
+                chunks = _lowered_chunks(pending_points, chunk_size)
+                if workers > 1 and len(chunks) > 1:
+                    # An early return inside the `with` tears the pool
+                    # down (terminate), so a cancelled sweep does not
+                    # burn the remaining chunks.
+                    with _pool_context().Pool(workers) as pool:
+                        for records in pool.imap_unordered(
+                            evaluate_points, chunks
+                        ):
+                            for record in records:
+                                yield _emit(record)
+                                if cancelled():
+                                    return
+                else:
+                    for chunk in chunks:
+                        if cancelled():
+                            return
+                        chunk_started = time.monotonic()
+                        records = evaluate_points(chunk)
+                        _EVAL_CHUNK_SECONDS.observe(
+                            time.monotonic() - chunk_started
+                        )
                         for record in records:
                             yield _emit(record)
                             if cancelled():
                                 return
-            else:
-                for chunk in chunks:
-                    if cancelled():
-                        return
-                    for record in evaluate_points(chunk):
+            elif workers > 1 and len(pending) > 1:
+                chunk = max(
+                    1, min(chunk_size, math.ceil(len(pending) / workers))
+                )
+                with _pool_context().Pool(workers) as pool:
+                    results = pool.imap_unordered(
+                        evaluate_point,
+                        pending_points,
+                        chunksize=chunk,
+                    )
+                    for record in results:
                         yield _emit(record)
                         if cancelled():
                             return
-        elif workers > 1 and len(pending) > 1:
-            chunk = max(1, min(chunk_size, math.ceil(len(pending) / workers)))
-            with _pool_context().Pool(workers) as pool:
-                results = pool.imap_unordered(
-                    evaluate_point,
-                    pending_points,
-                    chunksize=chunk,
-                )
-                for record in results:
-                    yield _emit(record)
+            else:
+                for point in pending_points:
                     if cancelled():
                         return
-        else:
-            for point in pending_points:
-                if cancelled():
-                    return
-                yield _emit(evaluate_point(point))
+                    yield _emit(evaluate_point(point))
+    finally:
+        # One registry touch per tier per sweep (never per record);
+        # fires on normal exhaustion, cancellation, errors, and early
+        # generator close alike.
+        for tier, count in tiers.items():
+            if count:
+                _EVAL_POINTS.inc(count, tier=tier)
 
 
 def run_sweep(

@@ -28,6 +28,7 @@ from typing import Sequence
 
 from ..baselines.gpu import simulate_gpu
 from ..hw import platforms as _platforms
+from ..obs.metrics import get_registry
 from ..sim import performance as _performance
 from ..sim.lowered import LoweredNetwork, evaluate_lowered_many, lower_network
 from ..sim.simulator import simulate_network
@@ -88,6 +89,30 @@ def lowered_for(workload: str, batch: int | None, policy: str) -> LoweredNetwork
     LRU would evict cyclically and re-lower every warm pass.
     """
     return lower_network(cached_network(workload, batch, policy))
+
+
+def _collect_evaluator(registry) -> None:
+    """Collector: lowered-IR cache effectiveness + memo size, on scrape.
+
+    Gauges rather than hot-path counters: ``lru_cache`` already tracks
+    its own hit/miss totals, so the scrape just copies them out and the
+    evaluation path pays nothing.
+    """
+    info = lowered_for.cache_info()
+    lowered = registry.gauge(
+        "repro_lowered_cache",
+        "Lowered-IR lru_cache counters, by field.",
+        labelnames=("field",),
+    )
+    lowered.set(info.hits, field="hits")
+    lowered.set(info.misses, field="misses")
+    lowered.set(info.currsize, field="size")
+    registry.gauge(
+        "repro_memo_records", "Records in the in-process eval memo."
+    ).set(len(_MEMO))
+
+
+get_registry().add_collector(_collect_evaluator, key="evaluator")
 
 
 def _record(point: SweepPoint, metrics: dict) -> dict:

@@ -1,0 +1,64 @@
+"""``repro.obs`` -- stdlib-only observability for the serving stack.
+
+* :mod:`~repro.obs.metrics` -- :class:`MetricsRegistry` (thread-safe
+  counters/gauges/histograms with log-scale latency buckets), the
+  process-global :func:`get_registry`, Prometheus text rendering
+  (``GET /metrics``) and the compact JSON snapshot worker heartbeats
+  carry;
+* :mod:`~repro.obs.trace` -- :class:`Trace`, the span tracer stamping
+  every job and fleet chunk with a trace id and contiguous,
+  non-overlapping timed phases (monotonic clock throughout);
+* :mod:`~repro.obs.logs` -- the ``repro.*`` logger hierarchy:
+  :func:`get_logger` for libraries, :func:`configure_logging` (plain
+  or one-line-JSON) for the CLI entry points;
+* :mod:`~repro.obs.watch` -- ``repro watch URL``: the poll-and-render
+  live dashboard over ``/stats`` + ``/metrics`` (curses with a plain
+  fallback; ``--once --format json`` for scripts and CI).
+"""
+
+from .logs import JsonLineFormatter, configure_logging, get_logger
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from .trace import Trace
+
+# ``watch`` pulls in ``repro.serve`` (for :class:`ServeClient`), and the
+# serve stack itself imports ``repro.obs.metrics`` -- which initializes
+# this package.  Re-export the dashboard lazily so instrumented modules
+# can import the registry without closing that cycle.
+_WATCH_EXPORTS = (
+    "build_snapshot",
+    "parse_prometheus_text",
+    "render_text",
+    "watch",
+)
+
+
+def __getattr__(name: str):
+    if name in _WATCH_EXPORTS:
+        import importlib
+
+        return getattr(importlib.import_module(f"{__name__}.watch"), name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "JsonLineFormatter",
+    "configure_logging",
+    "get_logger",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "Trace",
+    "build_snapshot",
+    "parse_prometheus_text",
+    "render_text",
+    "watch",
+]

@@ -1,0 +1,106 @@
+"""Structured logging for the serving stack: one ``repro.*`` hierarchy.
+
+Library modules call :func:`get_logger` and log; nothing configures
+handlers at import time, so embedding applications keep full control.
+The CLI entry points (``repro serve --log-level/--log-json``, ``repro
+worker`` likewise, ``repro watch``) call :func:`configure_logging`
+once, which installs exactly one stderr handler on the ``repro`` root
+-- plain text by default, or one-line JSON (timestamp, level, logger,
+message, plus ``job``/``trace``/``worker``/``chunk`` ids when a log
+call passed them via ``extra=``) for log shippers.
+
+Operational announce lines the CI smokes grep ("serving DSE sweeps
+on ...", "server shut down cleanly") stay on the ``announce`` print
+path in :mod:`repro.serve.server`; this module covers diagnostics.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from datetime import datetime, timezone
+
+__all__ = ["get_logger", "configure_logging", "JsonLineFormatter"]
+
+ROOT_LOGGER = "repro"
+
+#: ``extra=`` keys the JSON formatter promotes to top-level fields.
+_CONTEXT_KEYS = ("job", "trace", "worker", "chunk", "endpoint")
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+    "critical": logging.CRITICAL,
+}
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (``repro.serve.fleet``...)."""
+    if not name:
+        return logging.getLogger(ROOT_LOGGER)
+    if name == ROOT_LOGGER or name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+class JsonLineFormatter(logging.Formatter):
+    """One JSON object per line: machine-parseable service logs."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        entry = {
+            "ts": datetime.fromtimestamp(
+                record.created, tz=timezone.utc
+            ).isoformat(timespec="milliseconds"),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for key in _CONTEXT_KEYS:
+            value = getattr(record, key, None)
+            if value is not None:
+                entry[key] = value
+        if record.exc_info:
+            entry["exc"] = self.formatException(record.exc_info)
+        return json.dumps(entry, sort_keys=True)
+
+
+def configure_logging(
+    level: str = "info",
+    json_lines: bool = False,
+    stream=None,
+) -> logging.Logger:
+    """Install the ``repro`` root handler (idempotent: replaces its own).
+
+    ``level`` is a name from debug/info/warning/error/critical;
+    ``json_lines`` switches the formatter to one-line JSON.  Returns
+    the configured root logger.  Only handlers this function installed
+    are replaced -- a host application's own handlers survive.
+    """
+    try:
+        resolved = _LEVELS[str(level).lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown log level {level!r} (want one of {sorted(_LEVELS)})"
+        ) from None
+    root = logging.getLogger(ROOT_LOGGER)
+    root.setLevel(resolved)
+    root.propagate = False
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(
+        JsonLineFormatter()
+        if json_lines
+        else logging.Formatter(
+            "%(asctime)s %(levelname)s %(name)s: %(message)s"
+        )
+    )
+    handler._repro_obs_handler = True  # type: ignore[attr-defined]
+    root.handlers = [
+        existing
+        for existing in root.handlers
+        if not getattr(existing, "_repro_obs_handler", False)
+    ]
+    root.addHandler(handler)
+    return root

@@ -25,6 +25,8 @@ from __future__ import annotations
 from bisect import bisect_right
 from collections import OrderedDict
 
+from ..obs.metrics import get_registry
+
 __all__ = ["RecordCache", "DEFAULT_RECORD_CACHE"]
 
 #: Default capacity (records) for the service cache; ``0`` disables.
@@ -32,6 +34,25 @@ DEFAULT_RECORD_CACHE = 100_000
 
 #: Page-index entries kept (keys only -- the records live in the LRU).
 _MAX_PAGES = 1024
+
+# The instance attributes (hits/misses/...) keep feeding ``/stats``;
+# these registry twins feed ``/metrics`` so a scraper sees cache
+# behavior without polling JSON.  Process-wide totals across every
+# RecordCache instance, which in a server is exactly one.
+_METRICS = get_registry()
+_HITS = _METRICS.counter(
+    "repro_record_cache_hits_total", "Record cache hits (snapshot or page)."
+)
+_MISSES = _METRICS.counter(
+    "repro_record_cache_misses_total", "Record cache misses."
+)
+_EVICTIONS = _METRICS.counter(
+    "repro_record_cache_evictions_total", "Records evicted by the LRU bound."
+)
+_INVALIDATIONS = _METRICS.counter(
+    "repro_record_cache_invalidations_total",
+    "Whole-cache invalidations (store changed or local write).",
+)
 
 
 class RecordCache:
@@ -59,6 +80,7 @@ class RecordCache:
     def clear(self) -> None:
         if self._records or self._pages or self._complete is not None:
             self.invalidations += 1
+            _INVALIDATIONS.inc()
         self._records.clear()
         self._pages.clear()
         self._complete = None
@@ -81,8 +103,10 @@ class RecordCache:
         """The cached full survivor list (the same object every call)."""
         if self._complete is None:
             self.misses += 1
+            _MISSES.inc()
             return None
         self.hits += 1
+        _HITS.inc()
         return self._complete
 
     def fill(self, records: list[dict]) -> bool:
@@ -111,6 +135,7 @@ class RecordCache:
                 start = bisect_right(self._complete_keys, after)
             page = self._complete[start : start + limit]
             self.hits += 1
+            _HITS.inc()
             return page, (page[-1]["hash"] if len(page) == limit else None)
         entry = self._pages.get((after, limit))
         if entry is not None:
@@ -126,9 +151,11 @@ class RecordCache:
                     self._records.move_to_end(key)
                 self._pages.move_to_end((after, limit))
                 self.hits += 1
+                _HITS.inc()
                 return page, next_cursor
             del self._pages[(after, limit)]
         self.misses += 1
+        _MISSES.inc()
         return None
 
     def store_page(
@@ -144,6 +171,7 @@ class RecordCache:
         while len(self._records) > self.capacity:
             self._records.popitem(last=False)
             self.evictions += 1
+            _EVICTIONS.inc()
         self._pages[(after, limit)] = (
             [record["hash"] for record in page],
             next_cursor,

@@ -226,8 +226,32 @@ class ServeClient:
     def health(self) -> dict:
         return self._json("/healthz")
 
+    def ready(self) -> bool:
+        """``GET /readyz``: True when the server is accepting work.
+
+        A 503 (still replaying the journal, or draining) is a normal
+        readiness answer, not an error; anything else propagates.
+        """
+        try:
+            self._json("/readyz")
+        except ServeError as error:
+            if error.code == 503:
+                return False
+            raise
+        return True
+
     def stats(self) -> dict:
         return self._json("/stats")
+
+    def metrics(self) -> str:
+        """``GET /metrics``: the raw Prometheus text exposition body."""
+        with self._open("/metrics") as response:
+            try:
+                return response.read().decode("utf-8", "replace")
+            except (OSError, HTTPException) as error:
+                raise ServeError(
+                    f"/metrics: invalid or truncated response: {error}"
+                ) from None
 
     def records(
         self, page_size: int | None = DEFAULT_PAGE_RECORDS
@@ -511,10 +535,20 @@ class ServeClient:
             payload["name"] = name
         return self._json("/workers/register", payload)
 
-    def worker_heartbeat(self, worker_id: str) -> dict:
-        """Tell the server this worker is still alive (idempotent)."""
+    def worker_heartbeat(
+        self, worker_id: str, metrics: dict | None = None
+    ) -> dict:
+        """Tell the server this worker is still alive (idempotent).
+
+        ``metrics`` piggybacks the worker's local registry snapshot
+        (:meth:`MetricsRegistry.snapshot`) so the coordinator can show
+        per-worker throughput without a second reporting channel.
+        """
+        payload: dict = {}
+        if metrics is not None:
+            payload["metrics"] = metrics
         return self._json(
-            f"/workers/{worker_id}/heartbeat", {}, idempotent=True
+            f"/workers/{worker_id}/heartbeat", payload, idempotent=True
         )
 
     def lease_chunk(self, worker_id: str) -> dict:
@@ -531,11 +565,19 @@ class ServeClient:
         job_id: str,
         chunk: int,
         error: str | None = None,
+        timings: dict | None = None,
     ) -> dict:
-        """Report a chunk done (or failed).  Acks are idempotent."""
+        """Report a chunk done (or failed).  Acks are idempotent.
+
+        ``timings`` carries the worker's measured phase durations
+        (``worker-eval``, ``upload``, in seconds) for the coordinator's
+        chunk-phase histogram.
+        """
         payload: dict = {"job": job_id, "chunk": chunk}
         if error is not None:
             payload["error"] = error
+        if timings:
+            payload["timings"] = timings
         return self._json(
             f"/workers/{worker_id}/ack", payload, idempotent=True
         )

@@ -38,7 +38,6 @@ by the next poll without any background reaper thread on the server.
 
 from __future__ import annotations
 
-import sys
 import threading
 import time
 import uuid
@@ -47,6 +46,9 @@ from typing import Callable
 
 from ..dse.engine import run_sweep
 from ..dse.spec import SweepSpec
+from ..obs.logs import get_logger
+from ..obs.metrics import MetricsRegistry, get_registry
+from ..obs.trace import new_trace_id
 from .client import ServeClient, ServeError
 from .jobs import CANCELLED, DEFAULT_PRIORITY, DONE, FAILED, Job
 
@@ -91,6 +93,77 @@ HEARTBEAT_MAX_FAILURES = 5
 #: backoff only covers a few seconds.
 DEFAULT_RECONNECT_GRACE = 60.0
 
+_LOG = get_logger(__name__)
+
+_METRICS = get_registry()
+_LEASES_GRANTED = _METRICS.counter(
+    "repro_fleet_leases_granted_total",
+    "Chunk leases granted to fleet workers.",
+)
+_REQUEUES = _METRICS.counter(
+    "repro_fleet_requeues_total",
+    "Leased chunks requeued after deadline expiry or worker death.",
+)
+_ACKS = _METRICS.counter(
+    "repro_fleet_acks_total",
+    "Chunk acks received by the coordinator, by outcome.",
+    labelnames=("result",),
+)
+_CHUNK_PHASE_SECONDS = _METRICS.histogram(
+    "repro_fleet_chunk_phase_seconds",
+    "Fleet chunk phase latency: lease-wait, worker-eval, upload, "
+    "ack-turnaround.",
+    labelnames=("phase",),
+)
+
+#: Worker-reported phases the coordinator accepts into the chunk-phase
+#: histogram -- a fixed set keeps label cardinality bounded no matter
+#: what an ack body carries.
+_WORKER_PHASES = ("worker-eval", "upload")
+
+
+def _observe_worker_timings(timings: dict | None) -> None:
+    """Feed a worker's ack-carried phase timings into the histogram."""
+    if not isinstance(timings, dict):
+        return
+    for phase in _WORKER_PHASES:
+        seconds = timings.get(phase)
+        if isinstance(seconds, (int, float)) and seconds >= 0:
+            _CHUNK_PHASE_SECONDS.observe(float(seconds), phase=phase)
+
+
+def _summarize_worker_metrics(snapshot: dict) -> dict | None:
+    """Boil a heartbeat's registry snapshot down to a ``/workers`` row.
+
+    Workers ship their full :meth:`MetricsRegistry.snapshot`; the
+    coordinator keeps only the fields the ops dashboard plots --
+    throughput (points, chunks) and where wall-clock goes (eval vs
+    upload) -- so ``GET /workers`` stays compact at fleet scale.
+    """
+    if not isinstance(snapshot, dict):
+        return None
+
+    def total(kind: str, name: str, key: str) -> float:
+        samples = (snapshot.get(kind) or {}).get(name) or []
+        return float(
+            sum(
+                float(sample.get(key) or 0.0)
+                for sample in samples
+                if isinstance(sample, dict)
+            )
+        )
+
+    return {
+        "points_total": total("counters", "repro_worker_points_total", "value"),
+        "chunks_total": total("counters", "repro_worker_chunks_total", "value"),
+        "eval_seconds_sum": total(
+            "histograms", "repro_worker_eval_seconds", "sum"
+        ),
+        "upload_seconds_sum": total(
+            "histograms", "repro_worker_upload_seconds", "sum"
+        ),
+    }
+
 
 @dataclass
 class Chunk:
@@ -103,6 +176,11 @@ class Chunk:
     deadline: float | None = None
     attempts: int = 0
     completed_by: str | None = None
+    trace_id: str = field(default_factory=new_trace_id)
+    #: Monotonic instants driving the chunk phase clock: when the chunk
+    #: last became leasable, and when its current lease was granted.
+    pending_since: float = field(default_factory=time.monotonic)
+    leased_at: float | None = None
 
     def __len__(self) -> int:
         return len(self.spec)
@@ -118,9 +196,14 @@ class WorkerInfo:
     registered_at: float
     last_seen: float
     chunks_done: int = field(default=0)
+    #: Liveness runs on the monotonic clock (an NTP step must not kill
+    #: a healthy fleet); ``last_seen`` stays wall time for display.
+    last_seen_mono: float = field(default_factory=time.monotonic)
+    #: The latest heartbeat's metrics summary (throughput, eval time).
+    metrics: dict | None = None
 
     def alive(self, now: float, heartbeat_ttl: float) -> bool:
-        return now - self.last_seen <= heartbeat_ttl
+        return now - self.last_seen_mono <= heartbeat_ttl
 
 
 class FleetJob(Job):
@@ -143,10 +226,11 @@ class FleetJob(Job):
         chunks: int,
         priority: int = DEFAULT_PRIORITY,
         job_id: str | None = None,
+        trace=None,
     ):
         if len(spec) == 0:
             raise ValueError("empty sweep")
-        super().__init__(spec=spec, priority=priority, job_id=job_id)
+        super().__init__(spec=spec, priority=priority, job_id=job_id, trace=trace)
         self._chunks = [Chunk(index=i, spec=sub) for i, sub in spec.chunks(chunks)]
         self._by_index = {chunk.index: chunk for chunk in self._chunks}
         self.chunk_count = len(self._chunks)
@@ -211,6 +295,12 @@ class FleetJob(Job):
                     chunk.worker = worker_id
                     chunk.deadline = now + ttl
                     chunk.attempts += 1
+                    mono = time.monotonic()
+                    _CHUNK_PHASE_SECONDS.observe(
+                        max(0.0, mono - chunk.pending_since),
+                        phase="lease-wait",
+                    )
+                    chunk.leased_at = mono
                     self._journal_lease(chunk)
                     return chunk
             return None
@@ -233,13 +323,19 @@ class FleetJob(Job):
                 chunk.state = PENDING
                 chunk.worker = None
                 chunk.deadline = None
+                chunk.leased_at = None
+                chunk.pending_since = time.monotonic()
                 requeued += 1
                 self._journal_lease(chunk)
             self.requeues += requeued
             return requeued
 
     def ack_chunk(
-        self, index: int, worker_id: str, error: str | None = None
+        self,
+        index: int,
+        worker_id: str,
+        error: str | None = None,
+        timings: dict | None = None,
     ) -> dict:
         """Record a chunk completion (idempotent) or failure.
 
@@ -247,7 +343,10 @@ class FleetJob(Job):
         chunk requeued -- the straggler's records went through the
         version-aware upsert, so counting its work is correct.  A
         second completion of an already-completed chunk is reported as
-        a duplicate, not an error.
+        a duplicate, not an error.  ``timings`` carries the worker's
+        measured phases (worker-eval, upload); the work they describe
+        happened regardless of duplicate status, so they are observed
+        either way.
         """
         with self._changed:
             chunk = self._by_index.get(index)
@@ -258,8 +357,14 @@ class FleetJob(Job):
                 # local sweep aborting on an evaluation error.
                 self.finish(FAILED, error=f"chunk {index}: {error}")
                 return {"duplicate": False, "job_state": self.state}
+            _observe_worker_timings(timings)
             if chunk.state == COMPLETED:
                 return {"duplicate": True, "job_state": self.state}
+            if chunk.leased_at is not None:
+                _CHUNK_PHASE_SECONDS.observe(
+                    max(0.0, time.monotonic() - chunk.leased_at),
+                    phase="ack-turnaround",
+                )
             chunk.state = COMPLETED
             chunk.worker = None
             chunk.deadline = None
@@ -373,10 +478,21 @@ class Fleet:
             raise KeyError(f"no such worker: {worker_id} (register again)")
         return worker
 
-    def heartbeat(self, worker_id: str) -> dict:
+    def heartbeat(self, worker_id: str, metrics: dict | None = None) -> dict:
+        """Refresh a worker's liveness; absorb its metrics snapshot.
+
+        Workers piggyback their local registry snapshot on each beat,
+        so the coordinator can expose per-worker throughput and
+        straggler lag without a second reporting channel.
+        """
         with self._lock:
             worker = self._worker(worker_id)
             worker.last_seen = time.time()
+            worker.last_seen_mono = time.monotonic()
+            if metrics is not None:
+                summary = _summarize_worker_metrics(metrics)
+                if summary is not None:
+                    worker.metrics = summary
             return {"worker": worker.id, "status": "ok"}
 
     # -- jobs ----------------------------------------------------------
@@ -412,15 +528,26 @@ class Fleet:
             return worker is not None and worker.alive(now, self.heartbeat_ttl)
 
         for job in self._active_jobs():
-            self.requeued += job.expire_leases(now, alive)
+            requeued = job.expire_leases(now, alive)
+            if requeued:
+                self.requeued += requeued
+                _REQUEUES.inc(requeued)
+                _LOG.info(
+                    "requeued %d chunk(s) of job %s", requeued, job.id,
+                    extra={"job": job.id},
+                )
 
     # -- the pull queue ------------------------------------------------
     def lease(self, worker_id: str) -> dict:
         """Grant the next pending chunk, or report the queue idle."""
-        now = time.time()
+        # Lease deadlines and heartbeat liveness both run on the
+        # monotonic clock: a wall-clock step must never expire (or
+        # immortalize) a lease.
+        now = time.monotonic()
         with self._lock:
             worker = self._worker(worker_id)
-            worker.last_seen = now  # leasing is an implicit heartbeat
+            worker.last_seen = time.time()  # leasing is an implicit heartbeat
+            worker.last_seen_mono = now
             self._expire(now)
             active = self._active_jobs()
             held = sum(job.leases_held_by(worker_id) for job in active)
@@ -430,14 +557,17 @@ class Fleet:
                     if chunk is None:
                         continue
                     self.leases_granted += 1
+                    _LEASES_GRANTED.inc()
                     return {
                         "lease": {
                             "job": job.id,
                             "chunk": chunk.index,
                             "attempt": chunk.attempts,
                             "deadline": chunk.deadline,
+                            "ttl": self.lease_ttl,
                             "points": len(chunk.spec),
                             "spec": chunk.spec.to_dict(),
+                            "trace": chunk.trace_id,
                         }
                     }
             return {"idle": True, "active_jobs": len(active)}
@@ -448,26 +578,36 @@ class Fleet:
         job_id: str,
         chunk_index: int,
         error: str | None = None,
+        timings: dict | None = None,
     ) -> dict:
-        now = time.time()
         with self._lock:
             worker = self._worker(worker_id)
-            worker.last_seen = now
+            worker.last_seen = time.time()
+            worker.last_seen_mono = time.monotonic()
             job = self._jobs.get(job_id)
             if job is None:
                 raise KeyError(f"no such fleet job: {job_id}")
-            outcome = job.ack_chunk(int(chunk_index), worker_id, error=error)
+            outcome = job.ack_chunk(
+                int(chunk_index), worker_id, error=error, timings=timings
+            )
             self.acks += 1
             if outcome["duplicate"]:
                 self.duplicate_acks += 1
             else:
                 worker.chunks_done += 1
+            if error is not None:
+                result = "failed"
+            elif outcome["duplicate"]:
+                result = "duplicate"
+            else:
+                result = "ok"
+            _ACKS.inc(result=result)
             return {"job": job_id, "chunk": int(chunk_index), **outcome}
 
     # -- observation ---------------------------------------------------
     def workers(self) -> list[dict]:
         """The ``GET /workers`` body: every registration, oldest first."""
-        now = time.time()
+        now = time.monotonic()
         with self._lock:
             self._expire(now)
             active = self._active_jobs()
@@ -479,10 +619,12 @@ class Fleet:
                     "alive": worker.alive(now, self.heartbeat_ttl),
                     "registered_at": worker.registered_at,
                     "last_seen": worker.last_seen,
+                    "heartbeat_age": max(0.0, now - worker.last_seen_mono),
                     "chunks_done": worker.chunks_done,
                     "leases": sum(
                         job.leases_held_by(worker.id) for job in active
                     ),
+                    "metrics": worker.metrics,
                 }
                 for worker in sorted(
                     self._workers.values(), key=lambda w: w.registered_at
@@ -491,7 +633,7 @@ class Fleet:
 
     def stats(self) -> dict:
         """The ``/stats`` fleet section."""
-        now = time.time()
+        now = time.monotonic()
         with self._lock:
             self._expire(now)
             active = self._active_jobs()
@@ -517,8 +659,14 @@ class Fleet:
             }
 
 
-def _log_to_stderr(message: str) -> None:
-    print(message, file=sys.stderr, flush=True)
+def _log_via_logger(message: str) -> None:
+    """Default worker log sink: the ``repro.serve.fleet`` logger.
+
+    ``repro worker`` configures the handler (``--log-level`` /
+    ``--log-json``); embedders that want raw lines still pass their own
+    ``log=`` callable, and tests pass a silent one.
+    """
+    _LOG.info(message)
 
 
 class FleetWorker:
@@ -561,12 +709,33 @@ class FleetWorker:
         self.max_chunks = max_chunks
         self.throttle = throttle
         self.reconnect_grace = reconnect_grace
-        self.log = log or _log_to_stderr
+        self.log = log or _log_via_logger
         self.worker_id: str | None = None
         self.chunks_done = 0
         self.heartbeat_seconds = DEFAULT_HEARTBEAT_TTL / 3.0
         self._stop = threading.Event()
         self._heartbeat_failed = False
+        # A private registry (not the process-global one): heartbeats
+        # must carry *this worker's* numbers, and an embedded in-process
+        # worker must not double-count into the server's own series.
+        self.metrics = MetricsRegistry()
+        self._chunks_metric = self.metrics.counter(
+            "repro_worker_chunks_total",
+            "Chunks this worker finished, by result.",
+            labelnames=("result",),
+        )
+        self._points_metric = self.metrics.counter(
+            "repro_worker_points_total",
+            "Design points this worker evaluated.",
+        )
+        self._eval_seconds = self.metrics.histogram(
+            "repro_worker_eval_seconds",
+            "Per-chunk local evaluation latency on this worker.",
+        )
+        self._upload_seconds = self.metrics.histogram(
+            "repro_worker_upload_seconds",
+            "Per-chunk record upload latency from this worker.",
+        )
 
     def stop(self) -> None:
         self._stop.set()
@@ -594,7 +763,9 @@ class FleetWorker:
             self.heartbeat_seconds * min(2**failures, 8)
         ):
             try:
-                self.client.worker_heartbeat(self.worker_id)
+                self.client.worker_heartbeat(
+                    self.worker_id, metrics=self.metrics.snapshot()
+                )
                 failures = 0
             except ServeError:
                 failures = 0
@@ -629,19 +800,27 @@ class FleetWorker:
             time.sleep(self.throttle)
         spec = SweepSpec.from_dict(lease["spec"])
         error: str | None = None
+        timings: dict[str, float] = {}
+        eval_started = time.monotonic()
         try:
             result = run_sweep(spec, workers=self.workers, vectorize=self.vectorize)
         except Exception as failure:  # noqa: BLE001 - chunk boundary
             error = str(failure)
+        timings["worker-eval"] = time.monotonic() - eval_started
+        self._eval_seconds.observe(timings["worker-eval"])
         if error is None:
             # The client chunks oversized uploads into bounded ingest
             # batches itself (INGEST_CHUNK_RECORDS per request).
+            upload_started = time.monotonic()
             self.client.post_records(
                 result.records, batch_size=INGEST_CHUNK_RECORDS
             )
+            timings["upload"] = time.monotonic() - upload_started
+            self._upload_seconds.observe(timings["upload"])
         try:
             self.client.ack_chunk(
-                self.worker_id, lease["job"], lease["chunk"], error=error
+                self.worker_id, lease["job"], lease["chunk"], error=error,
+                timings=timings,
             )
         except ServeError as failure:
             if failure.code != 404:
@@ -655,7 +834,8 @@ class FleetWorker:
             self.register()
             try:
                 self.client.ack_chunk(
-                    self.worker_id, lease["job"], lease["chunk"], error=error
+                    self.worker_id, lease["job"], lease["chunk"], error=error,
+                    timings=timings,
                 )
             except ServeError as second:
                 if second.code != 404:
@@ -666,11 +846,14 @@ class FleetWorker:
                 )
         if error is None:
             self.chunks_done += 1
+            self._chunks_metric.inc(result="ok")
+            self._points_metric.inc(len(spec))
             self.log(
                 f"worker {self.worker_id}: chunk {lease['chunk']} of job "
                 f"{lease['job']} done ({len(spec)} points)"
             )
         else:
+            self._chunks_metric.inc(result="failed")
             self.log(
                 f"worker {self.worker_id}: chunk {lease['chunk']} of job "
                 f"{lease['job']} failed: {error}"
@@ -705,7 +888,7 @@ class FleetWorker:
                     # is always safe.
                     if not error.transient or self.reconnect_grace <= 0:
                         raise
-                    now = time.time()
+                    now = time.monotonic()
                     if outage_started is None:
                         outage_started = now
                         self.log(
@@ -732,3 +915,13 @@ class FleetWorker:
             return 1
         finally:
             self._stop.set()
+            # Farewell heartbeat: a worker that drains inside one
+            # heartbeat period would otherwise exit with its throughput
+            # snapshot never shipped.  Best effort -- the server may be
+            # the reason we are exiting.
+            try:
+                self.client.worker_heartbeat(
+                    self.worker_id, metrics=self.metrics.snapshot()
+                )
+            except ServeError:
+                pass

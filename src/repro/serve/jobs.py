@@ -47,6 +47,8 @@ from typing import Callable, Iterator
 
 from ..dse.spec import SweepSpec
 from ..dse.store import ResultStoreBase
+from ..obs.metrics import get_registry
+from ..obs.trace import Trace
 
 __all__ = [
     "Job",
@@ -84,6 +86,25 @@ def new_job_id() -> str:
     return uuid.uuid4().hex[:12]
 
 
+_METRICS = get_registry()
+_JOBS_SUBMITTED = _METRICS.counter(
+    "repro_jobs_submitted_total",
+    "Jobs accepted into the job table, by kind.",
+    ("kind",),
+)
+_JOBS_FINISHED = _METRICS.counter(
+    "repro_jobs_finished_total",
+    "Jobs that reached a terminal state, by kind and state.",
+    ("kind", "state"),
+)
+_JOB_PHASE_SECONDS = _METRICS.histogram(
+    "repro_job_phase_seconds",
+    "Time jobs spend in each traced phase "
+    "(validate, queue-wait, evaluate, stage-merge, ingest).",
+    ("kind", "phase"),
+)
+
+
 class Job:
     """One unit of submitted work and everything observable about it.
 
@@ -100,6 +121,8 @@ class Job:
     """
 
     kind = "sweep"
+    #: The traced phase a job enters when it starts running.
+    running_phase = "evaluate"
 
     def __init__(
         self,
@@ -108,6 +131,7 @@ class Job:
         vectorize: bool = True,
         priority: int = DEFAULT_PRIORITY,
         job_id: str | None = None,
+        trace: Trace | None = None,
     ):
         self.id = job_id or new_job_id()
         self.spec = spec
@@ -118,19 +142,41 @@ class Job:
         self.error: str | None = None
         self.records: list[dict] = []  # completed records, completion order
         self.counts = {"memo": 0, "store": 0, "evaluated": 0}
+        # Wall timestamps are for display and the journal; every
+        # *duration* comes from the trace's monotonic clock so an NTP
+        # step mid-job can never produce a negative span.
         self.submitted_at = time.time()
         self.started_at: float | None = None
         self.finished_at: float | None = None
+        #: The span trace: the service hands in one opened at
+        #: "validate" (accepting the job closes it into queue-wait); a
+        #: bare construction (tests, direct JobManager use) starts at
+        #: queue-wait directly.
+        if trace is None:
+            self.trace = Trace("queue-wait")
+        else:
+            self.trace = trace
+            self._observe_phase(trace.mark("queue-wait"))
         self._cancel = threading.Event()
         self._changed = threading.Condition()
         #: Attached by the service when journaling is on; every state
         #: edge below records itself through it.
         self.journal = None
+        _JOBS_SUBMITTED.inc(kind=self.kind)
 
     def _journal_transition(self) -> None:
         journal = self.journal
         if journal is not None:
             journal.record_transition(self)
+
+    def _observe_phase(self, closed: tuple[str, float] | None) -> None:
+        if closed is not None:
+            phase, seconds = closed
+            _JOB_PHASE_SECONDS.observe(seconds, kind=self.kind, phase=phase)
+
+    def mark_phase(self, phase: str) -> None:
+        """Enter a named trace phase, observing the one it closes."""
+        self._observe_phase(self.trace.mark(phase))
 
     # -- lifecycle (worker side) ---------------------------------------
     def mark_running(self) -> bool:
@@ -141,6 +187,7 @@ class Job:
             self.state = RUNNING
             self.started_at = time.time()
             self._changed.notify_all()
+        self._observe_phase(self.trace.mark(self.running_phase))
         self._journal_transition()
         return True
 
@@ -162,6 +209,8 @@ class Job:
             self.error = error
             self.finished_at = time.time()
             self._changed.notify_all()
+        self._observe_phase(self.trace.end())
+        _JOBS_FINISHED.inc(kind=self.kind, state=state)
         self._journal_transition()
 
     # -- cancellation ---------------------------------------------------
@@ -173,12 +222,17 @@ class Job:
         between store appends); a terminal job is left untouched.
         """
         self._cancel.set()
+        cancelled_queued = False
         with self._changed:
             if self.state == QUEUED:
                 self.state = CANCELLED
                 self.finished_at = time.time()
+                cancelled_queued = True
                 self._changed.notify_all()
             state = self.state
+        if cancelled_queued:
+            self._observe_phase(self.trace.end())
+            _JOBS_FINISHED.inc(kind=self.kind, state=CANCELLED)
         # Journal even when only the flag moved: a running job whose
         # cancel was requested but never reached a record boundary must
         # not resurrect as running after a crash-restart.
@@ -248,6 +302,23 @@ class Job:
                 "memo_hits": self.counts["memo"],
             }
 
+    def duration(self) -> float | None:
+        """Monotonic seconds from submission to finish (or to now).
+
+        Derived from the trace, never from wall-clock deltas: a clock
+        step between ``submitted_at`` and ``finished_at`` cannot bend
+        this number.  Jobs recovered from a journal in a *terminal*
+        state have no live trace spanning their run; they fall back to
+        the journaled wall timestamps, clamped at zero.
+        """
+        if self.done and not self.trace.complete:
+            # A recovered terminal job: its run happened in a previous
+            # process, so the only evidence is the journaled wall clock.
+            if self.started_at is None or self.finished_at is None:
+                return None
+            return max(0.0, self.finished_at - self.started_at)
+        return self.trace.total_seconds()
+
     def status(self) -> dict:
         """The ``GET /jobs/{id}`` body (sans frontier, which is derived)."""
         return {
@@ -260,6 +331,9 @@ class Job:
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
+            "duration": self.duration(),
+            "trace": self.trace.trace_id,
+            "timings": self.trace.summary(),
         }
 
 
@@ -273,9 +347,10 @@ class IngestJob(Job):
     """
 
     kind = "ingest"
+    running_phase = "ingest"
 
-    def __init__(self, offered: int):
-        super().__init__(spec=None, priority=0)
+    def __init__(self, offered: int, trace=None):
+        super().__init__(spec=None, priority=0, trace=trace)
         self.offered = offered
         self.appended = 0
 
@@ -433,6 +508,6 @@ class JobManager:
                 if not job.done:
                     job.cancel()
         self._stop.set()
-        deadline = time.time() + timeout
+        deadline = time.monotonic() + timeout
         for thread in self._threads:
-            thread.join(max(0.0, deadline - time.time()))
+            thread.join(max(0.0, deadline - time.monotonic()))

@@ -48,6 +48,8 @@ import warnings
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Mapping
 
+from ..obs.metrics import get_registry
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from .jobs import Job
 
@@ -56,6 +58,17 @@ __all__ = [
     "JournalWarning",
     "default_journal_path",
 ]
+
+_METRICS = get_registry()
+_JOURNAL_WRITES = _METRICS.counter(
+    "repro_journal_writes_total",
+    "Journal write transactions, by result (ok, degraded, error).",
+    labelnames=("result",),
+)
+_JOURNAL_WRITE_SECONDS = _METRICS.histogram(
+    "repro_journal_write_seconds",
+    "Latency of one committed journal transaction.",
+)
 
 _SCHEMA = (
     "CREATE TABLE IF NOT EXISTS jobs ("
@@ -136,6 +149,7 @@ class JobJournal:
     # -- plumbing ------------------------------------------------------
     def _write(self, statements: Iterable[tuple[str, tuple]], critical: bool = False):
         """Commit statements as one transaction; warn (or raise) on failure."""
+        started = time.monotonic()
         with self._lock:
             if self._suspended:
                 return
@@ -145,15 +159,20 @@ class JobJournal:
                         self._db.execute(sql, params)
             except sqlite3.Error as error:
                 if critical:
+                    _JOURNAL_WRITES.inc(result="error")
                     raise OSError(
                         f"job journal {self.path}: {error}"
                     ) from None
+                _JOURNAL_WRITES.inc(result="degraded")
                 warnings.warn(
                     f"job journal {self.path}: transition write failed "
                     f"({error}); recovery of this job may be incomplete",
                     JournalWarning,
                     stacklevel=3,
                 )
+            else:
+                _JOURNAL_WRITES.inc(result="ok")
+                _JOURNAL_WRITE_SECONDS.observe(time.monotonic() - started)
 
     def _read(self, sql: str, params: tuple = ()) -> list[tuple]:
         with self._lock:

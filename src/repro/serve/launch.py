@@ -388,7 +388,7 @@ def launch_fleet(
             )
             for _ in range(workers)
         ]
-        deadline = None if timeout is None else time.time() + timeout
+        deadline = None if timeout is None else time.monotonic() + timeout
         while True:
             status = client.job_status(job_id)
             if status["state"] not in ("queued", "running"):
@@ -397,7 +397,7 @@ def launch_fleet(
                 raise RuntimeError(
                     "every fleet worker exited with the job unfinished"
                 )
-            if deadline is not None and time.time() > deadline:
+            if deadline is not None and time.monotonic() > deadline:
                 raise RuntimeError(
                     f"fleet sweep timed out after {timeout} seconds"
                 )

@@ -19,8 +19,15 @@ Endpoints
 ---------
 ``GET /healthz``
     Liveness: status, ``EVAL_VERSION``, sweeps served so far.
+``GET /readyz``
+    Readiness: 200 once recovery replay finished and the server is
+    accepting work; 503 while starting, draining, or closed.
+``GET /metrics``
+    The process metrics registry in Prometheus text exposition format
+    (requests, jobs, fleet, cache, journal, evaluator series).
 ``GET /stats``
-    Store metadata (backend, records, bytes) + memo size + job counts.
+    Store metadata (backend, records, bytes) + memo size + job counts
+    + aggregated job phase timings.
 ``GET /records``
     With ``?after=HASH&limit=N``: one keyset page of current-version
     records in hash order, ending with ``{"count": n, "next": cursor}``
@@ -104,6 +111,9 @@ from ..dse.evaluate import _MEMO, EVAL_VERSION
 from ..dse.queries import pareto_frontier, run_query
 from ..dse.spec import SweepSpec
 from ..dse.store import ResultStore, ResultStoreBase, StoreWarning, open_store
+from ..obs.logs import get_logger
+from ..obs.metrics import get_registry
+from ..obs.trace import Trace
 from .cache import DEFAULT_RECORD_CACHE, RecordCache
 from .fleet import (
     DEFAULT_FLEET_CHUNKS,
@@ -164,6 +174,52 @@ DEFAULT_PAGE_LIMIT = 5_000
 
 _JOB_PATH = re.compile(r"^/jobs/([0-9a-f]+)(/records|/cancel)?$")
 _WORKER_PATH = re.compile(r"^/workers/([0-9a-f]+)/(heartbeat|lease|ack)$")
+
+_LOG = get_logger(__name__)
+
+_METRICS = get_registry()
+_HTTP_REQUESTS = _METRICS.counter(
+    "repro_http_requests_total",
+    "HTTP requests served, by endpoint template, method, and status.",
+    labelnames=("endpoint", "method", "status"),
+)
+_HTTP_SECONDS = _METRICS.histogram(
+    "repro_http_request_seconds",
+    "HTTP request handling latency, by endpoint template and method.",
+    labelnames=("endpoint", "method"),
+)
+
+#: Fixed paths the endpoint label passes through verbatim.  Everything
+#: else normalizes to a template (``/jobs/{id}``) or ``other`` so label
+#: cardinality stays bounded no matter what clients request.
+_STATIC_ENDPOINTS = frozenset(
+    {
+        "/",
+        "/healthz",
+        "/readyz",
+        "/stats",
+        "/metrics",
+        "/records",
+        "/jobs",
+        "/workers",
+        "/sweep",
+        "/shutdown",
+        "/workers/register",
+    }
+)
+
+
+def _endpoint_label(path: str) -> str:
+    """Collapse a request path to its endpoint template."""
+    if path in _STATIC_ENDPOINTS:
+        return path
+    if match := _JOB_PATH.match(path):
+        return "/jobs/{id}" + (match.group(2) or "")
+    if match := _WORKER_PATH.match(path):
+        return "/workers/{id}/" + match.group(2)
+    if path.startswith("/query/"):
+        return "/query/{name}"
+    return "other"
 
 
 class DrainingError(RuntimeError):
@@ -232,6 +288,7 @@ class SweepService:
         self._stats_cache: tuple | None = None  # (change token, store stats)
         self._draining = False
         self._closed = False
+        self._ready = False  # flips true once recovery replay finishes
         self.rejected_jobs = 0
         self.evicted_jobs = 0
         self.recovery_info: dict | None = None
@@ -243,6 +300,11 @@ class SweepService:
             self.journal = JobJournal(journal)
         if self.journal is not None:
             self.recovery_info = self._recover()
+        self._ready = True
+        # Keyed registration: a test suite constructing many services
+        # replaces the previous one's collector instead of leaking a
+        # closure over every dead service.
+        _METRICS.add_collector(self._collect_metrics, key="service")
 
     def health(self) -> dict:
         return {
@@ -250,6 +312,66 @@ class SweepService:
             "eval_version": EVAL_VERSION,
             "sweeps_served": self.sweeps_served,
         }
+
+    def readiness(self) -> dict:
+        """The ``GET /readyz`` body: can this server accept work *now*?
+
+        Distinct from liveness (``/healthz``): a server mid-recovery or
+        draining is alive but not ready, and load balancers or scripts
+        waiting to submit should hold off (503) until it is.
+        """
+        if not self._ready:
+            reason = "starting: journal recovery in progress"
+        elif self._closed:
+            reason = "closed"
+        elif self._draining:
+            reason = "draining"
+        else:
+            reason = None
+        return {
+            "ready": reason is None,
+            **({"reason": reason} if reason else {}),
+        }
+
+    def _collect_metrics(self, registry) -> None:
+        """The scrape-time collector: state cheaper to read than track.
+
+        Runs under the registry's ``key="service"`` slot on every
+        render/snapshot; gauges overwrite, so stale values never
+        accumulate.  Liveness expiry runs as a side effect of
+        ``fleet.stats()`` -- the same lazy sweep every fleet entry
+        point performs.
+        """
+        jobs = registry.gauge(
+            "repro_jobs", "Jobs in the table, by state.", labelnames=("state",)
+        )
+        for state, count in self.jobs.counts().items():
+            if state != "total":
+                jobs.set(count, state=state)
+        fleet_stats = self.fleet.stats()
+        workers = registry.gauge(
+            "repro_fleet_workers",
+            "Fleet workers, registered and heartbeat-alive.",
+            labelnames=("state",),
+        )
+        workers.set(fleet_stats["workers"]["registered"], state="registered")
+        workers.set(fleet_stats["workers"]["alive"], state="alive")
+        chunks = registry.gauge(
+            "repro_fleet_chunks",
+            "Chunks of active fleet jobs, by lease state.",
+            labelnames=("state",),
+        )
+        for state, count in fleet_stats["chunks"].items():
+            if state != "total":
+                chunks.set(count, state=state)
+        if self.record_cache is not None:
+            registry.gauge(
+                "repro_record_cache_records",
+                "Records held by the bounded record/page cache.",
+            ).set(self.record_cache.stats().get("records", 0))
+        registry.gauge(
+            "repro_draining", "1 while the server is draining, else 0."
+        ).set(1 if self._draining else 0)
 
     # -- crash recovery -------------------------------------------------
     def _recover(self) -> dict:
@@ -445,6 +567,7 @@ class SweepService:
         return {
             "eval_version": EVAL_VERSION,
             "sweeps_served": self.sweeps_served,
+            "phases": self._job_phase_summary(),
             "memo_records": len(_MEMO),
             "record_cache": (
                 self.record_cache.stats()
@@ -462,6 +585,24 @@ class SweepService:
                 "evicted": self.evicted_jobs,
             },
         }
+
+    def _job_phase_summary(self) -> dict:
+        """Aggregate job phase timings for ``/stats``: kind -> phase.
+
+        The per-job breakdown lives on ``GET /jobs/{id}`` (``timings``);
+        this is the fleet-wide roll-up of the same trace phases, read
+        back out of the registry so one instrument feeds both surfaces.
+        """
+        histograms = _METRICS.snapshot().get("histograms", {})
+        summary: dict = {}
+        for sample in histograms.get("repro_job_phase_seconds", []):
+            labels = sample.get("labels", {})
+            by_kind = summary.setdefault(labels.get("kind", "?"), {})
+            by_kind[labels.get("phase", "?")] = {
+                "seconds": sample.get("sum", 0.0),
+                "count": sample.get("count", 0),
+            }
+        return summary
 
     def records(self) -> list[dict]:
         """Every current-version record the service can serve.
@@ -571,6 +712,7 @@ class SweepService:
         behind long sweeps -- but is tracked as an ingest job so
         ``/jobs`` and the ``/stats`` counters see every write path.
         """
+        trace = Trace("validate")
         if self.store is None:
             raise ValueError("server has no store to ingest records into")
         if not isinstance(records, list) or not all(
@@ -579,7 +721,7 @@ class SweepService:
             raise ValueError(
                 'ingest wants a JSON list of record objects with "hash" keys'
             )
-        job = self.jobs.register(IngestJob(offered=len(records)))
+        job = self.jobs.register(IngestJob(offered=len(records), trace=trace))
         job.mark_running()
         try:
             with self._store_lock:
@@ -620,6 +762,10 @@ class SweepService:
             )
         if not isinstance(payload, Mapping):
             raise ValueError('sweep wants a JSON object body: {"spec": ...}')
+        # The trace opens before parsing: validation time is the first
+        # phase of every accepted job (rejected specs never make a job,
+        # so their trace dies here with the exception).
+        trace = Trace("validate")
         spec = SweepSpec.from_dict(payload.get("spec") or {})
         workers = payload.get("workers")
         workers = self.workers if workers is None else int(workers)
@@ -633,7 +779,7 @@ class SweepService:
         self._evict_terminal()
         fleet = payload.get("fleet")
         if fleet:
-            job = self._submit_fleet(spec, fleet, priority)
+            job = self._submit_fleet(spec, fleet, priority, trace)
         else:
             # Fleet jobs are exempt from the queue-depth bound: they
             # never occupy the pool queue (workers pull their chunks).
@@ -652,6 +798,7 @@ class SweepService:
                 workers=workers,
                 vectorize=bool(vectorize),
                 priority=priority,
+                trace=trace,
             )
             # Journal before the id is visible: a submission the client
             # heard about always survives a crash.  A journal write
@@ -661,9 +808,16 @@ class SweepService:
                 self.journal.record_submit(job)
             self.jobs.submit(job)
         self.sweeps_served += 1
+        _LOG.info(
+            "accepted %s job %s (%d points, priority %d)",
+            job.kind, job.id, len(spec), priority,
+            extra={"job": job.id, "trace": job.trace.trace_id},
+        )
         return job
 
-    def _submit_fleet(self, spec: SweepSpec, fleet, priority: int) -> Job:
+    def _submit_fleet(
+        self, spec: SweepSpec, fleet, priority: int, trace: Trace | None = None
+    ) -> Job:
         """Register a fleet job on the lease queue (workers drive it)."""
         if self.store is None:
             raise ValueError(
@@ -682,7 +836,7 @@ class SweepService:
         chunks = int(chunks)
         if chunks < 1:
             raise ValueError("fleet chunks must be >= 1")
-        job = FleetJob(spec=spec, chunks=chunks, priority=priority)
+        job = FleetJob(spec=spec, chunks=chunks, priority=priority, trace=trace)
         if self.journal is not None:
             job.journal = self.journal
             self.journal.record_submit(job)
@@ -709,11 +863,13 @@ class SweepService:
         ):
             raise ValueError('ack wants {"job": id, "chunk": index}')
         error = payload.get("error")
+        timings = payload.get("timings")
         outcome = self.fleet.ack(
             worker_id,
             str(payload["job"]),
             int(payload["chunk"]),
             error=None if error is None else str(error),
+            timings=timings if isinstance(timings, Mapping) else None,
         )
         # Worker ingests already invalidated the records cache; the ack
         # only moves job/fleet counters, which are never cached.
@@ -767,6 +923,7 @@ class SweepService:
             error = str(failure)
         finally:
             if staging is not None and staging.exists():
+                job.mark_phase("stage-merge")
                 merged = len(staging.load())
                 with self._store_lock:
                     self.store.merge([staging])
@@ -865,11 +1022,15 @@ class SweepService:
         their resumable states on disk for the next server.
         """
         self._draining = True
-        deadline = time.time() + max(0.0, timeout)
+        deadline = time.monotonic() + max(0.0, timeout)
         live = [job for job in self.jobs.jobs() if not job.done]
         for job in live:
-            job.wait(timeout=max(0.0, deadline - time.time()))
+            job.wait(timeout=max(0.0, deadline - time.monotonic()))
         finished = sum(1 for job in live if job.done)
+        _LOG.info(
+            "drain finished: %d jobs done, %d cancelled",
+            finished, len(live) - finished,
+        )
         self.close(mode="drain")
         return {
             "drained": finished,
@@ -922,6 +1083,33 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         if getattr(self.server, "verbose", False):  # pragma: no cover
             super().log_message(format, *args)
+
+    # -- instrumentation ------------------------------------------------
+    def send_response(self, code, message=None):  # noqa: A002
+        self._obs_status = code
+        super().send_response(code, message)
+
+    def _instrumented(self, method: str, handler) -> None:
+        """Count and time one request against the endpoint's template.
+
+        The status label records what :meth:`send_response` last sent
+        (``0`` if the handler died before any status line), so errors
+        and 4xx/5xx rates fall out of the same counter.
+        """
+        self._obs_status = 0
+        started = time.monotonic()
+        try:
+            handler()
+        finally:
+            endpoint = _endpoint_label(urlsplit(self.path).path)
+            _HTTP_SECONDS.observe(
+                time.monotonic() - started, endpoint=endpoint, method=method
+            )
+            _HTTP_REQUESTS.inc(
+                endpoint=endpoint,
+                method=method,
+                status=str(self._obs_status),
+            )
 
     # -- response helpers ----------------------------------------------
     def _send_json(
@@ -996,13 +1184,36 @@ class _Handler(BaseHTTPRequestHandler):
             )
         return job
 
+    def _send_metrics(self) -> None:
+        body = _METRICS.render().encode()
+        self.send_response(200)
+        self.send_header(
+            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+        )
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     # -- routes --------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self._instrumented("GET", self._handle_get)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        self._instrumented("POST", self._handle_post)
+
+    def _handle_get(self) -> None:
         parts = urlsplit(self.path)
         path = parts.path
         try:
             if path == "/healthz":
                 self._send_json(self.service.health())
+            elif path == "/readyz":
+                readiness = self.service.readiness()
+                self._send_json(
+                    readiness, status=200 if readiness["ready"] else 503
+                )
+            elif path == "/metrics":
+                self._send_metrics()
             elif path == "/stats":
                 self._send_json(self.service.stats())
             elif path == "/records":
@@ -1079,7 +1290,7 @@ class _Handler(BaseHTTPRequestHandler):
                 raise ValueError("limit must be >= 1")
         return after, limit
 
-    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+    def _handle_post(self) -> None:
         path = urlsplit(self.path).path
         try:
             if path == "/sweep":
@@ -1109,7 +1320,15 @@ class _Handler(BaseHTTPRequestHandler):
                 # its re-register cue after a server restart.
                 try:
                     if action == "heartbeat":
-                        response = self.service.fleet.heartbeat(worker_id)
+                        body = self._read_json()
+                        metrics = (
+                            body.get("metrics")
+                            if isinstance(body, Mapping)
+                            else None
+                        )
+                        response = self.service.fleet.heartbeat(
+                            worker_id, metrics=metrics
+                        )
                     elif action == "lease":
                         response = self.service.fleet.lease(worker_id)
                     else:
@@ -1178,6 +1397,8 @@ class _Handler(BaseHTTPRequestHandler):
 
 _ENDPOINTS = (
     "GET /healthz",
+    "GET /readyz",
+    "GET /metrics",
     "GET /stats",
     "GET /records",
     "GET /records?after={hash}&limit={n}",

@@ -1,0 +1,88 @@
+"""Unit tests for :mod:`repro.obs.logs`."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.logs import configure_logging, get_logger
+
+
+@pytest.fixture(autouse=True)
+def _clean_root():
+    """Strip obs-installed handlers so tests never leak configuration."""
+    yield
+    root = logging.getLogger("repro")
+    root.handlers = [
+        h
+        for h in root.handlers
+        if not getattr(h, "_repro_obs_handler", False)
+    ]
+    root.setLevel(logging.NOTSET)
+    root.propagate = True
+
+
+class TestGetLogger:
+    def test_names_land_under_the_repro_hierarchy(self):
+        assert get_logger().name == "repro"
+        assert get_logger("repro.serve.fleet").name == "repro.serve.fleet"
+        assert get_logger("serve.fleet").name == "repro.serve.fleet"
+
+
+class TestConfigureLogging:
+    def test_json_lines_carry_context_fields(self):
+        stream = io.StringIO()
+        configure_logging("info", json_lines=True, stream=stream)
+        get_logger("serve.test").info(
+            "accepted job", extra={"job": "j1", "trace": "abcd"}
+        )
+        entry = json.loads(stream.getvalue().strip())
+        assert entry["message"] == "accepted job"
+        assert entry["level"] == "info"
+        assert entry["logger"] == "repro.serve.test"
+        assert entry["job"] == "j1"
+        assert entry["trace"] == "abcd"
+        assert "ts" in entry
+
+    def test_level_threshold_applies(self):
+        stream = io.StringIO()
+        configure_logging("warning", stream=stream)
+        logger = get_logger("serve.test")
+        logger.info("dropped")
+        logger.warning("kept")
+        output = stream.getvalue()
+        assert "dropped" not in output
+        assert "kept" in output
+
+    def test_reconfigure_replaces_only_its_own_handler(self):
+        root = logging.getLogger("repro")
+        foreign = logging.NullHandler()
+        root.addHandler(foreign)
+        try:
+            configure_logging("info", stream=io.StringIO())
+            configure_logging("debug", stream=io.StringIO())
+            obs = [
+                h
+                for h in root.handlers
+                if getattr(h, "_repro_obs_handler", False)
+            ]
+            assert len(obs) == 1
+            assert foreign in root.handlers
+        finally:
+            root.removeHandler(foreign)
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure_logging("shout")
+
+    def test_exception_rendered_into_json(self):
+        stream = io.StringIO()
+        configure_logging("info", json_lines=True, stream=stream)
+        try:
+            raise RuntimeError("boom")
+        except RuntimeError:
+            get_logger("serve.test").exception("chunk failed")
+        entry = json.loads(stream.getvalue().strip())
+        assert entry["level"] == "error"
+        assert "RuntimeError: boom" in entry["exc"]

@@ -1,0 +1,171 @@
+"""Unit tests for :mod:`repro.obs.metrics`.
+
+The registry backs ``GET /metrics``, the ``/stats`` phase summaries,
+and the worker-heartbeat snapshots, so its exposition format, bucket
+arithmetic, and thread safety are pinned here rather than discovered
+through endpoint tests.
+"""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    get_registry,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounters:
+    def test_inc_accumulates_per_label_set(self, registry):
+        acks = registry.counter("acks_total", "Acks.", labelnames=("result",))
+        acks.inc(result="ok")
+        acks.inc(2, result="ok")
+        acks.inc(result="failed")
+        snap = registry.snapshot()["counters"]["acks_total"]
+        values = {tuple(s["labels"].items()): s["value"] for s in snap}
+        assert values[(("result", "ok"),)] == 3
+        assert values[(("result", "failed"),)] == 1
+
+    def test_negative_increment_rejected(self, registry):
+        counter = registry.counter("ups_total", "Only up.")
+        with pytest.raises(ValueError, match="only go up"):
+            counter.inc(-1)
+
+    def test_wrong_labels_rejected(self, registry):
+        counter = registry.counter("l_total", "L.", labelnames=("a",))
+        with pytest.raises(ValueError, match="wants labels"):
+            counter.inc(b="x")
+        with pytest.raises(ValueError, match="wants labels"):
+            counter.inc()
+
+    def test_concurrent_increments_lose_nothing(self, registry):
+        counter = registry.counter("spins_total", "Contended.")
+        per_thread, threads = 2000, 8
+
+        def spin():
+            for _ in range(per_thread):
+                counter.inc()
+
+        workers = [threading.Thread(target=spin) for _ in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        (sample,) = registry.snapshot()["counters"]["spins_total"]
+        assert sample["value"] == per_thread * threads
+
+
+class TestGauges:
+    def test_set_replaces_inc_adds(self, registry):
+        gauge = registry.gauge("depth", "Queue depth.")
+        gauge.set(5)
+        gauge.set(3)
+        gauge.inc(2)
+        (sample,) = registry.snapshot()["gauges"]["depth"]
+        assert sample["value"] == 5
+
+    def test_redeclaring_as_other_kind_raises(self, registry):
+        registry.gauge("thing", "A gauge.")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.counter("thing", "Now a counter?")
+
+
+class TestHistograms:
+    def test_bucket_boundaries_are_le_inclusive(self, registry):
+        histogram = registry.histogram(
+            "lat_seconds", "Latency.", buckets=(0.01, 0.1, 1.0)
+        )
+        # Exactly on a bound lands in that bound's bucket (le= means <=).
+        for value in (0.01, 0.05, 0.1, 0.5, 2.0):
+            histogram.observe(value)
+        text = registry.render()
+        assert 'lat_seconds_bucket{le="0.01"} 1' in text
+        assert 'lat_seconds_bucket{le="0.1"} 3' in text  # cumulative
+        assert 'lat_seconds_bucket{le="1"} 4' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 5' in text
+        assert "lat_seconds_count 5" in text
+
+    def test_sum_and_count_track_observations(self, registry):
+        histogram = registry.histogram("h_seconds", "H.", buckets=(1.0,))
+        histogram.observe(0.25)
+        histogram.observe(0.5)
+        (sample,) = registry.snapshot()["histograms"]["h_seconds"]
+        assert sample["count"] == 2
+        assert sample["sum"] == pytest.approx(0.75)
+
+    def test_default_buckets_cover_cache_hits_to_fleet_chunks(self):
+        assert DEFAULT_LATENCY_BUCKETS[0] <= 0.001
+        assert DEFAULT_LATENCY_BUCKETS[-1] >= 60.0
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+
+
+class TestRender:
+    def test_help_type_and_sorted_families(self, registry):
+        registry.counter("b_total", "Second.").inc()
+        registry.gauge("a_gauge", "First.").set(1)
+        text = registry.render()
+        assert "# HELP a_gauge First." in text
+        assert "# TYPE a_gauge gauge" in text
+        assert "# TYPE b_total counter" in text
+        assert text.index("a_gauge") < text.index("b_total")
+        assert text.endswith("\n")
+
+    def test_label_values_are_escaped(self, registry):
+        counter = registry.counter("esc_total", "E.", labelnames=("path",))
+        counter.inc(path='a"b\\c\nd')
+        text = registry.render()
+        assert 'esc_total{path="a\\"b\\\\c\\nd"} 1' in text
+
+    def test_integral_values_render_bare(self, registry):
+        registry.counter("n_total", "N.").inc(3)
+        registry.gauge("f_gauge", "F.").set(2.5)
+        text = registry.render()
+        assert "n_total 3\n" in text
+        assert "f_gauge 2.5" in text
+
+
+class TestLifecycle:
+    def test_disabled_registry_mutations_are_noops(self):
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("c_total", "C.")
+        histogram = registry.histogram("h_seconds", "H.")
+        counter.inc()
+        histogram.observe(0.5)
+        snap = registry.snapshot()
+        assert snap["counters"] == {} and snap["histograms"] == {}
+        registry.set_enabled(True)
+        counter.inc()
+        assert registry.snapshot()["counters"]["c_total"][0]["value"] == 1
+
+    def test_reset_clears_values_keeps_families(self, registry):
+        counter = registry.counter("c_total", "C.")
+        counter.inc()
+        registry.reset()
+        assert registry.snapshot()["counters"] == {}
+        counter.inc(5)  # family survived the reset
+        assert registry.snapshot()["counters"]["c_total"][0]["value"] == 5
+
+    def test_keyed_collector_replaces_previous(self, registry):
+        calls = []
+        registry.add_collector(lambda r: calls.append("old"), key="svc")
+        registry.add_collector(lambda r: calls.append("new"), key="svc")
+        registry.render()
+        assert calls == ["new"]
+
+    def test_collector_exception_does_not_fail_scrape(self, registry):
+        def boom(_registry):
+            raise RuntimeError("collector race")
+
+        registry.add_collector(boom, key="bad")
+        registry.counter("ok_total", "Survives.").inc()
+        assert "ok_total 1" in registry.render()
+
+    def test_global_registry_is_a_singleton(self):
+        assert get_registry() is get_registry()

@@ -1,0 +1,70 @@
+"""Unit tests for :mod:`repro.obs.trace`."""
+
+import pytest
+
+from repro.obs.trace import Trace, new_trace_id
+
+
+class TestTrace:
+    def test_phases_are_contiguous_and_non_overlapping(self):
+        trace = Trace("validate")
+        trace.mark("queue-wait")
+        trace.mark("evaluate")
+        trace.end()
+        phases = trace.phases()
+        assert [p["phase"] for p in phases] == [
+            "validate",
+            "queue-wait",
+            "evaluate",
+        ]
+        assert all(not p["open"] for p in phases)
+        assert all(p["seconds"] >= 0 for p in phases)
+        # Contiguity: the phase spans sum to the trace total exactly --
+        # mark() closes and opens at one instant, so no gap can exist.
+        total = sum(p["seconds"] for p in phases)
+        assert total == pytest.approx(trace.total_seconds())
+
+    def test_mark_returns_the_closed_sample(self):
+        trace = Trace("validate")
+        closed = trace.mark("evaluate")
+        assert closed is not None
+        name, seconds = closed
+        assert name == "validate"
+        assert seconds >= 0
+
+    def test_mark_without_open_phase_returns_none(self):
+        trace = Trace()
+        assert trace.mark("first") is None  # nothing was open yet
+        closed = trace.mark("second")
+        assert closed is not None and closed[0] == "first"
+        assert [p["phase"] for p in trace.phases()] == ["first", "second"]
+
+    def test_end_is_idempotent_and_seals_the_trace(self):
+        trace = Trace("only")
+        first = trace.end()
+        assert first is not None and first[0] == "only"
+        assert trace.complete
+        assert trace.end() is None
+        # A late duplicate transition must not reopen a sealed trace.
+        assert trace.mark("zombie") is None
+        assert [p["phase"] for p in trace.phases()] == ["only"]
+
+    def test_open_phase_reports_elapsed_so_far(self):
+        trace = Trace("running")
+        (phase,) = trace.phases()
+        assert phase["open"] and phase["seconds"] >= 0
+        assert not trace.complete
+
+    def test_summary_shape(self):
+        trace = Trace("a", trace_id="cafe0123")
+        trace.end()
+        summary = trace.summary()
+        assert summary["trace_id"] == "cafe0123"
+        assert summary["complete"] is True
+        assert summary["total_seconds"] >= 0
+        assert summary["phases"][0]["phase"] == "a"
+
+    def test_trace_ids_are_short_and_distinct(self):
+        ids = {new_trace_id() for _ in range(64)}
+        assert len(ids) == 64
+        assert all(len(i) == 16 for i in ids)
